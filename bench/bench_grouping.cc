@@ -1,0 +1,65 @@
+// B4: cost of the set-grouping operator (§2.2 semantics). Sweeps the number
+// of groups (suppliers) and the group size (parts per supplier). Expected
+// shape: near-linear in the number of input tuples; hash-consed canonical
+// sets amortize duplicate groups.
+#include "bench/bench_util.h"
+#include "workload/workload.h"
+
+namespace {
+
+constexpr const char* kRules = "sp(S, <P>) :- supplies(S, P).\n";
+
+void BM_GroupBySupplier(benchmark::State& state) {
+  size_t suppliers = static_cast<size_t>(state.range(0));
+  size_t parts_per = static_cast<size_t>(state.range(1));
+  std::string facts =
+      ldl::SupplierParts(suppliers, parts_per, /*part_pool=*/parts_per * 4,
+                         /*seed=*/11);
+  ldl::EvalStats last;
+  for (auto _ : state) {
+    auto session = ldl_bench::MakeSession(state, facts, kRules);
+    if (session == nullptr) return;
+    ldl::Status status = session->Evaluate();
+    if (!status.ok()) {
+      state.SkipWithError(status.ToString().c_str());
+      return;
+    }
+    last = session->last_eval_stats();
+  }
+  state.SetItemsProcessed(state.iterations() * suppliers * parts_per);
+  ldl_bench::RecordStats(state, last);
+}
+
+// Grouping plus downstream set predicates: cardinality filter and member
+// expansion back out of the set.
+void BM_GroupAndReexpand(benchmark::State& state) {
+  size_t suppliers = static_cast<size_t>(state.range(0));
+  std::string facts = ldl::SupplierParts(suppliers, 12, 48, /*seed=*/13);
+  const char* rules =
+      "sp(S, <P>) :- supplies(S, P).\n"
+      "big(S) :- sp(S, Ps), card(Ps, N), N >= 8.\n"
+      "pair(S, P) :- sp(S, Ps), member(P, Ps).\n";
+  ldl::EvalStats last;
+  for (auto _ : state) {
+    auto session = ldl_bench::MakeSession(state, facts, rules);
+    if (session == nullptr) return;
+    ldl::Status status = session->Evaluate();
+    if (!status.ok()) {
+      state.SkipWithError(status.ToString().c_str());
+      return;
+    }
+    last = session->last_eval_stats();
+  }
+  ldl_bench::RecordStats(state, last);
+}
+
+}  // namespace
+
+BENCHMARK(BM_GroupBySupplier)
+    ->Args({100, 10})->Args({400, 10})->Args({1600, 10})->Args({6400, 10})
+    ->Args({400, 40})->Args({400, 160})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GroupAndReexpand)->Arg(100)->Arg(400)->Arg(1600)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

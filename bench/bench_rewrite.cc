@@ -1,0 +1,89 @@
+// B7: LDL1.5 -> LDL1 macro expansion (§4) overhead. The paper presents the
+// extensions as compile-time rewrites; this bench verifies the expansion is
+// negligible next to evaluation (microseconds per rule).
+#include <benchmark/benchmark.h>
+
+#include "base/str_util.h"
+#include "parser/parser.h"
+#include "rewrite/ldl15.h"
+#include "rewrite/neg_to_grouping.h"
+
+namespace {
+
+std::string ComplexHeadProgram(size_t rules) {
+  std::string out;
+  for (size_t i = 0; i < rules; ++i) {
+    ldl::StrAppend(out, "v", i, "(T, <h(S, <D>)>) :- r", i, "(T, S, C, D).\n");
+  }
+  return out;
+}
+
+std::string BodyPatternProgram(size_t rules) {
+  std::string out;
+  for (size_t i = 0; i < rules; ++i) {
+    ldl::StrAppend(out, "e", i, "(X) :- s", i, "(<f(X, <Y>)>).\n");
+  }
+  return out;
+}
+
+std::string NegationProgram(size_t rules) {
+  std::string out;
+  for (size_t i = 0; i < rules; ++i) {
+    ldl::StrAppend(out, "d", i, "(X) :- p", i, "(X), !q", i, "(X).\n");
+  }
+  return out;
+}
+
+void RunExpansion(benchmark::State& state, const std::string& source) {
+  for (auto _ : state) {
+    ldl::Interner interner;
+    auto ast = ldl::ParseProgram(source, &interner);
+    if (!ast.ok()) {
+      state.SkipWithError(ast.status().ToString().c_str());
+      return;
+    }
+    auto expanded = ldl::ExpandLdl15(*ast, &interner);
+    if (!expanded.ok()) {
+      state.SkipWithError(expanded.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(expanded->rules.size());
+  }
+}
+
+void BM_ExpandComplexHeads(benchmark::State& state) {
+  RunExpansion(state, ComplexHeadProgram(static_cast<size_t>(state.range(0))));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_ExpandBodyPatterns(benchmark::State& state) {
+  RunExpansion(state, BodyPatternProgram(static_cast<size_t>(state.range(0))));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_EliminateNegation(benchmark::State& state) {
+  std::string source = NegationProgram(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    ldl::Interner interner;
+    auto ast = ldl::ParseProgram(source, &interner);
+    if (!ast.ok()) {
+      state.SkipWithError(ast.status().ToString().c_str());
+      return;
+    }
+    auto positive = ldl::EliminateNegation(*ast, &interner);
+    if (!positive.ok()) {
+      state.SkipWithError(positive.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(positive->rules.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+}  // namespace
+
+BENCHMARK(BM_ExpandComplexHeads)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_ExpandBodyPatterns)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_EliminateNegation)->Arg(16)->Arg(64)->Arg(256);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// B5: cost of the §3.1 layering analysis (dependency graph + Tarjan SCC +
+// minimal layer assignment) on synthetic programs of growing size.
+// Expected shape: near-linear in the number of rules.
+#include <benchmark/benchmark.h>
+
+#include "parser/parser.h"
+#include "program/lower.h"
+#include "program/stratify.h"
+#include "workload/workload.h"
+
+namespace {
+
+void BM_Stratify(benchmark::State& state) {
+  size_t layers = static_cast<size_t>(state.range(0));
+  size_t per_layer = static_cast<size_t>(state.range(1));
+  std::string source = ldl::SyntheticStratifiedProgram(layers, per_layer);
+
+  ldl::Interner interner;
+  ldl::TermFactory factory(&interner);
+  ldl::Catalog catalog(&interner);
+  auto ast = ldl::ParseProgram(source, &interner);
+  if (!ast.ok()) {
+    state.SkipWithError(ast.status().ToString().c_str());
+    return;
+  }
+  auto ir = ldl::LowerProgram(factory, catalog, *ast);
+  if (!ir.ok()) {
+    state.SkipWithError(ir.status().ToString().c_str());
+    return;
+  }
+
+  for (auto _ : state) {
+    auto strat = ldl::Stratify(catalog, *ir);
+    if (!strat.ok()) {
+      state.SkipWithError(strat.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(strat->strata.size());
+  }
+  state.counters["rules"] = static_cast<double>(ir->rules.size());
+  state.counters["preds"] = static_cast<double>(catalog.size());
+  state.SetItemsProcessed(state.iterations() * ir->rules.size());
+}
+
+void BM_ParseAndLower(benchmark::State& state) {
+  size_t layers = static_cast<size_t>(state.range(0));
+  std::string source = ldl::SyntheticStratifiedProgram(layers, 4);
+  for (auto _ : state) {
+    ldl::Interner interner;
+    ldl::TermFactory factory(&interner);
+    ldl::Catalog catalog(&interner);
+    auto ast = ldl::ParseProgram(source, &interner);
+    if (!ast.ok()) {
+      state.SkipWithError(ast.status().ToString().c_str());
+      return;
+    }
+    auto ir = ldl::LowerProgram(factory, catalog, *ast);
+    benchmark::DoNotOptimize(ir.ok());
+  }
+  state.SetBytesProcessed(state.iterations() * source.size());
+}
+
+}  // namespace
+
+BENCHMARK(BM_Stratify)
+    ->Args({16, 4})->Args({64, 4})->Args({256, 4})->Args({1024, 4})
+    ->Args({256, 16});
+BENCHMARK(BM_ParseAndLower)->Arg(64)->Arg(256)->Arg(1024);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,147 @@
+// B6: term-infrastructure ablation. Hash-consing makes structural equality
+// a pointer compare and set canonicalization a one-time cost; this is the
+// "manual memory for terms" effort the reproduction band calls out.
+// Micro-benchmarks: interning throughput, canonical set construction,
+// set-pattern matching, substitution with scons evaluation.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "term/term.h"
+#include "term/term_ops.h"
+#include "term/unify.h"
+#include "workload/workload.h"
+
+namespace {
+
+using ldl::Interner;
+using ldl::Subst;
+using ldl::Term;
+using ldl::TermFactory;
+
+void BM_InternIntsHot(benchmark::State& state) {
+  Interner interner;
+  TermFactory factory(&interner);
+  for (int i = 0; i < 1024; ++i) factory.MakeInt(i);  // warm
+  int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(factory.MakeInt(i++ & 1023));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_InternFuncTerms(benchmark::State& state) {
+  Interner interner;
+  TermFactory factory(&interner);
+  const Term* a = factory.MakeAtom("a");
+  int64_t i = 0;
+  for (auto _ : state) {
+    const Term* args[] = {a, factory.MakeInt(i++ & 255)};
+    benchmark::DoNotOptimize(factory.MakeFunc("f", args));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_CanonicalSetConstruction(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Interner interner;
+  TermFactory factory(&interner);
+  ldl::Rng rng(7);
+  std::vector<const Term*> elements;
+  for (size_t i = 0; i < n; ++i) {
+    elements.push_back(factory.MakeInt(static_cast<int64_t>(rng.Next() % 100000)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(factory.MakeSet(elements));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_SetInsertChain(benchmark::State& state) {
+  // scons-style incremental construction: n inserts, each re-canonicalizing.
+  size_t n = static_cast<size_t>(state.range(0));
+  Interner interner;
+  TermFactory factory(&interner);
+  for (auto _ : state) {
+    const Term* set = factory.EmptySet();
+    for (size_t i = 0; i < n; ++i) {
+      set = factory.SetInsert(factory.MakeInt(static_cast<int64_t>(i)), set);
+    }
+    benchmark::DoNotOptimize(set);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_PointerEqualityVsStructural(benchmark::State& state) {
+  // With interning, deep equality is a pointer compare.
+  Interner interner;
+  TermFactory factory(&interner);
+  std::vector<const Term*> sets;
+  for (int s = 0; s < 64; ++s) {
+    std::vector<const Term*> elements;
+    for (int i = 0; i < 32; ++i) elements.push_back(factory.MakeInt(i + s));
+    sets.push_back(factory.MakeSet(elements));
+  }
+  size_t i = 0;
+  size_t equal = 0;
+  for (auto _ : state) {
+    const Term* a = sets[i & 63];
+    const Term* b = sets[(i * 7 + 3) & 63];
+    equal += (a == b);
+    ++i;
+  }
+  benchmark::DoNotOptimize(equal);
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_MatchSetPattern(benchmark::State& state) {
+  // {X, Y, Z} against an n-element ground set: the §2.2 enumerative match.
+  size_t n = static_cast<size_t>(state.range(0));
+  Interner interner;
+  TermFactory factory(&interner);
+  std::vector<const Term*> pattern_elems = {
+      factory.MakeVar("X"), factory.MakeVar("Y"), factory.MakeVar("Z")};
+  const Term* pattern = factory.MakeSet(pattern_elems);
+  std::vector<const Term*> ground_elems;
+  for (size_t i = 0; i < n; ++i) {
+    ground_elems.push_back(factory.MakeInt(static_cast<int64_t>(i)));
+  }
+  const Term* ground = factory.MakeSet(ground_elems);
+  Subst subst;
+  for (auto _ : state) {
+    size_t solutions = 0;
+    ldl::MatchTerm(factory, pattern, ground, &subst, [&]() {
+      ++solutions;
+      return true;
+    });
+    benchmark::DoNotOptimize(solutions);
+  }
+}
+
+void BM_ApplySubstWithScons(benchmark::State& state) {
+  Interner interner;
+  TermFactory factory(&interner);
+  Subst subst;
+  std::vector<const Term*> elements;
+  for (int i = 0; i < 16; ++i) elements.push_back(factory.MakeInt(i));
+  subst.Bind(interner.Intern("S"), factory.MakeSet(elements));
+  subst.Bind(interner.Intern("X"), factory.MakeInt(99));
+  const Term* scons_args[] = {factory.MakeVar("X"), factory.MakeVar("S")};
+  const Term* pattern = factory.MakeFunc("scons", scons_args);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ldl::ApplySubst(factory, pattern, subst));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+}  // namespace
+
+BENCHMARK(BM_InternIntsHot);
+BENCHMARK(BM_InternFuncTerms);
+BENCHMARK(BM_CanonicalSetConstruction)->Arg(4)->Arg(32)->Arg(256);
+BENCHMARK(BM_SetInsertChain)->Arg(8)->Arg(64)->Arg(256);
+BENCHMARK(BM_PointerEqualityVsStructural);
+BENCHMARK(BM_MatchSetPattern)->Arg(2)->Arg(3)->Arg(5);
+BENCHMARK(BM_ApplySubstWithScons);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,39 @@
+// Shared helpers for the benchmark binaries. Each bench reproduces one
+// claim from DESIGN.md (B1-B8) and prints the series EXPERIMENTS.md records.
+#ifndef LDL1_BENCH_BENCH_UTIL_H_
+#define LDL1_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "ldl/ldl.h"
+
+namespace ldl_bench {
+
+// Builds a fresh session with `facts` and `rules` loaded; aborts the
+// benchmark on error.
+inline std::unique_ptr<ldl::Session> MakeSession(benchmark::State& state,
+                                                 const std::string& facts,
+                                                 const std::string& rules) {
+  auto session = std::make_unique<ldl::Session>();
+  ldl::Status status = session->Load(facts);
+  if (status.ok()) status = session->Load(rules);
+  if (status.ok()) status = session->Analyze();
+  if (!status.ok()) {
+    state.SkipWithError(status.ToString().c_str());
+    return nullptr;
+  }
+  return session;
+}
+
+inline void RecordStats(benchmark::State& state, const ldl::EvalStats& stats) {
+  state.counters["facts"] = static_cast<double>(stats.facts_derived);
+  state.counters["solutions"] = static_cast<double>(stats.solutions);
+  state.counters["rounds"] = static_cast<double>(stats.iterations);
+}
+
+}  // namespace ldl_bench
+
+#endif  // LDL1_BENCH_BENCH_UTIL_H_

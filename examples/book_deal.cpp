@@ -1,0 +1,52 @@
+// The paper's §1 set-enumeration example: bundles of up to three books
+// whose total price stays under a budget. Demonstrates that enumerated sets
+// deduplicate (a "triple" of the same cheap book is the singleton set) and
+// that the same title at different prices collapses by title.
+#include <cstdio>
+
+#include "ldl/ldl.h"
+#include "workload/workload.h"
+
+int main() {
+  ldl::Session session;
+  ldl::Status status = session.Load(ldl::Books(12, /*max_price=*/60, /*seed=*/3));
+  if (status.ok()) {
+    status = session.Load(R"(
+      book_deal({X, Y, Z}) :- book(X, Px), book(Y, Py), book(Z, Pz),
+                              Px + Py + Pz < 100.
+    )");
+  }
+  if (status.ok()) status = session.Evaluate();
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  auto deals = session.Query("book_deal(S)");
+  if (!deals.ok()) {
+    std::fprintf(stderr, "query failed: %s\n", deals.status().ToString().c_str());
+    return 1;
+  }
+  size_t singles = 0;
+  size_t doubles = 0;
+  size_t triples = 0;
+  for (const ldl::Tuple& tuple : deals->tuples) {
+    switch (tuple[0]->size()) {
+      case 1: ++singles; break;
+      case 2: ++doubles; break;
+      default: ++triples; break;
+    }
+  }
+  std::printf("book deals under 100: %zu total (%zu singletons, %zu pairs, "
+              "%zu triples)\n",
+              deals->tuples.size(), singles, doubles, triples);
+  size_t shown = 0;
+  for (const ldl::Tuple& tuple : deals->tuples) {
+    if (++shown > 8) {
+      std::printf("  ...\n");
+      break;
+    }
+    std::printf("  book_deal%s\n", session.FormatTuple(tuple).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,118 @@
+// A fuller application: organizational analytics over an employee graph.
+// Exercises the whole language surface together -- recursion (management
+// chain), grouping (teams, skill sets), set built-ins (subset for staffing),
+// stratified negation (unstaffable projects) -- and answers the same
+// question with all three query strategies.
+#include <cstdio>
+
+#include "base/str_util.h"
+#include "ldl/ldl.h"
+#include "workload/workload.h"
+
+namespace {
+
+// Deterministic synthetic org: a management tree plus random skills.
+std::string MakeOrg(size_t people, uint64_t seed) {
+  ldl::Rng rng(seed);
+  std::string out;
+  const char* skills[] = {"sql", "cpp", "ml", "ops", "ui"};
+  for (size_t i = 1; i < people; ++i) {
+    ldl::StrAppend(out, "manages(e", rng.Below(i), ", e", i, ").\n");
+  }
+  for (size_t i = 0; i < people; ++i) {
+    size_t k = 1 + rng.Below(3);
+    for (size_t s = 0; s < k; ++s) {
+      ldl::StrAppend(out, "has_skill(e", i, ", ", skills[rng.Below(5)], ").\n");
+    }
+  }
+  // Projects and their required skills.
+  out +=
+      "needs(warehouse, sql). needs(warehouse, ops).\n"
+      "needs(engine, cpp).\n"
+      "needs(moonshot, ml). needs(moonshot, cpp). needs(moonshot, ui).\n";
+  return out;
+}
+
+constexpr const char* kRules = R"(
+  % Transitive management.
+  reports_to(E, M) :- manages(M, E).
+  reports_to(E, M) :- manages(M, X), reports_to(E, X).
+
+  % Each manager's full organization, as a set.
+  org(M, <E>) :- reports_to(E, M).
+
+  % Skill profiles as sets.
+  skill_set(E, <S>) :- has_skill(E, S).
+  required(P, <S>) :- needs(P, S).
+
+  % An employee can staff a project when the required skills are a subset
+  % of theirs.
+  can_staff(E, P) :- skill_set(E, Skills), required(P, Req),
+                     subset(Req, Skills).
+
+  % Projects nobody can staff alone.
+  project(P) :- needs(P, _).
+  person(E) :- has_skill(E, _).
+  unstaffable(P) :- project(P), !can_staff(E, P).
+
+  % Managers whose org contains someone for every project.
+  versatile(M) :- org(M, Team), project(P), can_staff(E, P),
+                  member(E, Team).
+)";
+
+void Show(ldl::Session& session, const char* title, const char* goal,
+          const ldl::QueryOptions& options) {
+  auto result = session.Query(goal, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", goal,
+                 result.status().ToString().c_str());
+    return;
+  }
+  std::printf("%-28s ? %-18s -> %zu answer(s), %zu facts derived\n", title,
+              goal, result->tuples.size(), result->stats.facts_derived);
+  size_t shown = 0;
+  for (const ldl::Tuple& tuple : result->tuples) {
+    if (++shown > 4) {
+      std::printf("    ...\n");
+      break;
+    }
+    std::printf("    %s\n", session.FormatTuple(tuple).c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  ldl::Session session;
+  ldl::Status status = session.Load(MakeOrg(60, 11));
+  if (status.ok()) status = session.Load(kRules);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  ldl::QueryOptions full;
+  ldl::QueryOptions magic;
+  magic.use_magic = true;
+  ldl::QueryOptions topdown;
+  topdown.use_topdown = true;
+
+  Show(session, "full evaluation", "unstaffable(P)", full);
+  Show(session, "full evaluation", "org(e0, Team)", full);
+  Show(session, "magic sets", "reports_to(e42, M)", magic);
+  Show(session, "top-down (memoized)", "reports_to(e42, M)", topdown);
+  Show(session, "magic sets", "can_staff(E, moonshot)", magic);
+
+  // Provenance for one answer.
+  auto staffers = session.Query("can_staff(E, engine)");
+  if (staffers.ok() && !staffers->tuples.empty()) {
+    std::string fact = ldl::StrCat(
+        "can_staff(", session.factory().ToString(staffers->tuples[0][0]),
+        ", engine)");
+    auto why = session.Explain(fact);
+    if (why.ok()) {
+      std::printf("\nwhy %s?\n%s", fact.c_str(), why->c_str());
+    }
+  }
+  return 0;
+}

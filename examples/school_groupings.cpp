@@ -1,0 +1,71 @@
+// §4.2: complex head terms over the teacher/student/class/day relation --
+// the paper's three worked groupings, under both the paper's semantics (ii)
+// and the alternative (ii)'.
+#include <cstdio>
+
+#include <algorithm>
+
+#include "ldl/ldl.h"
+
+namespace {
+
+constexpr const char* kFacts = R"(
+  r(smith, ann, math, mon).
+  r(smith, ann, math, wed).
+  r(smith, bob, art,  mon).
+  r(jones, ann, bio,  thu).
+  r(jones, cat, bio,  thu).
+)";
+
+constexpr const char* kViews = R"(
+  % (T, <S>, <D>): per teacher, the students and the days.
+  by_teacher(T, <S>, <D>) :- r(T, S, C, D).
+
+  % (T, <h(S, <D>)>): per teacher, tuples of (student, the student's days
+  % across all teachers).
+  with_days(T, <h(S, <D>)>) :- r(T, S, C, D).
+
+  % ((T, S), <(C, <D>)>): per teacher/student pair, (class, days the class
+  % is taught by anyone).
+  classes((T, S), <(C, <D>)>) :- r(T, S, C, D).
+)";
+
+void Show(ldl::Session& session, const char* pred, uint32_t arity) {
+  ldl::PredId id = session.catalog().Find(pred, arity);
+  if (id == ldl::kInvalidPred) return;
+  auto tuples = session.database().relation(id).Snapshot();
+  std::vector<std::string> lines = FormatFacts(session, id, tuples);
+  std::printf("%s:\n", pred);
+  for (const std::string& line : lines) std::printf("  %s\n", line.c_str());
+  std::printf("\n");
+}
+
+int Run(bool alternative) {
+  ldl::Session session;
+  if (alternative) {
+    ldl::Ldl15Options options;
+    options.alternative_grouping = true;
+    session.set_ldl15_options(options);
+  }
+  ldl::Status status = session.Load(kFacts);
+  if (status.ok()) status = session.Load(kViews);
+  if (status.ok()) status = session.Evaluate();
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("===== %s semantics =====\n\n",
+              alternative ? "alternative (ii)'" : "paper (ii)");
+  Show(session, "by_teacher", 3);
+  Show(session, "with_days", 2);
+  Show(session, "classes", 2);
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  int rc = Run(/*alternative=*/false);
+  if (rc == 0) rc = Run(/*alternative=*/true);
+  return rc;
+}

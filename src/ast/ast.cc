@@ -1,0 +1,260 @@
+#include "ast/ast.h"
+
+#include <algorithm>
+
+#include "base/str_util.h"
+
+namespace ldl {
+
+TermExpr TermExpr::Int(int64_t value) {
+  TermExpr t;
+  t.kind = TermExprKind::kInt;
+  t.int_value = value;
+  return t;
+}
+
+TermExpr TermExpr::Atom(Symbol name) {
+  TermExpr t;
+  t.kind = TermExprKind::kAtom;
+  t.symbol = name;
+  return t;
+}
+
+TermExpr TermExpr::String(Symbol text) {
+  TermExpr t;
+  t.kind = TermExprKind::kString;
+  t.symbol = text;
+  return t;
+}
+
+TermExpr TermExpr::Var(Symbol name) {
+  TermExpr t;
+  t.kind = TermExprKind::kVar;
+  t.symbol = name;
+  return t;
+}
+
+TermExpr TermExpr::Func(Symbol functor, std::vector<TermExpr> args) {
+  TermExpr t;
+  t.kind = TermExprKind::kFunc;
+  t.symbol = functor;
+  t.args = std::move(args);
+  return t;
+}
+
+TermExpr TermExpr::SetEnum(std::vector<TermExpr> elements) {
+  TermExpr t;
+  t.kind = TermExprKind::kSetEnum;
+  t.args = std::move(elements);
+  return t;
+}
+
+TermExpr TermExpr::Group(TermExpr inner) {
+  TermExpr t;
+  t.kind = TermExprKind::kGroup;
+  t.args.push_back(std::move(inner));
+  return t;
+}
+
+bool TermExpr::ContainsGroup() const {
+  if (kind == TermExprKind::kGroup) return true;
+  for (const TermExpr& arg : args) {
+    if (arg.ContainsGroup()) return true;
+  }
+  return false;
+}
+
+void TermExpr::CollectVars(std::vector<Symbol>* out) const {
+  if (kind == TermExprKind::kVar) {
+    if (std::find(out->begin(), out->end(), symbol) == out->end()) {
+      out->push_back(symbol);
+    }
+    return;
+  }
+  for (const TermExpr& arg : args) arg.CollectVars(out);
+}
+
+bool TermExpr::operator==(const TermExpr& other) const {
+  return kind == other.kind && symbol == other.symbol &&
+         int_value == other.int_value && args == other.args;
+}
+
+BuiltinKind LookupBuiltin(std::string_view name, size_t arity) {
+  struct Entry {
+    const char* name;
+    size_t arity;
+    BuiltinKind kind;
+  };
+  static constexpr Entry kEntries[] = {
+      {"=", 2, BuiltinKind::kEq},        {"/=", 2, BuiltinKind::kNeq},
+      {"<", 2, BuiltinKind::kLt},        {"<=", 2, BuiltinKind::kLe},
+      {">", 2, BuiltinKind::kGt},        {">=", 2, BuiltinKind::kGe},
+      {"member", 2, BuiltinKind::kMember},
+      {"union", 3, BuiltinKind::kUnion},
+      {"intersection", 3, BuiltinKind::kIntersection},
+      {"difference", 3, BuiltinKind::kDifference},
+      {"subset", 2, BuiltinKind::kSubset},
+      {"partition", 3, BuiltinKind::kPartition},
+      {"card", 2, BuiltinKind::kCard},
+      {"+", 3, BuiltinKind::kPlus},      {"plus", 3, BuiltinKind::kPlus},
+      {"-", 3, BuiltinKind::kMinus},     {"minus", 3, BuiltinKind::kMinus},
+      {"*", 3, BuiltinKind::kTimes},     {"times", 3, BuiltinKind::kTimes},
+      {"/", 3, BuiltinKind::kDiv},       {"div", 3, BuiltinKind::kDiv},
+      {"mod", 3, BuiltinKind::kMod},
+  };
+  for (const Entry& entry : kEntries) {
+    if (entry.arity == arity && name == entry.name) return entry.kind;
+  }
+  return BuiltinKind::kNone;
+}
+
+const char* BuiltinName(BuiltinKind kind) {
+  switch (kind) {
+    case BuiltinKind::kNone: return "<none>";
+    case BuiltinKind::kEq: return "=";
+    case BuiltinKind::kNeq: return "/=";
+    case BuiltinKind::kLt: return "<";
+    case BuiltinKind::kLe: return "<=";
+    case BuiltinKind::kGt: return ">";
+    case BuiltinKind::kGe: return ">=";
+    case BuiltinKind::kMember: return "member";
+    case BuiltinKind::kUnion: return "union";
+    case BuiltinKind::kIntersection: return "intersection";
+    case BuiltinKind::kDifference: return "difference";
+    case BuiltinKind::kSubset: return "subset";
+    case BuiltinKind::kPartition: return "partition";
+    case BuiltinKind::kCard: return "card";
+    case BuiltinKind::kPlus: return "plus";
+    case BuiltinKind::kMinus: return "minus";
+    case BuiltinKind::kTimes: return "times";
+    case BuiltinKind::kDiv: return "div";
+    case BuiltinKind::kMod: return "mod";
+  }
+  return "<unknown>";
+}
+
+void AstPrinter::Append(const TermExpr& term, std::string* out) const {
+  switch (term.kind) {
+    case TermExprKind::kInt:
+      StrAppend(*out, term.int_value);
+      break;
+    case TermExprKind::kAtom:
+    case TermExprKind::kVar:
+      StrAppend(*out, interner_->Lookup(term.symbol));
+      break;
+    case TermExprKind::kString:
+      StrAppend(*out, '"', interner_->Lookup(term.symbol), '"');
+      break;
+    case TermExprKind::kFunc: {
+      std::string_view functor = interner_->Lookup(term.symbol);
+      if (functor == kTupleFunctor) {
+        StrAppend(*out, '(');
+      } else {
+        StrAppend(*out, functor, '(');
+      }
+      for (size_t i = 0; i < term.args.size(); ++i) {
+        if (i > 0) StrAppend(*out, ", ");
+        Append(term.args[i], out);
+      }
+      StrAppend(*out, ')');
+      break;
+    }
+    case TermExprKind::kSetEnum: {
+      StrAppend(*out, '{');
+      for (size_t i = 0; i < term.args.size(); ++i) {
+        if (i > 0) StrAppend(*out, ", ");
+        Append(term.args[i], out);
+      }
+      StrAppend(*out, '}');
+      break;
+    }
+    case TermExprKind::kGroup:
+      StrAppend(*out, '<');
+      // "<-27>" would lex as the "<-" rule arrow; keep a space before a
+      // negative integer payload.
+      if (term.args[0].kind == TermExprKind::kInt && term.args[0].int_value < 0) {
+        StrAppend(*out, ' ');
+      }
+      Append(term.args[0], out);
+      StrAppend(*out, '>');
+      break;
+  }
+}
+
+void AstPrinter::Append(const LiteralAst& literal, std::string* out) const {
+  if (literal.negated) StrAppend(*out, "!");
+  if (literal.builtin != BuiltinKind::kNone) {
+    // Binary comparisons print infix; other built-ins print prefix.
+    switch (literal.builtin) {
+      case BuiltinKind::kEq:
+      case BuiltinKind::kNeq:
+      case BuiltinKind::kLt:
+      case BuiltinKind::kLe:
+      case BuiltinKind::kGt:
+      case BuiltinKind::kGe:
+        Append(literal.args[0], out);
+        StrAppend(*out, ' ', BuiltinName(literal.builtin), ' ');
+        Append(literal.args[1], out);
+        return;
+      default:
+        StrAppend(*out, BuiltinName(literal.builtin));
+        break;
+    }
+  } else {
+    StrAppend(*out, interner_->Lookup(literal.predicate));
+  }
+  if (!literal.args.empty()) {
+    StrAppend(*out, '(');
+    for (size_t i = 0; i < literal.args.size(); ++i) {
+      if (i > 0) StrAppend(*out, ", ");
+      Append(literal.args[i], out);
+    }
+    StrAppend(*out, ')');
+  }
+}
+
+void AstPrinter::Append(const RuleAst& rule, std::string* out) const {
+  Append(rule.head, out);
+  if (!rule.body.empty()) {
+    StrAppend(*out, " :- ");
+    for (size_t i = 0; i < rule.body.size(); ++i) {
+      if (i > 0) StrAppend(*out, ", ");
+      Append(rule.body[i], out);
+    }
+  }
+  StrAppend(*out, '.');
+}
+
+std::string AstPrinter::ToString(const TermExpr& term) const {
+  std::string out;
+  Append(term, &out);
+  return out;
+}
+
+std::string AstPrinter::ToString(const LiteralAst& literal) const {
+  std::string out;
+  Append(literal, &out);
+  return out;
+}
+
+std::string AstPrinter::ToString(const RuleAst& rule) const {
+  std::string out;
+  Append(rule, &out);
+  return out;
+}
+
+std::string AstPrinter::ToString(const ProgramAst& program) const {
+  std::string out;
+  for (const RuleAst& rule : program.rules) {
+    Append(rule, &out);
+    StrAppend(out, '\n');
+  }
+  for (const QueryAst& query : program.queries) {
+    StrAppend(out, "? ");
+    Append(query.goal, &out);
+    StrAppend(out, ".\n");
+  }
+  return out;
+}
+
+}  // namespace ldl

@@ -1,0 +1,121 @@
+// Parse-level abstract syntax for LDL1 / LDL1.5 programs (paper §2.1, §4).
+//
+// The AST is deliberately richer than the internal rule representation: it
+// keeps grouping brackets <t> wherever they occur (heads and, for LDL1.5,
+// bodies), enumerated sets, tuples, and infix arithmetic already lowered to
+// function applications. The rewrite passes in src/rewrite/ operate on this
+// AST; lowering to the evaluator's RuleIr happens afterwards and only
+// accepts plain LDL1 (at most one top-level <Var> per head, none in bodies).
+#ifndef LDL1_AST_AST_H_
+#define LDL1_AST_AST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/interner.h"
+
+namespace ldl {
+
+enum class TermExprKind : uint8_t {
+  kInt,      // 42
+  kAtom,     // john
+  kString,   // "war and peace"
+  kVar,      // X  (anonymous "_" is renamed to a fresh variable at parse time)
+  kFunc,     // f(t1, ..., tn); reserved functors: scons, '.', tuple,
+             // $add/$sub/$mul/$div/$mod (from infix arithmetic)
+  kSetEnum,  // {t1, ..., tn}; {} is the empty set constant
+  kGroup,    // <t>: set grouping in heads, set patterns in LDL1.5 bodies
+};
+
+// Reserved functor used for §4.2 tuple head terms written "(a, b, c)".
+inline constexpr const char kTupleFunctor[] = "tuple";
+
+struct TermExpr {
+  TermExprKind kind = TermExprKind::kAtom;
+  Symbol symbol = 0;        // atom / string text / var name / functor
+  int64_t int_value = 0;    // kInt payload
+  std::vector<TermExpr> args;  // children: func args, set elements, group body
+
+  static TermExpr Int(int64_t value);
+  static TermExpr Atom(Symbol name);
+  static TermExpr String(Symbol text);
+  static TermExpr Var(Symbol name);
+  static TermExpr Func(Symbol functor, std::vector<TermExpr> args);
+  static TermExpr SetEnum(std::vector<TermExpr> elements);
+  static TermExpr Group(TermExpr inner);
+
+  bool is_var() const { return kind == TermExprKind::kVar; }
+  bool is_group() const { return kind == TermExprKind::kGroup; }
+  // True if any kGroup occurs in this term (at any depth).
+  bool ContainsGroup() const;
+  // Appends all distinct variable names in first-occurrence order.
+  void CollectVars(std::vector<Symbol>* out) const;
+
+  bool operator==(const TermExpr& other) const;
+};
+
+// Built-in predicates (paper §2.1-2.2 plus the arithmetic the examples use).
+enum class BuiltinKind : uint8_t {
+  kNone = 0,    // ordinary (EDB/IDB) predicate
+  kEq,          // =(a, b)
+  kNeq,         // /=(a, b)
+  kLt, kLe, kGt, kGe,  // arithmetic comparisons
+  kMember,      // member(t, S)
+  kUnion,       // union(S1, S2, S3): S1 u S2 = S3
+  kIntersection,  // intersection(S1, S2, S3): S1 n S2 = S3 (library extension)
+  kDifference,    // difference(S1, S2, S3): S1 \ S2 = S3 (library extension)
+  kSubset,      // subset(S1, S2)
+  kPartition,   // partition(S, S1, S2): S1 u S2 = S, S1 n S2 = {}
+  kCard,        // card(S, N)
+  kPlus, kMinus, kTimes, kDiv, kMod,  // 3-ary functional arithmetic
+};
+
+// Returns kNone if (name, arity) is not a built-in.
+BuiltinKind LookupBuiltin(std::string_view name, size_t arity);
+const char* BuiltinName(BuiltinKind kind);
+
+struct LiteralAst {
+  bool negated = false;
+  Symbol predicate = 0;          // meaningless when builtin != kNone
+  BuiltinKind builtin = BuiltinKind::kNone;
+  std::vector<TermExpr> args;
+};
+
+struct RuleAst {
+  LiteralAst head;
+  std::vector<LiteralAst> body;  // empty for facts
+
+  bool is_fact() const { return body.empty(); }
+};
+
+struct QueryAst {
+  LiteralAst goal;
+};
+
+struct ProgramAst {
+  std::vector<RuleAst> rules;
+  std::vector<QueryAst> queries;
+};
+
+// Pretty-printing back to concrete syntax (parseable round trip).
+class AstPrinter {
+ public:
+  explicit AstPrinter(const Interner* interner) : interner_(interner) {}
+
+  std::string ToString(const TermExpr& term) const;
+  std::string ToString(const LiteralAst& literal) const;
+  std::string ToString(const RuleAst& rule) const;
+  std::string ToString(const ProgramAst& program) const;
+
+  void Append(const TermExpr& term, std::string* out) const;
+  void Append(const LiteralAst& literal, std::string* out) const;
+  void Append(const RuleAst& rule, std::string* out) const;
+
+ private:
+  const Interner* interner_;
+};
+
+}  // namespace ldl
+
+#endif  // LDL1_AST_AST_H_

@@ -1,0 +1,34 @@
+#include "base/arena.h"
+
+#include <cstdlib>
+
+namespace ldl {
+
+Arena::Arena(size_t block_size) : block_size_(block_size) {}
+
+void Arena::AddBlock(size_t min_size) {
+  size_t size = min_size > block_size_ ? min_size : block_size_;
+  Block block{std::make_unique<char[]>(size), size};
+  ptr_ = block.data.get();
+  end_ = ptr_ + size;
+  bytes_reserved_ += size;
+  blocks_.push_back(std::move(block));
+}
+
+void* Arena::Allocate(size_t size, size_t align) {
+  if (size == 0) size = 1;
+  uintptr_t current = reinterpret_cast<uintptr_t>(ptr_);
+  uintptr_t aligned = (current + align - 1) & ~(align - 1);
+  size_t needed = (aligned - current) + size;
+  if (ptr_ == nullptr || static_cast<size_t>(end_ - ptr_) < needed) {
+    AddBlock(size + align);
+    current = reinterpret_cast<uintptr_t>(ptr_);
+    aligned = (current + align - 1) & ~(align - 1);
+    needed = (aligned - current) + size;
+  }
+  ptr_ += needed;
+  bytes_allocated_ += size;
+  return reinterpret_cast<void*>(aligned);
+}
+
+}  // namespace ldl

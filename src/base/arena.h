@@ -1,0 +1,73 @@
+// Bump-pointer arena allocator.
+//
+// All terms of the LDL1 universe are hash-consed and live for the lifetime of
+// their TermFactory; an arena gives us cheap allocation, perfect locality for
+// the evaluator's hot loops, and a single point of release. Objects allocated
+// from an arena must be trivially destructible or have their destructors
+// managed by the caller (the term layer only stores trivially destructible
+// payloads plus out-of-line arrays, so nothing needs destruction).
+#ifndef LDL1_BASE_ARENA_H_
+#define LDL1_BASE_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace ldl {
+
+class Arena {
+ public:
+  // `block_size` is the granularity of the underlying malloc'd blocks;
+  // oversized requests get a dedicated block.
+  explicit Arena(size_t block_size = 64 * 1024);
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Returns `size` bytes aligned to `align` (a power of two). Never fails
+  // except by crashing on OOM, matching the no-exceptions policy.
+  void* Allocate(size_t size, size_t align = alignof(std::max_align_t));
+
+  // Allocates and value-initializes a T. T must be trivially destructible.
+  template <typename T, typename... Args>
+  T* New(Args&&... args) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena::New requires trivially destructible types");
+    void* mem = Allocate(sizeof(T), alignof(T));
+    return new (mem) T(std::forward<Args>(args)...);
+  }
+
+  // Allocates an uninitialized array of n Ts.
+  template <typename T>
+  T* NewArray(size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena::NewArray requires trivially destructible types");
+    return static_cast<T*>(Allocate(n * sizeof(T), alignof(T)));
+  }
+
+  // Total bytes handed out (excluding block slack).
+  size_t bytes_allocated() const { return bytes_allocated_; }
+  // Total bytes reserved from the system.
+  size_t bytes_reserved() const { return bytes_reserved_; }
+  size_t block_count() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t size;
+  };
+
+  void AddBlock(size_t min_size);
+
+  size_t block_size_;
+  std::vector<Block> blocks_;
+  char* ptr_ = nullptr;   // next free byte in the current block
+  char* end_ = nullptr;   // one past the current block
+  size_t bytes_allocated_ = 0;
+  size_t bytes_reserved_ = 0;
+};
+
+}  // namespace ldl
+
+#endif  // LDL1_BASE_ARENA_H_

@@ -1,0 +1,36 @@
+// Hash combinators used by the term layer and relation indexes.
+#ifndef LDL1_BASE_HASH_H_
+#define LDL1_BASE_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ldl {
+
+// 64-bit mix (splitmix64 finalizer); good avalanche for pointer/int keys.
+inline uint64_t HashMix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Order-dependent combination of two hashes.
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return HashMix(seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2)));
+}
+
+// FNV-1a over raw bytes, for strings.
+inline uint64_t HashBytes(const void* data, size_t size) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace ldl
+
+#endif  // LDL1_BASE_HASH_H_

@@ -1,0 +1,42 @@
+#include "base/interner.h"
+
+#include <cassert>
+
+#include "base/str_util.h"
+
+namespace ldl {
+
+Interner::Interner() {
+  Intern("");  // Symbol 0 == empty string.
+}
+
+Symbol Interner::Intern(std::string_view text) {
+  auto it = index_.find(std::string(text));
+  if (it != index_.end()) return it->second;
+  auto [inserted, ok] =
+      index_.emplace(std::string(text), static_cast<Symbol>(strings_.size()));
+  (void)ok;
+  strings_.push_back(&inserted->first);
+  return inserted->second;
+}
+
+std::string_view Interner::Lookup(Symbol symbol) const {
+  assert(symbol < strings_.size());
+  return *strings_[symbol];
+}
+
+bool Interner::Find(std::string_view text, Symbol* symbol) const {
+  auto it = index_.find(std::string(text));
+  if (it == index_.end()) return false;
+  *symbol = it->second;
+  return true;
+}
+
+Symbol Interner::Fresh(std::string_view prefix) {
+  for (;;) {
+    std::string candidate = StrCat(prefix, "$", std::to_string(fresh_counter_++));
+    if (index_.find(candidate) == index_.end()) return Intern(candidate);
+  }
+}
+
+}  // namespace ldl

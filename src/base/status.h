@@ -1,0 +1,136 @@
+// Status / StatusOr error handling for the ldl1 library.
+//
+// The library does not use C++ exceptions. Every fallible operation returns a
+// Status (or StatusOr<T> when it also produces a value). Status carries an
+// error code and a human-readable message; the OK status carries neither and
+// is cheap to copy.
+#ifndef LDL1_BASE_STATUS_H_
+#define LDL1_BASE_STATUS_H_
+
+#include <cassert>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace ldl {
+
+// Broad error categories. Fine-grained context goes in the message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed
+  kParseError,        // surface syntax could not be parsed
+  kNotAdmissible,     // program violates the layering restriction (paper §3.1)
+  kNotWellFormed,     // grouping-rule / range-restriction violation (§2.1, §7)
+  kNotFound,          // unknown predicate, file, etc.
+  kUnsupported,       // feature intentionally out of scope
+  kResourceExhausted, // iteration/derivation limits hit
+  kInternal,          // invariant violation inside the library
+};
+
+// Returns a stable lower-case name, e.g. "parse_error".
+const char* StatusCodeToString(StatusCode code);
+
+// Value-semantic error holder. OK is represented by a null rep pointer, so
+// returning and testing OK statuses never allocates.
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ == nullptr ? StatusCode::kOk : rep_->code; }
+  // Empty string for OK.
+  const std::string& message() const;
+
+  // "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  std::unique_ptr<Rep> rep_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Convenience constructors mirroring the StatusCode enumerators.
+Status InvalidArgumentError(std::string message);
+Status ParseError(std::string message);
+Status NotAdmissibleError(std::string message);
+Status NotWellFormedError(std::string message);
+Status NotFoundError(std::string message);
+Status UnsupportedError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status InternalError(std::string message);
+
+// Union of a Status and a T. Access to the value is checked by assertion.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT: implicit
+    assert(!status_.ok() && "StatusOr constructed from OK status without value");
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT: implicit
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return value_;
+  }
+  T& value() & {
+    assert(ok());
+    return value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+// Propagates a non-OK Status out of the enclosing function.
+#define LDL_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::ldl::Status _ldl_status = (expr);      \
+    if (!_ldl_status.ok()) return _ldl_status; \
+  } while (false)
+
+// Evaluates a StatusOr expression, propagating errors, else binds the value.
+#define LDL_ASSIGN_OR_RETURN(lhs, expr)                      \
+  LDL_ASSIGN_OR_RETURN_IMPL_(                                \
+      LDL_STATUS_CONCAT_(_ldl_statusor, __LINE__), lhs, expr)
+
+#define LDL_STATUS_CONCAT_INNER_(a, b) a##b
+#define LDL_STATUS_CONCAT_(a, b) LDL_STATUS_CONCAT_INNER_(a, b)
+#define LDL_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+}  // namespace ldl
+
+#endif  // LDL1_BASE_STATUS_H_

@@ -1,0 +1,64 @@
+// Small string helpers shared across the library.
+#ifndef LDL1_BASE_STR_UTIL_H_
+#define LDL1_BASE_STR_UTIL_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ldl {
+
+namespace internal {
+inline void StrAppendOne(std::string& out, std::string_view piece) { out += piece; }
+inline void StrAppendOne(std::string& out, const char* piece) { out += piece; }
+inline void StrAppendOne(std::string& out, const std::string& piece) { out += piece; }
+inline void StrAppendOne(std::string& out, char piece) { out += piece; }
+template <typename T>
+  requires std::is_integral_v<T> && (!std::is_same_v<T, char>)
+inline void StrAppendOne(std::string& out, T piece) {
+  out += std::to_string(piece);
+}
+}  // namespace internal
+
+// Concatenates the string representations of the arguments.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::string result;
+  (internal::StrAppendOne(result, args), ...);
+  return result;
+}
+
+template <typename... Args>
+void StrAppend(std::string& out, const Args&... args) {
+  (internal::StrAppendOne(out, args), ...);
+}
+
+// Joins the elements of `pieces` (anything streamable to std::ostream)
+// separated by `sep`.
+template <typename Container>
+std::string StrJoin(const Container& pieces, std::string_view sep) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& piece : pieces) {
+    if (!first) os << sep;
+    first = false;
+    os << piece;
+  }
+  return os.str();
+}
+
+// Splits `text` on `sep`, keeping empty pieces.
+std::vector<std::string> StrSplit(std::string_view text, char sep);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+// True if `text` begins with / ends with the given affix.
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+}  // namespace ldl
+
+#endif  // LDL1_BASE_STR_UTIL_H_

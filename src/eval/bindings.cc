@@ -1,0 +1,60 @@
+#include "eval/bindings.h"
+
+#include "base/str_util.h"
+
+namespace ldl {
+
+const Term* InstantiateGround(TermFactory& factory, const Term* pattern,
+                              const Subst& subst, bool* ground) {
+  const Term* instantiated = ApplySubst(factory, pattern, subst);
+  if (instantiated == nullptr) {
+    *ground = true;  // outside U, not an unbound-variable problem
+    return nullptr;
+  }
+  if (!instantiated->ground()) {
+    *ground = false;
+    return nullptr;
+  }
+  *ground = true;
+  return instantiated;
+}
+
+InstantiationResult InstantiateArgs(TermFactory& factory,
+                                    std::span<const Term* const> patterns,
+                                    const Subst& subst) {
+  InstantiationResult result;
+  result.tuple.reserve(patterns.size());
+  for (const Term* pattern : patterns) {
+    bool ground = true;
+    const Term* value = InstantiateGround(factory, pattern, subst, &ground);
+    if (value == nullptr) {
+      if (ground) {
+        result.outside_universe = true;
+      } else {
+        result.unbound = true;
+      }
+      return result;
+    }
+    result.tuple.push_back(value);
+  }
+  return result;
+}
+
+std::string FormatTuple(const TermFactory& factory, const Tuple& tuple) {
+  std::string out = "(";
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (i > 0) StrAppend(out, ", ");
+    factory.AppendTo(tuple[i], &out);
+  }
+  StrAppend(out, ")");
+  return out;
+}
+
+std::string FormatFact(const TermFactory& factory, const Catalog& catalog,
+                       PredId pred, const Tuple& tuple) {
+  std::string out(catalog.interner()->Lookup(catalog.info(pred).name));
+  if (!tuple.empty()) StrAppend(out, FormatTuple(factory, tuple));
+  return out;
+}
+
+}  // namespace ldl

@@ -1,0 +1,41 @@
+// Helpers shared by the rule evaluator: instantiating patterns under a
+// substitution into fact tuples, and rendering tuples for diagnostics.
+#ifndef LDL1_EVAL_BINDINGS_H_
+#define LDL1_EVAL_BINDINGS_H_
+
+#include <optional>
+#include <string>
+
+#include "eval/relation.h"
+#include "program/ir.h"
+#include "term/term_ops.h"
+
+namespace ldl {
+
+// Instantiates `patterns` under `subst`. Returns nullopt when any argument
+// is non-ground (a runtime safety failure, reported by the caller) or falls
+// outside the universe U (scons on a non-set) -- the latter simply produces
+// no fact, per §2.2.
+struct InstantiationResult {
+  Tuple tuple;
+  bool outside_universe = false;  // scons applied to a non-set
+  bool unbound = false;           // some variable remained free
+};
+
+InstantiationResult InstantiateArgs(TermFactory& factory,
+                                    std::span<const Term* const> patterns,
+                                    const Subst& subst);
+
+// Instantiates a single pattern; nullptr when outside U or non-ground.
+// Sets *ground to false when a variable remained free.
+const Term* InstantiateGround(TermFactory& factory, const Term* pattern,
+                              const Subst& subst, bool* ground);
+
+// "p(a, {1, 2})" -- for traces and error messages.
+std::string FormatFact(const TermFactory& factory, const Catalog& catalog,
+                       PredId pred, const Tuple& tuple);
+std::string FormatTuple(const TermFactory& factory, const Tuple& tuple);
+
+}  // namespace ldl
+
+#endif  // LDL1_EVAL_BINDINGS_H_

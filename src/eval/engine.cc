@@ -1,0 +1,371 @@
+#include "eval/engine.h"
+
+#include <unordered_map>
+
+#include "base/str_util.h"
+#include "eval/bindings.h"
+#include "term/unify.h"
+
+namespace ldl {
+
+namespace {
+
+// Body literal occurrences whose predicate is in `idb` (candidates for
+// semi-naive delta positioning).
+std::vector<int> RecursiveOccurrences(const RuleIr& rule,
+                                      const std::vector<bool>& idb) {
+  std::vector<int> result;
+  for (size_t i = 0; i < rule.body.size(); ++i) {
+    const LiteralIr& literal = rule.body[i];
+    if (!literal.is_builtin() && !literal.negated && literal.pred < idb.size() &&
+        idb[literal.pred]) {
+      result.push_back(static_cast<int>(i));
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+Status Engine::ApplyRule(const RuleIr& rule, const std::vector<int>& order,
+                         const std::vector<LiteralWindow>& windows, Database* db,
+                         const EvalOptions& options, EvalStats* stats,
+                         bool* derived) {
+  RuleEvaluator evaluator(factory_, &rule, order, options.builtin_limits);
+  ++stats->rule_firings;
+
+  // Buffer productions: inserting while enumerating would invalidate row
+  // references for self-recursive rules.
+  std::vector<Tuple> produced;
+  Status inner;
+  Status status = evaluator.ForEachSolution(
+      *db, windows,
+      [&](const Subst& subst) {
+        InstantiationResult inst = InstantiateArgs(*factory_, rule.head_args, subst);
+        if (inst.unbound) {
+          inner = InternalError("head variable unbound in a body solution");
+          return false;
+        }
+        if (!inst.outside_universe) produced.push_back(std::move(inst.tuple));
+        return true;
+      },
+      stats);
+  LDL_RETURN_IF_ERROR(status);
+  LDL_RETURN_IF_ERROR(inner);
+
+  for (Tuple& tuple : produced) {
+    if (db->AddFact(rule.head_pred, tuple)) {
+      *derived = true;
+      ++stats->facts_derived;
+    }
+  }
+  if (db->TotalFacts() > options.max_facts) {
+    return ResourceExhaustedError(
+        StrCat("database exceeded max_facts = ", options.max_facts,
+               " (non-terminating program?)"));
+  }
+  return Status::OK();
+}
+
+Status Engine::ApplyGroupingRule(const RuleIr& rule, Database* db,
+                                 const EvalOptions& options, EvalStats* stats,
+                                 bool* derived,
+                                 std::vector<GroupResult>* results_out) {
+  LDL_ASSIGN_OR_RETURN(std::vector<int> order, OrderBodyLiterals(*catalog_, rule));
+  RuleEvaluator evaluator(factory_, &rule, std::move(order), options.builtin_limits);
+  ++stats->rule_firings;
+  LDL_ASSIGN_OR_RETURN(std::vector<GroupResult> groups,
+                       ComputeGroups(*factory_, evaluator, *db, stats));
+  for (const GroupResult& group : groups) {
+    if (db->AddFact(rule.head_pred, group.fact)) {
+      *derived = true;
+      ++stats->facts_derived;
+    }
+  }
+  if (results_out != nullptr) *results_out = std::move(groups);
+  return Status::OK();
+}
+
+Status Engine::Fixpoint(const ProgramIr& program, const std::vector<int>& rule_indices,
+                        Database* db, const EvalOptions& options, EvalStats* stats,
+                        bool* derived_any) {
+  // IDB predicates of this fixpoint: heads of the participating rules.
+  std::vector<bool> idb(catalog_->size(), false);
+  for (int r : rule_indices) idb[program.rules[r].head_pred] = true;
+
+  struct Compiled {
+    const RuleIr* rule;
+    std::vector<int> default_order;
+    // (occurrence, order) pairs for semi-naive delta variants.
+    std::vector<std::pair<int, std::vector<int>>> delta_variants;
+  };
+  std::vector<Compiled> compiled;
+  compiled.reserve(rule_indices.size());
+  for (int r : rule_indices) {
+    const RuleIr& rule = program.rules[r];
+    Compiled c;
+    c.rule = &rule;
+    LDL_ASSIGN_OR_RETURN(c.default_order, OrderBodyLiterals(*catalog_, rule));
+    if (options.mode == EvalOptions::Mode::kSemiNaive) {
+      for (int occurrence : RecursiveOccurrences(rule, idb)) {
+        LDL_ASSIGN_OR_RETURN(std::vector<int> order,
+                             OrderBodyLiterals(*catalog_, rule, occurrence));
+        c.delta_variants.emplace_back(occurrence, std::move(order));
+      }
+    }
+    compiled.push_back(std::move(c));
+  }
+
+  // Round 0: every rule over the full database.
+  std::vector<size_t> low(catalog_->size(), 0);
+  if (options.mode == EvalOptions::Mode::kSemiNaive) {
+    for (PredId p = 0; p < catalog_->size(); ++p) {
+      if (idb[p]) low[p] = db->relation(p).row_count();
+    }
+  }
+  bool derived = false;
+  for (const Compiled& c : compiled) {
+    LDL_RETURN_IF_ERROR(ApplyRule(*c.rule, c.default_order, {}, db, options, stats,
+                                  &derived));
+  }
+  *derived_any = *derived_any || derived;
+  ++stats->iterations;
+
+  if (options.mode == EvalOptions::Mode::kNaive) {
+    while (derived) {
+      if (stats->iterations >= options.max_rounds) {
+        return ResourceExhaustedError("fixpoint exceeded max_rounds");
+      }
+      derived = false;
+      for (const Compiled& c : compiled) {
+        LDL_RETURN_IF_ERROR(
+            ApplyRule(*c.rule, c.default_order, {}, db, options, stats, &derived));
+      }
+      *derived_any = *derived_any || derived;
+      ++stats->iterations;
+    }
+    return Status::OK();
+  }
+
+  // Semi-naive rounds: one body occurrence ranges over the delta window,
+  // everything else over the full relation.
+  for (;;) {
+    if (stats->iterations >= options.max_rounds) {
+      return ResourceExhaustedError("fixpoint exceeded max_rounds");
+    }
+    // Snapshot delta windows [low, high) per predicate.
+    std::vector<size_t> high(catalog_->size(), 0);
+    bool any_delta = false;
+    for (PredId p = 0; p < catalog_->size(); ++p) {
+      if (!idb[p]) continue;
+      high[p] = db->relation(p).row_count();
+      if (high[p] > low[p]) any_delta = true;
+    }
+    if (!any_delta) break;
+
+    derived = false;
+    for (const Compiled& c : compiled) {
+      for (const auto& [occurrence, order] : c.delta_variants) {
+        PredId delta_pred = c.rule->body[occurrence].pred;
+        if (high[delta_pred] <= low[delta_pred]) continue;
+        std::vector<LiteralWindow> windows(c.rule->body.size());
+        windows[occurrence] = {low[delta_pred], high[delta_pred]};
+        LDL_RETURN_IF_ERROR(
+            ApplyRule(*c.rule, order, windows, db, options, stats, &derived));
+      }
+    }
+    for (PredId p = 0; p < catalog_->size(); ++p) {
+      if (idb[p]) low[p] = high[p];
+    }
+    *derived_any = *derived_any || derived;
+    ++stats->iterations;
+    if (!derived) {
+      // No new facts this round; remaining deltas (rows added late in the
+      // round) still need one more pass, which the loop header handles via
+      // the watermark comparison.
+      continue;
+    }
+  }
+  return Status::OK();
+}
+
+Status Engine::EvaluateStratum(const ProgramIr& program, const std::vector<int>& rules,
+                               Database* db, const EvalOptions& options,
+                               EvalStats* stats) {
+  std::vector<int> grouping_rules;
+  std::vector<int> normal_rules;
+  bool derived = false;
+  for (int r : rules) {
+    const RuleIr& rule = program.rules[r];
+    if (rule.is_fact()) {
+      InstantiationResult inst = InstantiateArgs(*factory_, rule.head_args, Subst());
+      if (inst.unbound) {
+        return NotWellFormedError("fact with unbound variables");
+      }
+      if (!inst.outside_universe && db->AddFact(rule.head_pred, inst.tuple)) {
+        ++stats->facts_derived;
+      }
+    } else if (rule.is_grouping()) {
+      grouping_rules.push_back(r);
+    } else {
+      normal_rules.push_back(r);
+    }
+  }
+
+  // Lemma 3.2.3: grouping rules fire once, over the stratum's input model
+  // (their bodies depend only on strictly lower layers).
+  for (int r : grouping_rules) {
+    LDL_RETURN_IF_ERROR(
+        ApplyGroupingRule(program.rules[r], db, options, stats, &derived));
+  }
+  if (normal_rules.empty()) return Status::OK();
+  return Fixpoint(program, normal_rules, db, options, stats, &derived);
+}
+
+Status Engine::EvaluateProgram(const ProgramIr& program,
+                               const Stratification& stratification, Database* db,
+                               const EvalOptions& options, EvalStats* stats) {
+  EvalStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  for (const std::vector<int>& stratum : stratification.strata) {
+    LDL_RETURN_IF_ERROR(EvaluateStratum(program, stratum, db, options, stats));
+  }
+  return Status::OK();
+}
+
+Status Engine::EvaluateSaturating(const ProgramIr& program, Database* db,
+                                  const EvalOptions& options, EvalStats* stats) {
+  EvalStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+
+  std::vector<int> positive_rules;
+  std::vector<int> grouping_rules;
+  std::vector<int> negation_rules;
+  for (size_t r = 0; r < program.rules.size(); ++r) {
+    const RuleIr& rule = program.rules[r];
+    if (rule.is_fact()) {
+      InstantiationResult inst = InstantiateArgs(*factory_, rule.head_args, Subst());
+      if (inst.unbound) return NotWellFormedError("fact with unbound variables");
+      if (!inst.outside_universe && db->AddFact(rule.head_pred, inst.tuple)) {
+        ++stats->facts_derived;
+      }
+    } else if (rule.is_grouping()) {
+      grouping_rules.push_back(static_cast<int>(r));
+    } else if (rule.has_negation()) {
+      negation_rules.push_back(static_cast<int>(r));
+    } else {
+      positive_rules.push_back(static_cast<int>(r));
+    }
+  }
+
+  // Per grouping rule: partition key -> emitted fact, for reconciliation.
+  std::vector<std::unordered_map<Tuple, Tuple, TupleHash>> emitted(
+      grouping_rules.size());
+
+  // Orders for negation rules (computed once).
+  std::vector<std::vector<int>> negation_orders;
+  for (int r : negation_rules) {
+    LDL_ASSIGN_OR_RETURN(std::vector<int> order,
+                         OrderBodyLiterals(*catalog_, program.rules[r]));
+    negation_orders.push_back(std::move(order));
+  }
+
+  for (size_t round = 0;; ++round) {
+    if (round >= options.max_rounds) {
+      return ResourceExhaustedError("saturation exceeded max_rounds");
+    }
+    bool changed = false;
+
+    // 1. Saturate the positive, non-grouping part. For a given set of magic
+    //    facts this fully evaluates every predicate a grouping or negated
+    //    body below may consult (§6's "fully evaluate per magic tuple").
+    if (!positive_rules.empty()) {
+      bool derived = false;
+      LDL_RETURN_IF_ERROR(
+          Fixpoint(program, positive_rules, db, options, stats, &derived));
+      changed = changed || derived;
+    }
+
+    // 2. Grouping rules over the saturated state, reconciled per key.
+    for (size_t g = 0; g < grouping_rules.size(); ++g) {
+      const RuleIr& rule = program.rules[grouping_rules[g]];
+      LDL_ASSIGN_OR_RETURN(std::vector<int> order, OrderBodyLiterals(*catalog_, rule));
+      RuleEvaluator evaluator(factory_, &rule, std::move(order),
+                              options.builtin_limits);
+      ++stats->rule_firings;
+      LDL_ASSIGN_OR_RETURN(std::vector<GroupResult> groups,
+                           ComputeGroups(*factory_, evaluator, *db, stats));
+      for (GroupResult& group : groups) {
+        auto it = emitted[g].find(group.key);
+        if (it == emitted[g].end()) {
+          if (db->AddFact(rule.head_pred, group.fact)) {
+            changed = true;
+            ++stats->facts_derived;
+          }
+          emitted[g].emplace(std::move(group.key), std::move(group.fact));
+          continue;
+        }
+        if (it->second == group.fact) continue;
+        // The group regrew after it was first emitted. For admissible source
+        // programs the per-magic-tuple body is complete before the group
+        // first fires, so this indicates a non-layered source (see §6
+        // discussion). Replace, but only if the old fact is not claimed by
+        // another grouping rule, and require monotone growth.
+        const Term* old_set = it->second[rule.group_index];
+        const Term* new_set = group.fact[rule.group_index];
+        if (!old_set->is_set() || !new_set->is_set() ||
+            factory_->SetDifference(old_set, new_set)->size() != 0) {
+          return InternalError(
+              "a grouped set changed non-monotonically during magic "
+              "evaluation; source program is not admissible");
+        }
+        bool claimed_elsewhere = false;
+        for (size_t other = 0; other < emitted.size(); ++other) {
+          if (other == g) continue;
+          for (const auto& [key, fact] : emitted[other]) {
+            if (fact == it->second &&
+                program.rules[grouping_rules[other]].head_pred == rule.head_pred) {
+              claimed_elsewhere = true;
+              break;
+            }
+          }
+          if (claimed_elsewhere) break;
+        }
+        if (!claimed_elsewhere) db->relation(rule.head_pred).Erase(it->second);
+        if (db->AddFact(rule.head_pred, group.fact)) ++stats->facts_derived;
+        it->second = std::move(group.fact);
+        changed = true;
+      }
+    }
+
+    // 3. Negation rules over the saturated state.
+    for (size_t i = 0; i < negation_rules.size(); ++i) {
+      const RuleIr& rule = program.rules[negation_rules[i]];
+      bool derived = false;
+      LDL_RETURN_IF_ERROR(ApplyRule(rule, negation_orders[i], {}, db, options,
+                                    stats, &derived));
+      changed = changed || derived;
+    }
+
+    if (!changed) break;
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<Tuple>> Engine::Query(const LiteralIr& goal, const Database& db) {
+  if (goal.is_builtin() || goal.negated) {
+    return InvalidArgumentError("queries must be positive, non-builtin literals");
+  }
+  const Relation& relation = db.relation(goal.pred);
+  std::vector<Tuple> results;
+  Subst subst;
+  relation.ForEachRow(0, relation.row_count(), [&](size_t, const Tuple& tuple) {
+    MatchArgs(*factory_, goal.args, tuple, &subst, [&]() {
+      results.push_back(tuple);
+      return false;  // one match per fact suffices
+    });
+  });
+  return results;
+}
+
+}  // namespace ldl

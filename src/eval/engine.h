@@ -1,0 +1,91 @@
+// Bottom-up evaluation engines.
+//
+//   * EvaluateProgram: stratified (layer-by-layer) evaluation of an
+//     admissible program per Theorem 1. Within a layer the grouping rules
+//     are applied once over the layer's input model, then the remaining
+//     rules run to fixpoint (Lemma 3.2.3), naively or semi-naively.
+//   * EvaluateSaturating: evaluation of a magic-rewritten program, which is
+//     not layered (§6). Positive non-grouping rules are saturated, then
+//     grouping and negation rules fire over the saturated state; the loop
+//     repeats until global fixpoint. Grouped facts are reconciled per
+//     partition key; a group that would shrink or change retroactively
+//     indicates a non-layered source program and raises kInternal.
+#ifndef LDL1_EVAL_ENGINE_H_
+#define LDL1_EVAL_ENGINE_H_
+
+#include <vector>
+
+#include "base/status.h"
+#include "eval/grouping.h"
+#include "eval/rule_eval.h"
+#include "program/ir.h"
+#include "program/stratify.h"
+
+namespace ldl {
+
+struct EvalOptions {
+  enum class Mode {
+    kNaive,      // re-apply every rule over the full database each round
+    kSemiNaive,  // delta-driven re-application
+  };
+  Mode mode = Mode::kSemiNaive;
+  // Guards against non-terminating programs (function symbols make the
+  // universe infinite).
+  size_t max_rounds = 1u << 20;
+  size_t max_facts = 1u << 26;
+  BuiltinLimits builtin_limits;
+};
+
+class Engine {
+ public:
+  Engine(TermFactory* factory, Catalog* catalog)
+      : factory_(factory), catalog_(catalog) {}
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // Stratified bottom-up evaluation of an admissible program (Theorem 1).
+  Status EvaluateProgram(const ProgramIr& program,
+                         const Stratification& stratification, Database* db,
+                         const EvalOptions& options = {}, EvalStats* stats = nullptr);
+
+  // Saturation evaluation for magic-rewritten (non-layered) programs (§6).
+  Status EvaluateSaturating(const ProgramIr& program, Database* db,
+                            const EvalOptions& options = {},
+                            EvalStats* stats = nullptr);
+
+  // Enumerates facts of goal's predicate matching the goal's argument
+  // patterns. The goal must be positive and non-builtin.
+  StatusOr<std::vector<Tuple>> Query(const LiteralIr& goal, const Database& db);
+
+  TermFactory* factory() const { return factory_; }
+  Catalog* catalog() const { return catalog_; }
+
+ private:
+  Status EvaluateStratum(const ProgramIr& program, const std::vector<int>& rules,
+                         Database* db, const EvalOptions& options, EvalStats* stats);
+
+  // Applies one non-grouping rule (optionally with per-literal windows);
+  // inserts derived facts. Sets *derived if anything new appeared.
+  Status ApplyRule(const RuleIr& rule, const std::vector<int>& order,
+                   const std::vector<LiteralWindow>& windows, Database* db,
+                   const EvalOptions& options, EvalStats* stats, bool* derived);
+
+  // Runs grouping rule(s) once over the current database, inserting results.
+  Status ApplyGroupingRule(const RuleIr& rule, Database* db,
+                           const EvalOptions& options, EvalStats* stats,
+                           bool* derived,
+                           std::vector<GroupResult>* results_out = nullptr);
+
+  // Fixpoint of `rule_indices` (non-grouping rules) over db.
+  Status Fixpoint(const ProgramIr& program, const std::vector<int>& rule_indices,
+                  Database* db, const EvalOptions& options, EvalStats* stats,
+                  bool* derived_any);
+
+  TermFactory* factory_;
+  Catalog* catalog_;
+};
+
+}  // namespace ldl
+
+#endif  // LDL1_EVAL_ENGINE_H_

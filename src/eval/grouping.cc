@@ -1,0 +1,96 @@
+#include "eval/grouping.h"
+
+#include <unordered_map>
+
+#include "eval/bindings.h"
+
+namespace ldl {
+
+StatusOr<std::vector<GroupResult>> ComputeGroups(TermFactory& factory,
+                                                 RuleEvaluator& evaluator,
+                                                 const Database& db,
+                                                 EvalStats* stats) {
+  const RuleIr& rule = evaluator.rule();
+  if (!rule.is_grouping()) {
+    return InternalError("ComputeGroups called on a non-grouping rule");
+  }
+
+  // Z = variables of the non-grouped head arguments (§2.2). Z may include
+  // the grouped variable itself, in which case groups are singletons.
+  std::vector<Symbol> z_vars;
+  for (size_t i = 0; i < rule.head_args.size(); ++i) {
+    if (static_cast<int>(i) == rule.group_index) continue;
+    CollectVars(rule.head_args[i], &z_vars);
+  }
+  const Term* group_var_term = factory.MakeVar(rule.group_var);
+
+  struct Partition {
+    Tuple head_values;                // instantiated non-grouped head args
+    std::vector<const Term*> members; // collected Y values (deduped at MakeSet)
+  };
+  std::unordered_map<Tuple, Partition, TupleHash> partitions;
+
+  Status inner_status;
+  Status status = evaluator.ForEachSolution(
+      db, {},
+      [&](const Subst& subst) {
+        // Key: the Z-variable values.
+        Tuple key;
+        key.reserve(z_vars.size());
+        for (Symbol var : z_vars) {
+          const Term* value = subst.Lookup(var);
+          if (value == nullptr || !value->ground()) {
+            inner_status = InternalError(
+                "grouping key variable unbound in a body solution");
+            return false;
+          }
+          key.push_back(value);
+        }
+        // Y: the grouped value.
+        bool y_ground = true;
+        const Term* y = InstantiateGround(factory, group_var_term, subst, &y_ground);
+        if (y == nullptr) {
+          if (!y_ground) {
+            inner_status =
+                InternalError("grouped variable unbound in a body solution");
+            return false;
+          }
+          return true;  // outside U: contributes no element
+        }
+
+        auto it = partitions.find(key);
+        if (it == partitions.end()) {
+          // Instantiate the head argument values for this partition.
+          InstantiationResult head =
+              InstantiateArgs(factory, rule.head_args, subst);
+          if (head.unbound) {
+            inner_status = InternalError("head variable unbound under grouping");
+            return false;
+          }
+          if (head.outside_universe) return true;  // no U-fact for this key
+          Partition partition;
+          partition.head_values = std::move(head.tuple);
+          partition.members.push_back(y);
+          partitions.emplace(std::move(key), std::move(partition));
+        } else {
+          it->second.members.push_back(y);
+        }
+        return true;
+      },
+      stats);
+  LDL_RETURN_IF_ERROR(status);
+  LDL_RETURN_IF_ERROR(inner_status);
+
+  std::vector<GroupResult> results;
+  results.reserve(partitions.size());
+  for (auto& [key, partition] : partitions) {
+    GroupResult result;
+    result.key = key;
+    result.fact = std::move(partition.head_values);
+    result.fact[rule.group_index] = factory.MakeSet(partition.members);
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+}  // namespace ldl

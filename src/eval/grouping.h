@@ -1,0 +1,34 @@
+// The set-grouping operator (paper §2.2 semantics, §3.2 bottom-up r(M)).
+//
+// For a grouping rule  p(t1, ..., <Y>, ..., tn) <-- body  the body's
+// solution relation is partitioned by the values of Z (all variables of the
+// non-grouped head arguments); within each partition the Y values are
+// collected into a finite set. Only non-empty groups produce facts.
+#ifndef LDL1_EVAL_GROUPING_H_
+#define LDL1_EVAL_GROUPING_H_
+
+#include <vector>
+
+#include "base/status.h"
+#include "eval/rule_eval.h"
+
+namespace ldl {
+
+// One produced group: the finished head fact plus its partition key (the
+// instantiated Z-variable values). The key is what the magic-set scheduler
+// uses to reconcile regrown groups.
+struct GroupResult {
+  Tuple key;
+  Tuple fact;
+};
+
+// Evaluates `evaluator`'s rule (which must be a grouping rule) over `db` and
+// returns one GroupResult per non-empty partition.
+StatusOr<std::vector<GroupResult>> ComputeGroups(TermFactory& factory,
+                                                 RuleEvaluator& evaluator,
+                                                 const Database& db,
+                                                 EvalStats* stats);
+
+}  // namespace ldl
+
+#endif  // LDL1_EVAL_GROUPING_H_

@@ -1,0 +1,115 @@
+#include "eval/relation.h"
+
+#include <cassert>
+
+namespace ldl {
+
+bool Relation::Insert(const Tuple& tuple) {
+  assert(tuple.size() == arity_);
+  auto [it, inserted] = lookup_.emplace(tuple, rows_.size());
+  if (!inserted) {
+    size_t row = it->second;
+    if (live_[row]) return false;
+    // Re-insert of a tombstoned fact: revive in place. The row keeps its old
+    // id, so delta windows opened after the deletion will not see it; the
+    // magic scheduler re-runs affected rules anyway.
+    live_[row] = true;
+    ++live_count_;
+    return true;
+  }
+  rows_.push_back(tuple);
+  live_.push_back(true);
+  ++live_count_;
+  size_t row = rows_.size() - 1;
+  for (uint32_t c = 0; c < arity_; ++c) {
+    if (!index_built_.empty() && index_built_[c]) {
+      column_index_[c].emplace(tuple[c], row);
+    }
+  }
+  return true;
+}
+
+bool Relation::Contains(const Tuple& tuple) const {
+  auto it = lookup_.find(tuple);
+  return it != lookup_.end() && live_[it->second];
+}
+
+bool Relation::Erase(const Tuple& tuple) {
+  auto it = lookup_.find(tuple);
+  if (it == lookup_.end() || !live_[it->second]) return false;
+  live_[it->second] = false;
+  --live_count_;
+  return true;
+}
+
+void Relation::EnsureIndex(uint32_t column) const {
+  if (index_built_.empty()) {
+    index_built_.assign(arity_, false);
+    column_index_.resize(arity_);
+  }
+  if (index_built_[column]) return;
+  index_built_[column] = true;
+  for (size_t row = 0; row < rows_.size(); ++row) {
+    column_index_[column].emplace(rows_[row][column], row);
+  }
+}
+
+void Relation::Probe(uint32_t column, const Term* value, size_t from, size_t to,
+                     std::vector<size_t>* out) const {
+  EnsureIndex(column);
+  out->clear();
+  auto [begin, end] = column_index_[column].equal_range(value);
+  for (auto it = begin; it != end; ++it) {
+    size_t row = it->second;
+    if (row >= from && row < to && live_[row]) out->push_back(row);
+  }
+}
+
+std::vector<Tuple> Relation::Snapshot() const {
+  std::vector<Tuple> result;
+  result.reserve(live_count_);
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (live_[i]) result.push_back(rows_[i]);
+  }
+  return result;
+}
+
+void Relation::Clear() {
+  rows_.clear();
+  live_.clear();
+  live_count_ = 0;
+  lookup_.clear();
+  column_index_.clear();
+  index_built_.clear();
+}
+
+Relation& Database::relation(PredId pred) {
+  if (relations_.size() <= pred) {
+    relations_.reserve(catalog_->size());
+    while (relations_.size() < catalog_->size()) {
+      relations_.emplace_back(catalog_->info(static_cast<PredId>(relations_.size())).arity);
+    }
+  }
+  return relations_[pred];
+}
+
+const Relation& Database::relation(PredId pred) const {
+  return const_cast<Database*>(this)->relation(pred);
+}
+
+size_t Database::TotalFacts() const {
+  size_t total = 0;
+  for (const Relation& relation : relations_) total += relation.size();
+  return total;
+}
+
+void Database::CopyFrom(const Database& other, const std::vector<PredId>& preds) {
+  for (PredId pred : preds) {
+    const Relation& source = other.relation(pred);
+    Relation& target = relation(pred);
+    source.ForEachRow(0, source.row_count(),
+                      [&](size_t, const Tuple& tuple) { target.Insert(tuple); });
+  }
+}
+
+}  // namespace ldl

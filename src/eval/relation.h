@@ -1,0 +1,114 @@
+// Fact storage: tuples of interned terms with O(1) dedup, per-column hash
+// indexes (built lazily), stable row ids for semi-naive delta windows, and
+// tombstone deletion (needed by the magic-set scheduler's group
+// reconciliation).
+#ifndef LDL1_EVAL_RELATION_H_
+#define LDL1_EVAL_RELATION_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "base/hash.h"
+#include "program/catalog.h"
+#include "term/term.h"
+
+namespace ldl {
+
+// A fact's argument vector. Terms are interned, so hashing/equality is on
+// pointers.
+using Tuple = std::vector<const Term*>;
+
+struct TupleHash {
+  size_t operator()(const Tuple& tuple) const {
+    uint64_t h = 0x12345;
+    for (const Term* t : tuple) h = HashCombine(h, t->hash());
+    return static_cast<size_t>(h);
+  }
+};
+
+class Relation {
+ public:
+  explicit Relation(uint32_t arity = 0) : arity_(arity) {}
+
+  uint32_t arity() const { return arity_; }
+  void set_arity(uint32_t arity) { arity_ = arity; }
+
+  // Inserts a fact; returns false if it was already present.
+  bool Insert(const Tuple& tuple);
+  bool Contains(const Tuple& tuple) const;
+  // Removes a fact (tombstones the row). Returns false if absent.
+  bool Erase(const Tuple& tuple);
+
+  // Number of live facts.
+  size_t size() const { return live_count_; }
+  bool empty() const { return live_count_ == 0; }
+
+  // Raw row storage; rows() indices are stable (deletions leave tombstones).
+  size_t row_count() const { return rows_.size(); }
+  bool IsLive(size_t row) const { return live_[row]; }
+  const Tuple& row(size_t i) const { return rows_[i]; }
+
+  // Calls fn(row_index, tuple) for every live row with index in [from, to).
+  template <typename Fn>
+  void ForEachRow(size_t from, size_t to, Fn&& fn) const {
+    for (size_t i = from; i < to && i < rows_.size(); ++i) {
+      if (live_[i]) fn(i, rows_[i]);
+    }
+  }
+
+  // Row ids of live facts whose `column` equals `value`, restricted to
+  // [from, to). Builds a hash index on the column on first use.
+  void Probe(uint32_t column, const Term* value, size_t from, size_t to,
+             std::vector<size_t>* out) const;
+
+  // All live tuples (copy, for tests and result reporting).
+  std::vector<Tuple> Snapshot() const;
+
+  void Clear();
+
+ private:
+  void EnsureIndex(uint32_t column) const;
+
+  uint32_t arity_;
+  std::vector<Tuple> rows_;
+  std::vector<bool> live_;
+  size_t live_count_ = 0;
+  std::unordered_map<Tuple, size_t, TupleHash> lookup_;  // tuple -> row id
+  // Per-column value index; empty vector = not built yet.
+  mutable std::vector<std::unordered_multimap<const Term*, size_t>> column_index_;
+  mutable std::vector<bool> index_built_;
+};
+
+// The database: one relation per predicate.
+class Database {
+ public:
+  explicit Database(Catalog* catalog) : catalog_(catalog) {}
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  Relation& relation(PredId pred);
+  const Relation& relation(PredId pred) const;
+
+  bool AddFact(PredId pred, const Tuple& tuple) {
+    return relation(pred).Insert(tuple);
+  }
+
+  // Total number of facts across all predicates.
+  size_t TotalFacts() const;
+
+  // Copies the facts of `preds` from `other` (used to seed a magic
+  // evaluation with the EDB).
+  void CopyFrom(const Database& other, const std::vector<PredId>& preds);
+
+  Catalog* catalog() const { return catalog_; }
+
+ private:
+  Catalog* catalog_;
+  mutable std::vector<Relation> relations_;
+};
+
+}  // namespace ldl
+
+#endif  // LDL1_EVAL_RELATION_H_

@@ -1,0 +1,88 @@
+// Rule body evaluation: a backtracking nested-loop join with sideways
+// information passing over the database.
+//
+// Body literals are statically reordered so that built-ins run as soon as
+// their inputs are bound and negated literals run once fully ground
+// (negation-as-failure against completed lower strata). Positive literals
+// use per-column hash indexes when a probe argument is ground under the
+// current bindings.
+#ifndef LDL1_EVAL_RULE_EVAL_H_
+#define LDL1_EVAL_RULE_EVAL_H_
+
+#include <cstddef>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "base/status.h"
+#include "eval/builtins.h"
+#include "eval/relation.h"
+#include "program/ir.h"
+#include "term/term_ops.h"
+
+namespace ldl {
+
+// Row-id window restricting which facts a body literal occurrence sees.
+// Semi-naive evaluation points one occurrence at a delta window.
+struct LiteralWindow {
+  size_t from = 0;
+  size_t to = std::numeric_limits<size_t>::max();
+};
+
+struct EvalStats {
+  size_t iterations = 0;        // fixpoint rounds
+  size_t rule_firings = 0;      // rule (variant) applications
+  size_t solutions = 0;         // body solutions found
+  size_t facts_derived = 0;     // new facts inserted
+  size_t tuples_matched = 0;    // candidate tuples fed to the matcher
+  size_t index_probes = 0;
+
+  void Add(const EvalStats& other) {
+    iterations += other.iterations;
+    rule_firings += other.rule_firings;
+    solutions += other.solutions;
+    facts_derived += other.facts_derived;
+    tuples_matched += other.tuples_matched;
+    index_probes += other.index_probes;
+  }
+};
+
+// Computes the evaluation order for `rule`'s body. If forced_first >= 0 that
+// literal occurrence is scheduled first (semi-naive delta variant).
+// `initially_bound` seeds the boundness analysis (e.g. head variables bound
+// by a top-down call pattern). Returns kNotWellFormed if no evaluable order
+// exists (a built-in or negation never becomes ready).
+StatusOr<std::vector<int>> OrderBodyLiterals(
+    const Catalog& catalog, const RuleIr& rule, int forced_first = -1,
+    const std::vector<Symbol>* initially_bound = nullptr);
+
+class RuleEvaluator {
+ public:
+  // `order` must come from OrderBodyLiterals for the same rule.
+  RuleEvaluator(TermFactory* factory, const RuleIr* rule, std::vector<int> order,
+                BuiltinLimits limits = {});
+
+  // Enumerates body solutions against `db`. `windows` is indexed by body
+  // literal position (not evaluation order); empty means "full relation" for
+  // every literal. `yield` returns false to stop the enumeration early.
+  Status ForEachSolution(const Database& db, const std::vector<LiteralWindow>& windows,
+                         const std::function<bool(const Subst&)>& yield,
+                         EvalStats* stats);
+
+  const RuleIr& rule() const { return *rule_; }
+
+ private:
+  Status EvalFrom(const Database& db, const std::vector<LiteralWindow>& windows,
+                  size_t depth, Subst* subst,
+                  const std::function<bool(const Subst&)>& yield, EvalStats* stats,
+                  bool* keep_going);
+
+  TermFactory* factory_;
+  const RuleIr* rule_;
+  std::vector<int> order_;
+  BuiltinLimits limits_;
+};
+
+}  // namespace ldl
+
+#endif  // LDL1_EVAL_RULE_EVAL_H_

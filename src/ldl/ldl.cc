@@ -1,0 +1,208 @@
+#include "ldl/ldl.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "base/str_util.h"
+#include "eval/bindings.h"
+#include "parser/parser.h"
+
+namespace ldl {
+
+std::vector<std::string> FormatFacts(const Session& session, PredId pred,
+                                     const std::vector<Tuple>& tuples) {
+  std::vector<std::string> out;
+  out.reserve(tuples.size());
+  for (const Tuple& tuple : tuples) out.push_back(session.FormatFact(pred, tuple));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Session::Session()
+    : factory_(&interner_),
+      catalog_(&interner_),
+      engine_(&factory_, &catalog_),
+      db_(std::make_unique<Database>(&catalog_)) {}
+
+Status Session::Load(std::string_view source) {
+  LDL_ASSIGN_OR_RETURN(ProgramAst parsed, ParseProgram(source, &interner_));
+  for (RuleAst& rule : parsed.rules) ast_.rules.push_back(std::move(rule));
+  for (QueryAst& query : parsed.queries) ast_.queries.push_back(std::move(query));
+  analyzed_ = false;
+  evaluated_ = false;
+  return Status::OK();
+}
+
+Status Session::LoadFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return NotFoundError(StrCat("cannot open ", path));
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  Status status = Load(buffer.str());
+  if (!status.ok()) {
+    return Status(status.code(), StrCat(path, ": ", status.message()));
+  }
+  return status;
+}
+
+Status Session::Analyze() {
+  LDL_ASSIGN_OR_RETURN(expanded_ast_, ExpandLdl15(ast_, &interner_, ldl15_options_));
+  LDL_ASSIGN_OR_RETURN(ProgramIr all, LowerProgram(factory_, catalog_, expanded_ast_));
+  LDL_RETURN_IF_ERROR(CheckProgramWellformed(catalog_, all, wellformed_options_));
+
+  // Split ground facts of extensional predicates out of the rule set: they
+  // seed the database directly. Facts of predicates that also have proper
+  // rules stay in the program (they take part in stratification and magic
+  // rewriting).
+  std::vector<bool> has_proper_rule(catalog_.size(), false);
+  for (const RuleIr& rule : all.rules) {
+    if (!rule.is_fact()) has_proper_rule[rule.head_pred] = true;
+  }
+  program_.rules.clear();
+  edb_facts_.clear();
+  edb_preds_.clear();
+  std::vector<bool> edb_seen(catalog_.size(), false);
+  for (RuleIr& rule : all.rules) {
+    if (rule.is_fact() && !has_proper_rule[rule.head_pred]) {
+      InstantiationResult inst =
+          InstantiateArgs(factory_, rule.head_args, Subst());
+      if (inst.unbound) {
+        return NotWellFormedError("fact with variables");  // caught earlier
+      }
+      if (!inst.outside_universe) {
+        edb_facts_.emplace_back(rule.head_pred, std::move(inst.tuple));
+      }
+      if (!edb_seen[rule.head_pred]) {
+        edb_seen[rule.head_pred] = true;
+        edb_preds_.push_back(rule.head_pred);
+      }
+      // Extensional predicates carry no rules.
+      catalog_.mutable_info(rule.head_pred).has_rules = false;
+    } else {
+      program_.rules.push_back(std::move(rule));
+    }
+  }
+
+  LDL_ASSIGN_OR_RETURN(stratification_, Stratify(catalog_, program_));
+  analyzed_ = true;
+  evaluated_ = false;
+  return Status::OK();
+}
+
+Status Session::EnsureAnalyzed() {
+  if (analyzed_) return Status::OK();
+  return Analyze();
+}
+
+Status Session::Evaluate(const EvalOptions& options) {
+  LDL_RETURN_IF_ERROR(EnsureAnalyzed());
+  db_ = std::make_unique<Database>(&catalog_);
+  for (const auto& [pred, tuple] : edb_facts_) db_->AddFact(pred, tuple);
+  last_eval_stats_ = EvalStats();
+  LDL_RETURN_IF_ERROR(engine_.EvaluateProgram(program_, stratification_, db_.get(),
+                                              options, &last_eval_stats_));
+  evaluated_ = true;
+  return Status::OK();
+}
+
+Status Session::EvaluateInto(const Stratification& stratification, Database* db,
+                             const EvalOptions& options) {
+  LDL_RETURN_IF_ERROR(EnsureAnalyzed());
+  for (const auto& [pred, tuple] : edb_facts_) db->AddFact(pred, tuple);
+  return engine_.EvaluateProgram(program_, stratification, db, options);
+}
+
+Status Session::EnsureEvaluated(const EvalOptions& options) {
+  if (evaluated_) return Status::OK();
+  return Evaluate(options);
+}
+
+StatusOr<LiteralIr> Session::ParseGoal(std::string_view goal_text) {
+  LDL_ASSIGN_OR_RETURN(LiteralAst goal_ast, ParseLiteralText(goal_text, &interner_));
+  if (goal_ast.negated || goal_ast.builtin != BuiltinKind::kNone) {
+    return InvalidArgumentError("queries must be positive relational literals");
+  }
+  return LowerLiteral(factory_, catalog_, goal_ast);
+}
+
+StatusOr<QueryResult> Session::Query(std::string_view goal_text,
+                                     const QueryOptions& options) {
+  LDL_RETURN_IF_ERROR(EnsureAnalyzed());
+  LDL_ASSIGN_OR_RETURN(LiteralIr goal, ParseGoal(goal_text));
+
+  QueryResult result;
+  if (options.use_topdown && catalog_.info(goal.pred).has_rules) {
+    // Memoized top-down evaluation against a fresh EDB.
+    Database edb(&catalog_);
+    for (const auto& [pred, tuple] : edb_facts_) edb.AddFact(pred, tuple);
+    TopDownOptions topdown_options;
+    topdown_options.builtin_limits = options.eval.builtin_limits;
+    TopDownEngine topdown(&factory_, &catalog_, &program_, &stratification_,
+                          &edb, topdown_options);
+    LDL_ASSIGN_OR_RETURN(result.tuples, topdown.Query(goal));
+    result.stats.facts_derived = topdown.stats().answers;
+    result.stats.rule_firings = topdown.stats().expansions;
+    result.stats.iterations = topdown.stats().restarts;
+    return result;
+  }
+  if (!options.use_magic || !catalog_.info(goal.pred).has_rules) {
+    LDL_RETURN_IF_ERROR(EnsureEvaluated(options.eval));
+    LDL_ASSIGN_OR_RETURN(result.tuples, engine_.Query(goal, *db_));
+    result.stats = last_eval_stats_;
+    return result;
+  }
+
+  // Magic path: rewrite for this goal and evaluate in a scratch database
+  // seeded with the EDB.
+  MagicOptions magic_options;
+  magic_options.supplementary = options.use_supplementary;
+  LDL_ASSIGN_OR_RETURN(MagicProgram magic,
+                       MagicRewrite(program_, &catalog_, goal, magic_options));
+  Database magic_db(&catalog_);
+  for (const auto& [pred, tuple] : edb_facts_) {
+    // Only EDB predicates the rewritten program consults.
+    if (std::find(magic.edb_preds.begin(), magic.edb_preds.end(), pred) !=
+        magic.edb_preds.end()) {
+      magic_db.AddFact(pred, tuple);
+    }
+  }
+  LDL_RETURN_IF_ERROR(engine_.EvaluateSaturating(magic.rules, &magic_db,
+                                                 options.eval, &result.stats));
+  LiteralIr adorned_goal = goal;
+  adorned_goal.pred = magic.answer_pred;
+  LDL_ASSIGN_OR_RETURN(result.tuples, engine_.Query(adorned_goal, magic_db));
+  return result;
+}
+
+StatusOr<std::string> Session::Explain(std::string_view fact_text,
+                                       const ExplainOptions& options) {
+  LDL_RETURN_IF_ERROR(EnsureEvaluated({}));
+  LDL_ASSIGN_OR_RETURN(LiteralIr goal, ParseGoal(fact_text));
+  InstantiationResult inst = InstantiateArgs(factory_, goal.args, Subst());
+  if (inst.unbound) {
+    return InvalidArgumentError("Explain needs a ground fact, not a pattern");
+  }
+  if (inst.outside_universe) {
+    return InvalidArgumentError("fact lies outside the LDL1 universe");
+  }
+  LDL_ASSIGN_OR_RETURN(std::unique_ptr<Derivation> derivation,
+                       ldl::Explain(factory_, catalog_, program_, *db_,
+                                    goal.pred, inst.tuple, options));
+  return FormatDerivation(factory_, catalog_, *derivation);
+}
+
+StatusOr<std::vector<TerminationWarning>> Session::TerminationWarnings() {
+  LDL_RETURN_IF_ERROR(EnsureAnalyzed());
+  return AnalyzeTermination(catalog_, program_);
+}
+
+std::string Session::FormatFact(PredId pred, const Tuple& tuple) const {
+  return ldl::FormatFact(factory_, catalog_, pred, tuple);
+}
+
+std::string Session::FormatTuple(const Tuple& tuple) const {
+  return ldl::FormatTuple(factory_, tuple);
+}
+
+}  // namespace ldl

@@ -1,0 +1,161 @@
+// ldl::Session -- the public entry point of the library.
+//
+// Typical use:
+//
+//   ldl::Session session;
+//   LDL_RETURN_IF_ERROR(session.Load(R"(
+//     parent(adam, bob).  parent(bob, carl).
+//     ancestor(X, Y) :- parent(X, Y).
+//     ancestor(X, Y) :- parent(X, Z), ancestor(Z, Y).
+//   )"));
+//   auto answers = session.Query("ancestor(adam, X)");
+//
+// Load() accepts full LDL1.5 (sets, grouping, negation, complex head/body
+// terms); Analyze() macro-expands to LDL1, lowers, checks well-formedness
+// and admissibility, and stratifies. Evaluate() materializes the standard
+// minimal model bottom-up (Theorem 1). Query() matches a goal against the
+// model, or -- with QueryOptions::use_magic -- compiles and runs the
+// Generalized Magic Sets rewriting (§6) against a fresh database.
+#ifndef LDL1_LDL_LDL_H_
+#define LDL1_LDL_LDL_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ast/ast.h"
+#include "base/status.h"
+#include "eval/engine.h"
+#include "program/lower.h"
+#include "program/stratify.h"
+#include "program/termination.h"
+#include "program/wellformed.h"
+#include "rewrite/ldl15.h"
+#include "eval/topdown.h"
+#include "rewrite/magic.h"
+#include "semantics/explain.h"
+
+namespace ldl {
+
+struct QueryOptions {
+  // Evaluate via the Generalized Magic Sets rewriting instead of querying
+  // the materialized model. Implies evaluation of the rewritten program in
+  // a scratch database seeded with the EDB.
+  bool use_magic = false;
+  // With use_magic: use supplementary predicates (shared prefix joins).
+  bool use_supplementary = false;
+  // Answer via the memoized top-down engine (QSQ-style) instead of
+  // bottom-up evaluation -- the baseline §6's magic sets mimic. Mutually
+  // exclusive with use_magic (top-down wins if both are set).
+  bool use_topdown = false;
+  EvalOptions eval;
+};
+
+struct QueryResult {
+  std::vector<Tuple> tuples;
+  // Stats of the evaluation that answered the query (magic evaluation when
+  // use_magic, otherwise the stats of the last full Evaluate()).
+  EvalStats stats;
+};
+
+class Session {
+ public:
+  Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  // Parses and accumulates rules, facts and stored queries. May be called
+  // repeatedly; invalidates previous analysis.
+  Status Load(std::string_view source);
+
+  // Load() for a file on disk (.ldl program text).
+  Status LoadFile(const std::string& path);
+
+  // Expands LDL1.5, lowers, checks well-formedness, stratifies. Idempotent;
+  // called implicitly by Evaluate()/Query().
+  Status Analyze();
+
+  // Bottom-up stratified evaluation into the session database.
+  Status Evaluate(const EvalOptions& options = {});
+
+  // Evaluates the analyzed program under a caller-supplied layering into
+  // `db` (seeded with the EDB facts). Used to exercise Theorem 2: any valid
+  // layering yields the same standard model.
+  Status EvaluateInto(const Stratification& stratification, Database* db,
+                      const EvalOptions& options = {});
+
+  // Answers `goal_text` (e.g. "young(john, S)"). Without use_magic the
+  // session model must be (or will be) materialized via Evaluate().
+  StatusOr<QueryResult> Query(std::string_view goal_text,
+                              const QueryOptions& options = {});
+
+  // Why-provenance: a rendered derivation tree for `fact_text` (e.g.
+  // "anc(a, c)") against the materialized model. Returns kNotFound when the
+  // fact is not in the model.
+  StatusOr<std::string> Explain(std::string_view fact_text,
+                                const ExplainOptions& options = {});
+
+  // Advisory §7 finiteness warnings for the analyzed program (recursive
+  // rules constructing new terms in their heads). Analyzes on demand.
+  StatusOr<std::vector<TerminationWarning>> TerminationWarnings();
+
+  // Formats a database fact.
+  std::string FormatFact(PredId pred, const Tuple& tuple) const;
+  // Formats just the tuple: "(a, {1, 2})".
+  std::string FormatTuple(const Tuple& tuple) const;
+
+  // Configuration (set before Analyze()).
+  void set_ldl15_options(const Ldl15Options& options) { ldl15_options_ = options; }
+  void set_wellformed_options(const WellformedOptions& options) {
+    wellformed_options_ = options;
+  }
+
+  // Introspection.
+  Interner& interner() { return interner_; }
+  TermFactory& factory() { return factory_; }
+  Catalog& catalog() { return catalog_; }
+  Database& database() { return *db_; }
+  Engine& engine() { return engine_; }
+  const ProgramIr& program() const { return program_; }
+  const ProgramAst& ast() const { return ast_; }
+  const ProgramAst& expanded_ast() const { return expanded_ast_; }
+  const Stratification& stratification() const { return stratification_; }
+  const std::vector<QueryAst>& stored_queries() const { return ast_.queries; }
+  const EvalStats& last_eval_stats() const { return last_eval_stats_; }
+  bool evaluated() const { return evaluated_; }
+
+ private:
+  Status EnsureAnalyzed();
+  Status EnsureEvaluated(const EvalOptions& options);
+  StatusOr<LiteralIr> ParseGoal(std::string_view goal_text);
+
+  Interner interner_;
+  TermFactory factory_;
+  Catalog catalog_;
+  Engine engine_;
+
+  ProgramAst ast_;           // as loaded (LDL1.5)
+  ProgramAst expanded_ast_;  // after ExpandLdl15
+  ProgramIr program_;        // non-fact rules
+  std::vector<std::pair<PredId, Tuple>> edb_facts_;
+  std::vector<PredId> edb_preds_;
+  Stratification stratification_;
+  std::unique_ptr<Database> db_;
+
+  Ldl15Options ldl15_options_;
+  WellformedOptions wellformed_options_;
+  EvalStats last_eval_stats_;
+  bool analyzed_ = false;
+  bool evaluated_ = false;
+};
+
+// Formats query-result tuples as sorted fact strings, e.g.
+// "ancestor(adam, bob)" -- handy for golden tests and examples.
+std::vector<std::string> FormatFacts(const Session& session, PredId pred,
+                                     const std::vector<Tuple>& tuples);
+
+}  // namespace ldl
+
+#endif  // LDL1_LDL_LDL_H_

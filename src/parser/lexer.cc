@@ -1,0 +1,252 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+
+#include "base/str_util.h"
+
+namespace ldl {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEof: return "end of input";
+    case TokenKind::kInt: return "integer";
+    case TokenKind::kName: return "name";
+    case TokenKind::kVarName: return "variable";
+    case TokenKind::kAnonVar: return "'_'";
+    case TokenKind::kString: return "string";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kLAngle: return "'<'";
+    case TokenKind::kRAngle: return "'>'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kPipe: return "'|'";
+    case TokenKind::kIf: return "':-'";
+    case TokenKind::kQuery: return "'?'";
+    case TokenKind::kBang: return "'!'";
+    case TokenKind::kEq: return "'='";
+    case TokenKind::kNeq: return "'/='";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+  }
+  return "<token>";
+}
+
+namespace {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : source_(source) {}
+
+  StatusOr<std::vector<Token>> Run() {
+    std::vector<Token> tokens;
+    for (;;) {
+      SkipWhitespaceAndComments();
+      if (AtEnd()) break;
+      Token token;
+      token.line = line_;
+      token.column = column_;
+      Status status = Next(&token);
+      if (!status.ok()) return status;
+      tokens.push_back(std::move(token));
+    }
+    Token eof;
+    eof.kind = TokenKind::kEof;
+    eof.line = line_;
+    eof.column = column_;
+    tokens.push_back(std::move(eof));
+    return tokens;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= source_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < source_.size() ? source_[pos_ + ahead] : '\0';
+  }
+  char Advance() {
+    char c = source_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  void SkipWhitespaceAndComments() {
+    for (;;) {
+      while (!AtEnd() && isspace(static_cast<unsigned char>(Peek()))) Advance();
+      if (!AtEnd() && (Peek() == '%' || Peek() == '#')) {
+        while (!AtEnd() && Peek() != '\n') Advance();
+        continue;
+      }
+      break;
+    }
+  }
+
+  Status ErrorHere(std::string message) const {
+    return ParseError(StrCat(message, " at line ", line_, ", column ", column_));
+  }
+
+  Status Next(Token* token) {
+    char c = Peek();
+    if (isdigit(static_cast<unsigned char>(c))) return LexInt(token);
+    if (isalpha(static_cast<unsigned char>(c)) || c == '_') return LexIdent(token);
+    switch (c) {
+      case '"':
+        return LexString(token);
+      case '(': Advance(); token->kind = TokenKind::kLParen; return Status::OK();
+      case ')': Advance(); token->kind = TokenKind::kRParen; return Status::OK();
+      case '{': Advance(); token->kind = TokenKind::kLBrace; return Status::OK();
+      case '}': Advance(); token->kind = TokenKind::kRBrace; return Status::OK();
+      case '[': Advance(); token->kind = TokenKind::kLBracket; return Status::OK();
+      case ']': Advance(); token->kind = TokenKind::kRBracket; return Status::OK();
+      case ',': Advance(); token->kind = TokenKind::kComma; return Status::OK();
+      case '.': Advance(); token->kind = TokenKind::kDot; return Status::OK();
+      case '|': Advance(); token->kind = TokenKind::kPipe; return Status::OK();
+      case '~': Advance(); token->kind = TokenKind::kBang; return Status::OK();
+      case '+': Advance(); token->kind = TokenKind::kPlus; return Status::OK();
+      case '*': Advance(); token->kind = TokenKind::kStar; return Status::OK();
+      case '=': Advance(); token->kind = TokenKind::kEq; return Status::OK();
+      case '-':
+        Advance();
+        token->kind = TokenKind::kMinus;
+        return Status::OK();
+      case '!':
+        Advance();
+        if (Peek() == '=') {
+          Advance();
+          token->kind = TokenKind::kNeq;
+        } else {
+          token->kind = TokenKind::kBang;
+        }
+        return Status::OK();
+      case '/':
+        Advance();
+        if (Peek() == '=') {
+          Advance();
+          token->kind = TokenKind::kNeq;
+        } else {
+          token->kind = TokenKind::kSlash;
+        }
+        return Status::OK();
+      case ':':
+        Advance();
+        if (Peek() == '-') {
+          Advance();
+          token->kind = TokenKind::kIf;
+          return Status::OK();
+        }
+        return ErrorHere("expected ':-'");
+      case '?':
+        Advance();
+        if (Peek() == '-') Advance();
+        token->kind = TokenKind::kQuery;
+        return Status::OK();
+      case '<':
+        Advance();
+        if (Peek() == '-') {
+          Advance();
+          while (Peek() == '-') Advance();  // accept "<-" and "<--"
+          token->kind = TokenKind::kIf;
+        } else if (Peek() == '=') {
+          Advance();
+          token->kind = TokenKind::kLe;
+        } else {
+          token->kind = TokenKind::kLAngle;
+        }
+        return Status::OK();
+      case '>':
+        Advance();
+        if (Peek() == '=') {
+          Advance();
+          token->kind = TokenKind::kGe;
+        } else {
+          token->kind = TokenKind::kRAngle;
+        }
+        return Status::OK();
+      default:
+        return ErrorHere(StrCat("unexpected character '", std::string(1, c), "'"));
+    }
+  }
+
+  Status LexInt(Token* token) {
+    int64_t value = 0;
+    while (!AtEnd() && isdigit(static_cast<unsigned char>(Peek()))) {
+      value = value * 10 + (Advance() - '0');
+    }
+    if (!AtEnd() && (isalpha(static_cast<unsigned char>(Peek())) || Peek() == '_')) {
+      return ErrorHere("identifier may not start with a digit");
+    }
+    token->kind = TokenKind::kInt;
+    token->int_value = value;
+    return Status::OK();
+  }
+
+  Status LexIdent(Token* token) {
+    std::string text;
+    while (!AtEnd() && (isalnum(static_cast<unsigned char>(Peek())) ||
+                        Peek() == '_' || Peek() == '\'')) {
+      text += Advance();
+    }
+    if (text == "_") {
+      token->kind = TokenKind::kAnonVar;
+      return Status::OK();
+    }
+    char first = text[0];
+    token->kind = (isupper(static_cast<unsigned char>(first)) || first == '_')
+                      ? TokenKind::kVarName
+                      : TokenKind::kName;
+    token->text = std::move(text);
+    return Status::OK();
+  }
+
+  Status LexString(Token* token) {
+    Advance();  // opening quote
+    std::string text;
+    for (;;) {
+      if (AtEnd()) return ErrorHere("unterminated string");
+      char c = Advance();
+      if (c == '"') break;
+      if (c == '\\') {
+        if (AtEnd()) return ErrorHere("unterminated escape");
+        char escaped = Advance();
+        switch (escaped) {
+          case 'n': text += '\n'; break;
+          case 't': text += '\t'; break;
+          case '\\': text += '\\'; break;
+          case '"': text += '"'; break;
+          default:
+            return ErrorHere(StrCat("unknown escape '\\", std::string(1, escaped), "'"));
+        }
+        continue;
+      }
+      text += c;
+    }
+    token->kind = TokenKind::kString;
+    token->text = std::move(text);
+    return Status::OK();
+  }
+
+  std::string_view source_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace
+
+StatusOr<std::vector<Token>> Tokenize(std::string_view source) {
+  return Lexer(source).Run();
+}
+
+}  // namespace ldl

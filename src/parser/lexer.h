@@ -1,0 +1,64 @@
+// Tokenizer for the LDL1 surface syntax.
+//
+// Comments run from '%' or '#' to end of line. Identifiers beginning with a
+// lower-case letter are names (atoms / functors / predicate symbols);
+// identifiers beginning with an upper-case letter or '_' are variables.
+// '_' alone is the anonymous variable. The token kLAngle/kRAngle is
+// context-dependent: the parser resolves it to either a grouping bracket
+// (<X>) or a comparison (X < Y).
+#ifndef LDL1_PARSER_LEXER_H_
+#define LDL1_PARSER_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+
+namespace ldl {
+
+enum class TokenKind : uint8_t {
+  kEof = 0,
+  kInt,        // 42
+  kName,       // lower-case identifier
+  kVarName,    // upper-case or '_'-prefixed identifier
+  kAnonVar,    // bare '_'
+  kString,     // "text"
+  kLParen, kRParen,      // ( )
+  kLBrace, kRBrace,      // { }
+  kLBracket, kRBracket,  // [ ]
+  kLAngle, kRAngle,      // < >  (grouping or comparison; parser decides)
+  kComma,      // ,
+  kDot,        // .
+  kPipe,       // |
+  kIf,         // ":-" or "<-" or "<--"
+  kQuery,      // "?" or "?-"
+  kBang,       // "!" or "~" (negation)
+  kEq,         // =
+  kNeq,        // /= or !=
+  kLe,         // <=
+  kGe,         // >=
+  kPlus,       // +
+  kMinus,      // -
+  kStar,       // *
+  kSlash,      // /
+};
+
+const char* TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;       // identifier / string payload
+  int64_t int_value = 0;  // kInt payload
+  int line = 0;           // 1-based
+  int column = 0;         // 1-based
+};
+
+// Tokenizes `source`; returns a vector terminated by a kEof token, or a
+// ParseError naming the offending line/column.
+StatusOr<std::vector<Token>> Tokenize(std::string_view source);
+
+}  // namespace ldl
+
+#endif  // LDL1_PARSER_LEXER_H_

@@ -1,0 +1,360 @@
+#include "parser/parser.h"
+
+#include <utility>
+
+#include "base/str_util.h"
+#include "parser/lexer.h"
+
+namespace ldl {
+
+namespace {
+
+bool IsComparisonToken(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEq:
+    case TokenKind::kNeq:
+    case TokenKind::kLAngle:
+    case TokenKind::kLe:
+    case TokenKind::kRAngle:
+    case TokenKind::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+BuiltinKind ComparisonBuiltin(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEq: return BuiltinKind::kEq;
+    case TokenKind::kNeq: return BuiltinKind::kNeq;
+    case TokenKind::kLAngle: return BuiltinKind::kLt;
+    case TokenKind::kLe: return BuiltinKind::kLe;
+    case TokenKind::kRAngle: return BuiltinKind::kGt;
+    case TokenKind::kGe: return BuiltinKind::kGe;
+    default: return BuiltinKind::kNone;
+  }
+}
+
+// Maps operator tokens that may open a prefix built-in predicate, e.g.
+// "+(C1, C2, C)".
+const char* PrefixBuiltinName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kPlus: return "+";
+    case TokenKind::kMinus: return "-";
+    case TokenKind::kStar: return "*";
+    case TokenKind::kSlash: return "/";
+    case TokenKind::kEq: return "=";
+    case TokenKind::kNeq: return "/=";
+    default: return nullptr;
+  }
+}
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, Interner* interner)
+      : tokens_(std::move(tokens)), interner_(interner) {}
+
+  StatusOr<ProgramAst> ParseProgramToplevel() {
+    ProgramAst program;
+    while (!Check(TokenKind::kEof)) {
+      if (Check(TokenKind::kQuery)) {
+        Advance();
+        LDL_ASSIGN_OR_RETURN(LiteralAst goal, ParseLiteral());
+        LDL_RETURN_IF_ERROR(Expect(TokenKind::kDot, "after query"));
+        program.queries.push_back(QueryAst{std::move(goal)});
+        continue;
+      }
+      LDL_ASSIGN_OR_RETURN(RuleAst rule, ParseClause());
+      program.rules.push_back(std::move(rule));
+    }
+    return program;
+  }
+
+  StatusOr<TermExpr> ParseSingleTerm() {
+    LDL_ASSIGN_OR_RETURN(TermExpr term, ParseTerm());
+    LDL_RETURN_IF_ERROR(Expect(TokenKind::kEof, "after term"));
+    return term;
+  }
+
+  StatusOr<LiteralAst> ParseSingleLiteral() {
+    LDL_ASSIGN_OR_RETURN(LiteralAst literal, ParseLiteral());
+    if (Check(TokenKind::kDot)) Advance();
+    LDL_RETURN_IF_ERROR(Expect(TokenKind::kEof, "after literal"));
+    return literal;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool Check(TokenKind kind) const { return Peek().kind == kind; }
+  bool Match(TokenKind kind) {
+    if (!Check(kind)) return false;
+    Advance();
+    return true;
+  }
+
+  Status ErrorHere(std::string message) const {
+    const Token& token = Peek();
+    return ParseError(StrCat(message, ", got ", TokenKindName(token.kind),
+                             token.text.empty() ? "" : StrCat(" '", token.text, "'"),
+                             " at line ", token.line, ", column ", token.column));
+  }
+
+  Status Expect(TokenKind kind, std::string_view context) {
+    if (Match(kind)) return Status::OK();
+    return ErrorHere(StrCat("expected ", TokenKindName(kind), " ", context));
+  }
+
+  StatusOr<RuleAst> ParseClause() {
+    RuleAst rule;
+    LDL_ASSIGN_OR_RETURN(rule.head, ParseLiteral());
+    if (rule.head.negated) {
+      return ParseError("rule head may not be negated");
+    }
+    if (Match(TokenKind::kIf)) {
+      do {
+        LDL_ASSIGN_OR_RETURN(LiteralAst literal, ParseLiteral());
+        rule.body.push_back(std::move(literal));
+      } while (Match(TokenKind::kComma));
+    }
+    if (rule.head.builtin != BuiltinKind::kNone) {
+      return ParseError(StrCat("rule head may not be the built-in predicate '",
+                               BuiltinName(rule.head.builtin), "'"));
+    }
+    LDL_RETURN_IF_ERROR(Expect(TokenKind::kDot, "at end of clause"));
+    return rule;
+  }
+
+  StatusOr<LiteralAst> ParseLiteral() {
+    bool negated = false;
+    if (Match(TokenKind::kBang)) {
+      negated = true;
+    } else if (Check(TokenKind::kName) && Peek().text == "not" &&
+               Peek(1).kind != TokenKind::kLParen) {
+      Advance();
+      negated = true;
+    }
+
+    // Prefix built-in predicate: +(A, B, C), =(X, Y), ...
+    if (const char* name = PrefixBuiltinName(Peek().kind);
+        name != nullptr && Peek(1).kind == TokenKind::kLParen) {
+      Advance();  // operator token
+      Advance();  // '('
+      LDL_ASSIGN_OR_RETURN(std::vector<TermExpr> args, ParseArgs());
+      LDL_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "after built-in arguments"));
+      BuiltinKind builtin = LookupBuiltin(name, args.size());
+      if (builtin == BuiltinKind::kNone) {
+        return ParseError(StrCat("built-in '", name, "' does not take ",
+                                 args.size(), " arguments"));
+      }
+      LiteralAst literal;
+      literal.negated = negated;
+      literal.builtin = builtin;
+      literal.args = std::move(args);
+      return literal;
+    }
+
+    LDL_ASSIGN_OR_RETURN(TermExpr lhs, ParseExpr());
+
+    if (IsComparisonToken(Peek().kind)) {
+      BuiltinKind builtin = ComparisonBuiltin(Advance().kind);
+      LDL_ASSIGN_OR_RETURN(TermExpr rhs, ParseExpr());
+      LiteralAst literal;
+      literal.negated = negated;
+      literal.builtin = builtin;
+      literal.args.push_back(std::move(lhs));
+      literal.args.push_back(std::move(rhs));
+      return literal;
+    }
+
+    // Otherwise the expression must be predicate-shaped.
+    LiteralAst literal;
+    literal.negated = negated;
+    if (lhs.kind == TermExprKind::kFunc) {
+      std::string_view functor = interner_->Lookup(lhs.symbol);
+      if (functor == kTupleFunctor || StartsWith(functor, "$")) {
+        return ParseError(StrCat("expected a literal, found term '", functor, "'"));
+      }
+      literal.predicate = lhs.symbol;
+      literal.args = std::move(lhs.args);
+    } else if (lhs.kind == TermExprKind::kAtom) {
+      literal.predicate = lhs.symbol;  // 0-ary predicate
+    } else {
+      return ParseError("expected a literal");
+    }
+    literal.builtin =
+        LookupBuiltin(interner_->Lookup(literal.predicate), literal.args.size());
+    return literal;
+  }
+
+  StatusOr<std::vector<TermExpr>> ParseArgs() {
+    std::vector<TermExpr> args;
+    do {
+      LDL_ASSIGN_OR_RETURN(TermExpr term, ParseTerm());
+      args.push_back(std::move(term));
+    } while (Match(TokenKind::kComma));
+    return args;
+  }
+
+  // Infix arithmetic; lowered to $add/$sub/$mul/$div function terms.
+  StatusOr<TermExpr> ParseExpr() {
+    LDL_ASSIGN_OR_RETURN(TermExpr lhs, ParseMul());
+    while (Check(TokenKind::kPlus) || Check(TokenKind::kMinus)) {
+      const char* functor = Advance().kind == TokenKind::kPlus ? kAddFunctor : kSubFunctor;
+      LDL_ASSIGN_OR_RETURN(TermExpr rhs, ParseMul());
+      std::vector<TermExpr> args;
+      args.push_back(std::move(lhs));
+      args.push_back(std::move(rhs));
+      lhs = TermExpr::Func(interner_->Intern(functor), std::move(args));
+    }
+    return lhs;
+  }
+
+  StatusOr<TermExpr> ParseMul() {
+    LDL_ASSIGN_OR_RETURN(TermExpr lhs, ParsePrim());
+    while (Check(TokenKind::kStar) || Check(TokenKind::kSlash)) {
+      const char* functor = Advance().kind == TokenKind::kStar ? kMulFunctor : kDivFunctor;
+      LDL_ASSIGN_OR_RETURN(TermExpr rhs, ParsePrim());
+      std::vector<TermExpr> args;
+      args.push_back(std::move(lhs));
+      args.push_back(std::move(rhs));
+      lhs = TermExpr::Func(interner_->Intern(functor), std::move(args));
+    }
+    return lhs;
+  }
+
+  StatusOr<TermExpr> ParsePrim() {
+    if (Check(TokenKind::kLParen)) {
+      // In expression context a parenthesis groups a sub-expression.
+      Advance();
+      LDL_ASSIGN_OR_RETURN(TermExpr inner, ParseExpr());
+      if (Check(TokenKind::kComma)) {
+        // It was actually a tuple term: finish parsing it as one.
+        std::vector<TermExpr> elements;
+        elements.push_back(std::move(inner));
+        while (Match(TokenKind::kComma)) {
+          LDL_ASSIGN_OR_RETURN(TermExpr element, ParseTerm());
+          elements.push_back(std::move(element));
+        }
+        LDL_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "after tuple"));
+        return TermExpr::Func(interner_->Intern(kTupleFunctor), std::move(elements));
+      }
+      LDL_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "after expression"));
+      return inner;
+    }
+    return ParseTerm();
+  }
+
+  StatusOr<TermExpr> ParseTerm() {
+    const Token& token = Peek();
+    switch (token.kind) {
+      case TokenKind::kInt: {
+        Advance();
+        return TermExpr::Int(token.int_value);
+      }
+      case TokenKind::kMinus: {
+        Advance();
+        if (!Check(TokenKind::kInt)) {
+          return ErrorHere("expected an integer after unary '-'");
+        }
+        const Token& number = Advance();
+        return TermExpr::Int(-number.int_value);
+      }
+      case TokenKind::kString: {
+        Advance();
+        return TermExpr::String(interner_->Intern(token.text));
+      }
+      case TokenKind::kVarName: {
+        Advance();
+        return TermExpr::Var(interner_->Intern(token.text));
+      }
+      case TokenKind::kAnonVar: {
+        Advance();
+        return TermExpr::Var(interner_->Fresh("_anon"));
+      }
+      case TokenKind::kName: {
+        Advance();
+        Symbol name = interner_->Intern(token.text);
+        if (Match(TokenKind::kLParen)) {
+          LDL_ASSIGN_OR_RETURN(std::vector<TermExpr> args, ParseArgs());
+          LDL_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "after arguments"));
+          return TermExpr::Func(name, std::move(args));
+        }
+        return TermExpr::Atom(name);
+      }
+      case TokenKind::kLBrace: {
+        Advance();
+        std::vector<TermExpr> elements;
+        if (!Check(TokenKind::kRBrace)) {
+          LDL_ASSIGN_OR_RETURN(elements, ParseArgs());
+        }
+        LDL_RETURN_IF_ERROR(Expect(TokenKind::kRBrace, "after set elements"));
+        return TermExpr::SetEnum(std::move(elements));
+      }
+      case TokenKind::kLAngle: {
+        Advance();
+        LDL_ASSIGN_OR_RETURN(TermExpr inner, ParseTerm());
+        LDL_RETURN_IF_ERROR(Expect(TokenKind::kRAngle, "after grouped term"));
+        return TermExpr::Group(std::move(inner));
+      }
+      case TokenKind::kLBracket:
+        return ParseList();
+      case TokenKind::kLParen: {
+        Advance();
+        LDL_ASSIGN_OR_RETURN(std::vector<TermExpr> elements, ParseArgs());
+        LDL_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "after tuple"));
+        if (elements.size() == 1) return std::move(elements[0]);
+        return TermExpr::Func(interner_->Intern(kTupleFunctor), std::move(elements));
+      }
+      default:
+        return ErrorHere("expected a term");
+    }
+  }
+
+  StatusOr<TermExpr> ParseList() {
+    LDL_RETURN_IF_ERROR(Expect(TokenKind::kLBracket, "at list start"));
+    std::vector<TermExpr> elements;
+    TermExpr tail = TermExpr::Atom(interner_->Intern("[]"));
+    if (!Check(TokenKind::kRBracket)) {
+      LDL_ASSIGN_OR_RETURN(elements, ParseArgs());
+      if (Match(TokenKind::kPipe)) {
+        LDL_ASSIGN_OR_RETURN(tail, ParseTerm());
+      }
+    }
+    LDL_RETURN_IF_ERROR(Expect(TokenKind::kRBracket, "after list"));
+    Symbol cons = interner_->Intern(".");
+    for (auto it = elements.rbegin(); it != elements.rend(); ++it) {
+      std::vector<TermExpr> args;
+      args.push_back(std::move(*it));
+      args.push_back(std::move(tail));
+      tail = TermExpr::Func(cons, std::move(args));
+    }
+    return tail;
+  }
+
+  std::vector<Token> tokens_;
+  Interner* interner_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<ProgramAst> ParseProgram(std::string_view source, Interner* interner) {
+  LDL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  return Parser(std::move(tokens), interner).ParseProgramToplevel();
+}
+
+StatusOr<TermExpr> ParseTermText(std::string_view source, Interner* interner) {
+  LDL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  return Parser(std::move(tokens), interner).ParseSingleTerm();
+}
+
+StatusOr<LiteralAst> ParseLiteralText(std::string_view source, Interner* interner) {
+  LDL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  return Parser(std::move(tokens), interner).ParseSingleLiteral();
+}
+
+}  // namespace ldl

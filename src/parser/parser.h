@@ -1,0 +1,54 @@
+// Recursive-descent parser for LDL1 / LDL1.5 programs.
+//
+// Grammar (informal):
+//
+//   program    := (clause | query)*
+//   clause     := literal [ (":-" | "<-" | "<--") body ] "."
+//   query      := ("?" | "?-") literal "."
+//   body       := literal ("," literal)*
+//   literal    := ("!" | "~" | "not") predlit
+//               | prefix-builtin "(" args ")"        e.g.  +(C1, C2, C)
+//               | expr cmpop expr                    e.g.  Px + Py < 100
+//               | predlit
+//   predlit    := name [ "(" args ")" ]
+//   term       := int | -int | atom | Var | "_" | "string"
+//               | functor "(" args ")"
+//               | "{" [args] "}"                     set enumeration
+//               | "<" term ">"                       grouping / set pattern
+//               | "[" [args] ["|" term] "]"          list sugar
+//               | "(" args ")"                       tuple head term (>=2 args)
+//   expr       := mul (("+" | "-") mul)*             lowered to $add/$sub
+//   mul        := prim (("*" | "/") prim)*           lowered to $mul/$div
+//   prim       := term | "(" expr ")"
+//
+// Anonymous variables are renamed apart at parse time.
+#ifndef LDL1_PARSER_PARSER_H_
+#define LDL1_PARSER_PARSER_H_
+
+#include <string_view>
+
+#include "ast/ast.h"
+#include "base/interner.h"
+#include "base/status.h"
+
+namespace ldl {
+
+// Reserved functors produced by lowering infix arithmetic.
+inline constexpr const char kAddFunctor[] = "$add";
+inline constexpr const char kSubFunctor[] = "$sub";
+inline constexpr const char kMulFunctor[] = "$mul";
+inline constexpr const char kDivFunctor[] = "$div";
+
+// Parses a whole program (rules, facts, queries).
+StatusOr<ProgramAst> ParseProgram(std::string_view source, Interner* interner);
+
+// Parses a single term (testing / API convenience).
+StatusOr<TermExpr> ParseTermText(std::string_view source, Interner* interner);
+
+// Parses a single literal, e.g. "young(john, S)" (API convenience for
+// posing queries).
+StatusOr<LiteralAst> ParseLiteralText(std::string_view source, Interner* interner);
+
+}  // namespace ldl
+
+#endif  // LDL1_PARSER_PARSER_H_

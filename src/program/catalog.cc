@@ -1,0 +1,41 @@
+#include "program/catalog.h"
+
+#include "base/str_util.h"
+
+namespace ldl {
+
+PredId Catalog::GetOrCreate(Symbol name, uint32_t arity) {
+  uint64_t key = Key(name, arity);
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  PredId id = static_cast<PredId>(infos_.size());
+  index_.emplace(key, id);
+  PredicateInfo info;
+  info.name = name;
+  info.arity = arity;
+  info.grouped_args.assign(arity, false);
+  infos_.push_back(std::move(info));
+  return id;
+}
+
+PredId Catalog::GetOrCreate(std::string_view name, uint32_t arity) {
+  return GetOrCreate(interner_->Intern(name), arity);
+}
+
+PredId Catalog::Find(Symbol name, uint32_t arity) const {
+  auto it = index_.find(Key(name, arity));
+  return it == index_.end() ? kInvalidPred : it->second;
+}
+
+PredId Catalog::Find(std::string_view name, uint32_t arity) const {
+  Symbol symbol;
+  if (!interner_->Find(name, &symbol)) return kInvalidPred;
+  return Find(symbol, arity);
+}
+
+std::string Catalog::DebugName(PredId id) const {
+  const PredicateInfo& info = infos_[id];
+  return StrCat(interner_->Lookup(info.name), "/", info.arity);
+}
+
+}  // namespace ldl

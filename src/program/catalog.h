@@ -1,0 +1,75 @@
+// Predicate catalog: maps (name, arity) pairs to dense PredIds and records
+// per-predicate metadata discovered during lowering (EDB/IDB, grouped
+// argument positions).
+#ifndef LDL1_PROGRAM_CATALOG_H_
+#define LDL1_PROGRAM_CATALOG_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/interner.h"
+#include "base/status.h"
+
+namespace ldl {
+
+using PredId = uint32_t;
+inline constexpr PredId kInvalidPred = static_cast<PredId>(-1);
+
+struct PredicateInfo {
+  Symbol name = 0;
+  uint32_t arity = 0;
+  // True once some rule derives this predicate (it is intensional).
+  bool has_rules = false;
+  // Argument positions that are grouped (<X>) in some rule head deriving
+  // this predicate. Magic-set adornment must never bind these (§6,
+  // footnote 6).
+  std::vector<bool> grouped_args;
+
+  bool AnyGroupedArg() const {
+    for (bool g : grouped_args) {
+      if (g) return true;
+    }
+    return false;
+  }
+};
+
+class Catalog {
+ public:
+  explicit Catalog(Interner* interner) : interner_(interner) {}
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  // Returns the id for (name, arity), registering it on first sight.
+  PredId GetOrCreate(Symbol name, uint32_t arity);
+  PredId GetOrCreate(std::string_view name, uint32_t arity);
+
+  // Returns kInvalidPred if unknown.
+  PredId Find(Symbol name, uint32_t arity) const;
+  PredId Find(std::string_view name, uint32_t arity) const;
+
+  const PredicateInfo& info(PredId id) const { return infos_[id]; }
+  PredicateInfo& mutable_info(PredId id) { return infos_[id]; }
+
+  // "name/arity" for diagnostics.
+  std::string DebugName(PredId id) const;
+
+  size_t size() const { return infos_.size(); }
+
+  Interner* interner() const { return interner_; }
+
+ private:
+  static uint64_t Key(Symbol name, uint32_t arity) {
+    return (static_cast<uint64_t>(name) << 32) | arity;
+  }
+
+  Interner* interner_;
+  std::unordered_map<uint64_t, PredId> index_;
+  std::vector<PredicateInfo> infos_;
+};
+
+}  // namespace ldl
+
+#endif  // LDL1_PROGRAM_CATALOG_H_

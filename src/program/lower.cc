@@ -1,0 +1,127 @@
+#include "program/lower.h"
+
+#include "base/str_util.h"
+
+namespace ldl {
+
+StatusOr<const Term*> LowerTerm(TermFactory& factory, const TermExpr& expr) {
+  switch (expr.kind) {
+    case TermExprKind::kInt:
+      return factory.MakeInt(expr.int_value);
+    case TermExprKind::kAtom:
+      return factory.MakeAtom(expr.symbol);
+    case TermExprKind::kString:
+      return factory.MakeString(expr.symbol);
+    case TermExprKind::kVar:
+      return factory.MakeVar(expr.symbol);
+    case TermExprKind::kFunc: {
+      std::vector<const Term*> args;
+      args.reserve(expr.args.size());
+      for (const TermExpr& arg : expr.args) {
+        LDL_ASSIGN_OR_RETURN(const Term* lowered, LowerTerm(factory, arg));
+        args.push_back(lowered);
+      }
+      if (args.empty()) {
+        return NotWellFormedError("function terms must have at least one argument");
+      }
+      return factory.MakeFunc(expr.symbol, args);
+    }
+    case TermExprKind::kSetEnum: {
+      std::vector<const Term*> elements;
+      elements.reserve(expr.args.size());
+      for (const TermExpr& element : expr.args) {
+        LDL_ASSIGN_OR_RETURN(const Term* lowered, LowerTerm(factory, element));
+        elements.push_back(lowered);
+      }
+      return factory.MakeSet(elements);
+    }
+    case TermExprKind::kGroup:
+      return NotWellFormedError(
+          "grouping brackets <...> are only allowed as a top-level head "
+          "argument in LDL1; run the LDL1.5 rewriter for complex terms");
+  }
+  return InternalError("unknown TermExprKind");
+}
+
+StatusOr<LiteralIr> LowerLiteral(TermFactory& factory, Catalog& catalog,
+                                 const LiteralAst& literal) {
+  LiteralIr ir;
+  ir.negated = literal.negated;
+  ir.builtin = literal.builtin;
+  ir.args.reserve(literal.args.size());
+  for (const TermExpr& arg : literal.args) {
+    LDL_ASSIGN_OR_RETURN(const Term* lowered, LowerTerm(factory, arg));
+    ir.args.push_back(lowered);
+  }
+  if (literal.builtin == BuiltinKind::kNone) {
+    ir.pred = catalog.GetOrCreate(literal.predicate,
+                                  static_cast<uint32_t>(literal.args.size()));
+  }
+  return ir;
+}
+
+StatusOr<RuleIr> LowerRule(TermFactory& factory, Catalog& catalog,
+                           const RuleAst& rule, int source_index) {
+  RuleIr ir;
+  ir.source_index = source_index;
+  ir.head_pred = catalog.GetOrCreate(rule.head.predicate,
+                                     static_cast<uint32_t>(rule.head.args.size()));
+  catalog.mutable_info(ir.head_pred).has_rules = true;
+
+  for (size_t i = 0; i < rule.head.args.size(); ++i) {
+    const TermExpr& arg = rule.head.args[i];
+    if (arg.is_group()) {
+      if (ir.group_index >= 0) {
+        return NotWellFormedError(StrCat(
+            "rule head for ", catalog.DebugName(ir.head_pred),
+            " has more than one grouped argument (paper §2.1, restriction 2)"));
+      }
+      const TermExpr& inner = arg.args[0];
+      if (!inner.is_var()) {
+        return NotWellFormedError(
+            "a head group must contain a plain variable in LDL1; run the "
+            "LDL1.5 rewriter for complex head terms");
+      }
+      ir.group_index = static_cast<int>(i);
+      ir.group_var = inner.symbol;
+      ir.head_args.push_back(factory.MakeVar(inner.symbol));
+      catalog.mutable_info(ir.head_pred).grouped_args[i] = true;
+      continue;
+    }
+    if (arg.ContainsGroup()) {
+      return NotWellFormedError(
+          "nested grouping in head arguments requires the LDL1.5 rewriter");
+    }
+    LDL_ASSIGN_OR_RETURN(const Term* lowered, LowerTerm(factory, arg));
+    ir.head_args.push_back(lowered);
+  }
+
+  ir.body.reserve(rule.body.size());
+  for (const LiteralAst& literal : rule.body) {
+    for (const TermExpr& arg : literal.args) {
+      if (arg.ContainsGroup()) {
+        return NotWellFormedError(
+            "grouping brackets in rule bodies require the LDL1.5 rewriter "
+            "(paper §2.1, restriction 1 / §4.1)");
+      }
+    }
+    LDL_ASSIGN_OR_RETURN(LiteralIr lowered, LowerLiteral(factory, catalog, literal));
+    ir.body.push_back(std::move(lowered));
+  }
+  return ir;
+}
+
+StatusOr<ProgramIr> LowerProgram(TermFactory& factory, Catalog& catalog,
+                                 const ProgramAst& program) {
+  ProgramIr ir;
+  ir.rules.reserve(program.rules.size());
+  for (size_t i = 0; i < program.rules.size(); ++i) {
+    LDL_ASSIGN_OR_RETURN(
+        RuleIr rule,
+        LowerRule(factory, catalog, program.rules[i], static_cast<int>(i)));
+    ir.rules.push_back(std::move(rule));
+  }
+  return ir;
+}
+
+}  // namespace ldl

@@ -1,0 +1,36 @@
+// Lowering from the parse-level AST to the evaluator's RuleIr.
+//
+// Accepts plain LDL1 only: grouping brackets may appear solely as a single
+// top-level <Var> head argument. LDL1.5 constructs (nested groups, body set
+// patterns, complex head terms) must be macro-expanded first by
+// rewrite/ldl15.h; lowering reports kNotWellFormed for leftovers.
+#ifndef LDL1_PROGRAM_LOWER_H_
+#define LDL1_PROGRAM_LOWER_H_
+
+#include "ast/ast.h"
+#include "base/status.h"
+#include "program/catalog.h"
+#include "program/ir.h"
+#include "term/term.h"
+
+namespace ldl {
+
+// Lowers one parse-level term. Groups are rejected.
+StatusOr<const Term*> LowerTerm(TermFactory& factory, const TermExpr& expr);
+
+// Lowers a body/query literal (no grouping anywhere).
+StatusOr<LiteralIr> LowerLiteral(TermFactory& factory, Catalog& catalog,
+                                 const LiteralAst& literal);
+
+// Lowers a full rule, registering predicates in the catalog and recording
+// grouped argument positions on the head predicate.
+StatusOr<RuleIr> LowerRule(TermFactory& factory, Catalog& catalog,
+                           const RuleAst& rule, int source_index);
+
+// Lowers every rule of the program.
+StatusOr<ProgramIr> LowerProgram(TermFactory& factory, Catalog& catalog,
+                                 const ProgramAst& program);
+
+}  // namespace ldl
+
+#endif  // LDL1_PROGRAM_LOWER_H_

@@ -1,0 +1,127 @@
+#include "program/stratify.h"
+
+#include <algorithm>
+
+#include "base/str_util.h"
+
+namespace ldl {
+
+namespace {
+
+// Finds a strict edge inside an SCC and renders the offending cycle for the
+// error message.
+Status AdmissibilityError(const Catalog& catalog, const DepGraph& graph,
+                          const std::vector<int>& component, const DepEdge& bad) {
+  // Walk from bad.to back to bad.from inside the component (DFS).
+  std::vector<PredId> path;
+  std::vector<bool> visited(catalog.size(), false);
+  std::vector<PredId> stack = {bad.to};
+  std::vector<PredId> parent(catalog.size(), kInvalidPred);
+  visited[bad.to] = true;
+  bool found = bad.to == bad.from;
+  while (!stack.empty() && !found) {
+    PredId node = stack.back();
+    stack.pop_back();
+    for (int edge_index : graph.out_edges(node)) {
+      const DepEdge& edge = graph.edges()[edge_index];
+      if (component[edge.to] != component[bad.from] || visited[edge.to]) continue;
+      visited[edge.to] = true;
+      parent[edge.to] = node;
+      if (edge.to == bad.from) {
+        found = true;
+        break;
+      }
+      stack.push_back(edge.to);
+    }
+  }
+  std::string cycle = catalog.DebugName(bad.from);
+  StrAppend(cycle, bad.strict ? " > " : " >= ", catalog.DebugName(bad.to));
+  if (found && bad.to != bad.from) {
+    // Render the return path bad.to ->* bad.from (recorded via parent links).
+    std::vector<PredId> chain;
+    for (PredId node = bad.from; node != kInvalidPred && node != bad.to;
+         node = parent[node]) {
+      chain.push_back(node);
+    }
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      StrAppend(cycle, " >= ", catalog.DebugName(*it));
+    }
+  }
+  return NotAdmissibleError(
+      StrCat("program is not admissible (paper §3.1): dependency cycle through "
+             "a strict edge: ", cycle,
+             " (grouping or negation inside recursion)"));
+}
+
+StatusOr<Stratification> StratifyImpl(const Catalog& catalog,
+                                      const ProgramIr& program, bool fine) {
+  DepGraph graph = DepGraph::Build(catalog, program);
+  int component_count = 0;
+  std::vector<int> component = graph.StronglyConnectedComponents(&component_count);
+
+  // Admissibility: no strict edge inside a component.
+  for (const DepEdge& edge : graph.edges()) {
+    if (edge.strict && component[edge.from] == component[edge.to]) {
+      return AdmissibilityError(catalog, graph, component, edge);
+    }
+  }
+
+  // Component ids are in reverse topological order: for any edge u -> v
+  // (u depends on v), component[v] <= component[u]. Compute layers by a
+  // forward pass over components in increasing id order.
+  std::vector<int> component_layer(component_count, 0);
+  if (fine) {
+    // One layer per component, topological position as the layer index.
+    for (int c = 0; c < component_count; ++c) component_layer[c] = c;
+  } else {
+    // Minimal layering: layer(u) >= layer(v) (+1 when strict).
+    // Process predicates grouped by component in increasing id order so that
+    // all dependencies are final before a component is sealed.
+    std::vector<std::vector<PredId>> members(component_count);
+    for (PredId p = 0; p < catalog.size(); ++p) {
+      members[component[p]].push_back(p);
+    }
+    for (int c = 0; c < component_count; ++c) {
+      int layer = 0;
+      for (PredId p : members[c]) {
+        for (int edge_index : graph.out_edges(p)) {
+          const DepEdge& edge = graph.edges()[edge_index];
+          int dep_component = component[edge.to];
+          if (dep_component == c) continue;  // same SCC, non-strict
+          int required = component_layer[dep_component] + (edge.strict ? 1 : 0);
+          layer = std::max(layer, required);
+        }
+      }
+      component_layer[c] = layer;
+    }
+  }
+
+  Stratification result;
+  result.layer_of_pred.resize(catalog.size());
+  int max_layer = 0;
+  for (PredId p = 0; p < catalog.size(); ++p) {
+    result.layer_of_pred[p] = component_layer[component[p]];
+    max_layer = std::max(max_layer, result.layer_of_pred[p]);
+  }
+  result.strata.assign(max_layer + 1, {});
+  result.layer_of_rule.resize(program.rules.size());
+  for (size_t r = 0; r < program.rules.size(); ++r) {
+    int layer = result.layer_of_pred[program.rules[r].head_pred];
+    result.layer_of_rule[r] = layer;
+    result.strata[layer].push_back(static_cast<int>(r));
+  }
+  return result;
+}
+
+}  // namespace
+
+StatusOr<Stratification> Stratify(const Catalog& catalog, const ProgramIr& program) {
+  return StratifyImpl(catalog, program, /*fine=*/false);
+}
+
+StatusOr<Stratification> StratifyFine(const Catalog& catalog,
+                                      const ProgramIr& program) {
+  return StratifyImpl(catalog, program, /*fine=*/true);
+}
+
+}  // namespace ldl

@@ -1,0 +1,47 @@
+// Admissibility check and layering (stratification) of LDL1 programs
+// (paper §3.1, Lemma 3.1).
+#ifndef LDL1_PROGRAM_STRATIFY_H_
+#define LDL1_PROGRAM_STRATIFY_H_
+
+#include <vector>
+
+#include "base/status.h"
+#include "program/catalog.h"
+#include "program/depgraph.h"
+#include "program/ir.h"
+
+namespace ldl {
+
+struct Stratification {
+  // Layer number per predicate (index = PredId). EDB predicates and
+  // predicates untouched by rules are in layer 0.
+  std::vector<int> layer_of_pred;
+  // Stratum per rule (== layer of its head predicate).
+  std::vector<int> layer_of_rule;
+  // Rule indices grouped by layer, lowest first. Layer 0 may be empty of
+  // rules (pure EDB).
+  std::vector<std::vector<int>> strata;
+
+  int layer_count() const { return static_cast<int>(strata.size()); }
+};
+
+// Checks admissibility and computes the canonical (minimal) layering: each
+// predicate is placed in the lowest layer consistent with
+//   p >= q  =>  layer(p) >= layer(q)
+//   p >  q  =>  layer(p) >  layer(q).
+//
+// Returns kNotAdmissible with a cycle diagnostic when the program has a
+// dependency cycle through a strict edge (e.g. the paper's even/int
+// program), per Lemma 3.1.
+StatusOr<Stratification> Stratify(const Catalog& catalog, const ProgramIr& program);
+
+// An alternative, maximally fine layering: every strongly connected
+// component gets its own layer, in topological order. Also a valid layering
+// per §3.1; used to exercise Theorem 2 (any two layerings produce the same
+// standard model).
+StatusOr<Stratification> StratifyFine(const Catalog& catalog,
+                                      const ProgramIr& program);
+
+}  // namespace ldl
+
+#endif  // LDL1_PROGRAM_STRATIFY_H_

@@ -1,0 +1,64 @@
+#include "program/termination.h"
+
+#include "base/str_util.h"
+#include "program/depgraph.h"
+
+namespace ldl {
+
+namespace {
+
+// True if the head argument builds a new term around a variable: a function
+// application (incl. scons) or set enumeration with a variable inside.
+bool ConstructsAroundVariable(const Term* t) {
+  switch (t->kind()) {
+    case TermKind::kInt:
+    case TermKind::kAtom:
+    case TermKind::kString:
+    case TermKind::kVar:
+      return false;
+    case TermKind::kFunc:
+    case TermKind::kSet:
+      return !t->ground();
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<TerminationWarning> AnalyzeTermination(const Catalog& catalog,
+                                                   const ProgramIr& program) {
+  DepGraph graph = DepGraph::Build(catalog, program);
+  int component_count = 0;
+  std::vector<int> component = graph.StronglyConnectedComponents(&component_count);
+
+  std::vector<TerminationWarning> warnings;
+  for (size_t r = 0; r < program.rules.size(); ++r) {
+    const RuleIr& rule = program.rules[r];
+    bool recursive = false;
+    for (const LiteralIr& literal : rule.body) {
+      if (!literal.is_builtin() && !literal.negated &&
+          component[literal.pred] == component[rule.head_pred]) {
+        recursive = true;
+        break;
+      }
+    }
+    if (!recursive) continue;
+    for (size_t i = 0; i < rule.head_args.size(); ++i) {
+      if (static_cast<int>(i) == rule.group_index) continue;
+      if (ConstructsAroundVariable(rule.head_args[i])) {
+        TerminationWarning warning;
+        warning.rule_index = static_cast<int>(r);
+        warning.head_pred = rule.head_pred;
+        warning.message = StrCat(
+            "recursive rule for ", catalog.DebugName(rule.head_pred),
+            " constructs a new term in head argument ", i + 1,
+            "; the bottom-up fixpoint may be infinite (paper §7)");
+        warnings.push_back(std::move(warning));
+        break;
+      }
+    }
+  }
+  return warnings;
+}
+
+}  // namespace ldl

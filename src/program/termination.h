@@ -1,0 +1,36 @@
+// Conservative finiteness analysis (paper §7).
+//
+// The paper leaves open a syntactic guard against programs whose bottom-up
+// fixpoint is infinite (the LDL1 universe is infinite under function
+// application, e.g. int(s(X)) :- int(X)). This module implements the
+// standard conservative warning: a *recursive* rule whose head constructs
+// new terms around variables (function application, scons, or a set
+// enumeration containing variables) can grow the active domain without
+// bound. The analysis is advisory -- constructing heads are often fine
+// (e.g. the §1 tc program builds singletons {X} over a finite part
+// domain), so warnings are surfaced, not errors; Engine's max_facts /
+// max_rounds guards remain the hard backstop.
+#ifndef LDL1_PROGRAM_TERMINATION_H_
+#define LDL1_PROGRAM_TERMINATION_H_
+
+#include <string>
+#include <vector>
+
+#include "program/catalog.h"
+#include "program/ir.h"
+
+namespace ldl {
+
+struct TerminationWarning {
+  int rule_index = -1;  // index into ProgramIr::rules
+  PredId head_pred = kInvalidPred;
+  std::string message;
+};
+
+// Returns one warning per recursive rule with a constructing head.
+std::vector<TerminationWarning> AnalyzeTermination(const Catalog& catalog,
+                                                   const ProgramIr& program);
+
+}  // namespace ldl
+
+#endif  // LDL1_PROGRAM_TERMINATION_H_

@@ -1,0 +1,224 @@
+#include "program/wellformed.h"
+
+#include <algorithm>
+
+#include "base/str_util.h"
+#include "term/term_ops.h"
+
+namespace ldl {
+
+namespace {
+
+void AddVars(const Term* t, std::vector<Symbol>* vars) {
+  CollectVars(t, vars);
+}
+
+bool Bound(const std::vector<Symbol>& bound, Symbol var) {
+  return std::find(bound.begin(), bound.end(), var) != bound.end();
+}
+
+bool AllBound(const Term* t, const std::vector<Symbol>& bound) {
+  std::vector<Symbol> vars;
+  CollectVars(t, &vars);
+  for (Symbol var : vars) {
+    if (!Bound(bound, var)) return false;
+  }
+  return true;
+}
+
+void BindAll(const Term* t, std::vector<Symbol>* bound) {
+  std::vector<Symbol> vars;
+  CollectVars(t, &vars);
+  for (Symbol var : vars) {
+    if (!Bound(*bound, var)) bound->push_back(var);
+  }
+}
+
+// One propagation step for a built-in: given the currently bound variables,
+// bind whatever the built-in can produce. Returns true if new variables were
+// bound.
+bool PropagateBuiltin(const LiteralIr& literal, std::vector<Symbol>* bound) {
+  size_t before = bound->size();
+  const std::vector<const Term*>& args = literal.args;
+  auto arg_bound = [&](size_t i) { return AllBound(args[i], *bound); };
+  auto bind_arg = [&](size_t i) { BindAll(args[i], bound); };
+
+  switch (literal.builtin) {
+    case BuiltinKind::kEq:
+      // X = t binds either side once the other is fully bound.
+      if (arg_bound(0)) bind_arg(1);
+      if (arg_bound(1)) bind_arg(0);
+      break;
+    case BuiltinKind::kMember:
+      // member(X, S): S must be bound; then X gets bound by enumeration.
+      if (arg_bound(1)) bind_arg(0);
+      break;
+    case BuiltinKind::kUnion:
+      // union(S1, S2, S3): any two (or S3 alone) determine the rest by
+      // enumeration.
+      if (arg_bound(0) && arg_bound(1)) bind_arg(2);
+      if (arg_bound(2)) {
+        bind_arg(0);
+        bind_arg(1);
+      }
+      break;
+    case BuiltinKind::kSubset:
+      if (arg_bound(1)) bind_arg(0);
+      break;
+    case BuiltinKind::kIntersection:
+    case BuiltinKind::kDifference:
+      if (arg_bound(0) && arg_bound(1)) bind_arg(2);
+      break;
+    case BuiltinKind::kPartition:
+      if (arg_bound(0)) {
+        bind_arg(1);
+        bind_arg(2);
+      }
+      if (arg_bound(1) && arg_bound(2)) bind_arg(0);
+      break;
+    case BuiltinKind::kCard:
+      if (arg_bound(0)) bind_arg(1);
+      break;
+    case BuiltinKind::kPlus:
+    case BuiltinKind::kMinus:
+    case BuiltinKind::kTimes:
+    case BuiltinKind::kDiv:
+    case BuiltinKind::kMod: {
+      int bound_count = arg_bound(0) + arg_bound(1) + arg_bound(2);
+      if (bound_count >= 2) {
+        bind_arg(0);
+        bind_arg(1);
+        bind_arg(2);
+      }
+      break;
+    }
+    default:
+      break;  // comparisons bind nothing
+  }
+  return bound->size() > before;
+}
+
+// True if `var` occurs in the head or in a body literal other than `index`.
+bool OccursOutsideLiteral(const RuleIr& rule, size_t index, Symbol var) {
+  for (const Term* arg : rule.head_args) {
+    if (OccursIn(arg, var)) return true;
+  }
+  for (size_t j = 0; j < rule.body.size(); ++j) {
+    if (j == index) continue;
+    for (const Term* arg : rule.body[j].args) {
+      if (OccursIn(arg, var)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Status CheckRuleWellformed(const Catalog& catalog, const RuleIr& rule,
+                           const WellformedOptions& options) {
+  std::string where = StrCat("rule for ", catalog.DebugName(rule.head_pred));
+
+  // §2.1 (3): all body predicates of a grouping rule are positive.
+  if (options.strict_grouping_positivity && rule.is_grouping() &&
+      rule.has_negation()) {
+    return NotWellFormedError(
+        StrCat(where, ": a grouping rule may not contain negated literals "
+                      "(paper §2.1, restriction 3)"));
+  }
+
+  // Facts must be ground (§7).
+  if (rule.is_fact()) {
+    for (const Term* arg : rule.head_args) {
+      if (!arg->ground()) {
+        return NotWellFormedError(
+            StrCat(where, ": facts may not contain variables (paper §7)"));
+      }
+    }
+    return Status::OK();
+  }
+
+  if (!options.require_range_restriction) return Status::OK();
+
+  // Boundness fixpoint: positive non-builtin literals bind all their
+  // variables; built-ins propagate per their modes.
+  std::vector<Symbol> bound;
+  for (const LiteralIr& literal : rule.body) {
+    if (!literal.is_builtin() && !literal.negated) {
+      for (const Term* arg : literal.args) AddVars(arg, &bound);
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const LiteralIr& literal : rule.body) {
+      if (literal.is_builtin() && !literal.negated) {
+        changed = PropagateBuiltin(literal, &bound) || changed;
+      }
+    }
+  }
+
+  auto check_all_bound = [&](const Term* t, std::string_view context) -> Status {
+    std::vector<Symbol> vars;
+    CollectVars(t, &vars);
+    for (Symbol var : vars) {
+      if (!Bound(bound, var)) {
+        return NotWellFormedError(
+            StrCat(where, ": variable ", catalog.interner()->Lookup(var), " in ",
+                   context,
+                   " is not bound by a positive body literal (range "
+                   "restriction, paper §7)"));
+      }
+    }
+    return Status::OK();
+  };
+
+  for (const Term* arg : rule.head_args) {
+    LDL_RETURN_IF_ERROR(check_all_bound(arg, "the head"));
+  }
+  for (size_t li = 0; li < rule.body.size(); ++li) {
+    const LiteralIr& literal = rule.body[li];
+    if (literal.negated && !literal.is_builtin()) {
+      // Variables under negation may be existential (the paper's own §6
+      // rule 5 uses !a(X, Z) with Z occurring nowhere else): a variable is
+      // fine if it is positively bound, or if it occurs only inside this
+      // literal. A variable shared between two negated literals (and bound
+      // nowhere) has no sensible scope; reject it.
+      std::vector<Symbol> vars;
+      for (const Term* arg : literal.args) CollectVars(arg, &vars);
+      for (Symbol var : vars) {
+        if (Bound(bound, var)) continue;
+        bool appears_elsewhere = OccursOutsideLiteral(rule, li, var);
+        if (appears_elsewhere) {
+          return NotWellFormedError(StrCat(
+              where, ": variable ", catalog.interner()->Lookup(var),
+              " under negation is shared with other literals but never "
+              "positively bound"));
+        }
+      }
+    } else if (literal.is_builtin() && literal.negated) {
+      for (const Term* arg : literal.args) {
+        LDL_RETURN_IF_ERROR(check_all_bound(arg, "a negated built-in"));
+      }
+    } else if (literal.is_builtin()) {
+      // Comparisons require both sides bound; other built-ins were covered
+      // by the propagation fixpoint -- any residual unbound variable means
+      // no evaluable mode exists.
+      for (const Term* arg : literal.args) {
+        LDL_RETURN_IF_ERROR(check_all_bound(arg, StrCat("built-in '",
+                                                        BuiltinName(literal.builtin),
+                                                        "'")));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckProgramWellformed(const Catalog& catalog, const ProgramIr& program,
+                              const WellformedOptions& options) {
+  for (const RuleIr& rule : program.rules) {
+    LDL_RETURN_IF_ERROR(CheckRuleWellformed(catalog, rule, options));
+  }
+  return Status::OK();
+}
+
+}  // namespace ldl

@@ -1,0 +1,43 @@
+// Static well-formedness checks (paper §2.1 and the §7 syntactic safety
+// restriction).
+//
+//   * a grouping rule's body literals must all be positive (§2.1, (3));
+//   * facts must be ground (§7: "facts may not have variables as arguments");
+//   * range restriction / safety: every variable occurring in the head, in a
+//     negated literal, or in a comparison must be bound by the positive part
+//     of the body. Built-ins bind variables according to their modes (e.g.
+//     +(A, B, C) binds any one argument once the other two are bound;
+//     member(X, S) binds X once S is bound), so boundness is computed as a
+//     fixpoint.
+#ifndef LDL1_PROGRAM_WELLFORMED_H_
+#define LDL1_PROGRAM_WELLFORMED_H_
+
+#include "base/status.h"
+#include "program/catalog.h"
+#include "program/ir.h"
+
+namespace ldl {
+
+struct WellformedOptions {
+  // Enforce the §7 range restriction. On by default; the paper discusses it
+  // as the syntactic guard against grouping sets "out of" the universe.
+  bool require_range_restriction = true;
+  // Enforce §2.1 restriction (3): no negated literals in grouping-rule
+  // bodies. Off by default because the paper's own §6 running example
+  // (young(X, <Y>) <-- !a(X, Z), sg(X, Y)) violates it; stratification
+  // already guarantees the negated predicate is complete before the
+  // grouping rule fires, so the relaxed form is safe.
+  bool strict_grouping_positivity = false;
+};
+
+// Checks one rule.
+Status CheckRuleWellformed(const Catalog& catalog, const RuleIr& rule,
+                           const WellformedOptions& options = {});
+
+// Checks every rule of the program.
+Status CheckProgramWellformed(const Catalog& catalog, const ProgramIr& program,
+                              const WellformedOptions& options = {});
+
+}  // namespace ldl
+
+#endif  // LDL1_PROGRAM_WELLFORMED_H_

@@ -1,0 +1,458 @@
+#include "rewrite/ldl15.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+#include "base/str_util.h"
+
+namespace ldl {
+
+namespace {
+
+// A head argument needs no rewriting if it is group-free or is exactly <Var>.
+bool IsBaseHeadArg(const TermExpr& arg) {
+  if (!arg.ContainsGroup()) return true;
+  return arg.is_group() && arg.args[0].is_var();
+}
+
+// Collects head variables that occur outside any <...> (the paper's Z).
+void CollectVarsOutsideGroups(const TermExpr& term, std::vector<Symbol>* out) {
+  if (term.is_group()) return;
+  if (term.is_var()) {
+    if (std::find(out->begin(), out->end(), term.symbol) == out->end()) {
+      out->push_back(term.symbol);
+    }
+    return;
+  }
+  for (const TermExpr& arg : term.args) CollectVarsOutsideGroups(arg, out);
+}
+
+// Finds an outermost group in `term`, replaces it with a fresh variable, and
+// returns the extracted payload (which may contain nested groups). Returns
+// true if a group was found.
+bool ExtractOutermostGroup(TermExpr* term, Symbol fresh_var, TermExpr* payload) {
+  if (term->is_group()) {
+    *payload = std::move(term->args[0]);
+    *term = TermExpr::Var(fresh_var);
+    return true;
+  }
+  for (TermExpr& arg : term->args) {
+    if (ExtractOutermostGroup(&arg, fresh_var, payload)) return true;
+  }
+  return false;
+}
+
+// Replaces every group occurrence in `term` by a fresh variable; records the
+// (payload, variable) pairs in order.
+void SkeletonizeGroups(TermExpr* term, Interner* interner,
+                       std::vector<std::pair<TermExpr, Symbol>>* nested) {
+  if (term->is_group()) {
+    TermExpr payload = std::move(term->args[0]);
+    Symbol var = interner->Fresh("U");
+    nested->emplace_back(std::move(payload), var);
+    *term = TermExpr::Var(var);
+    return;
+  }
+  for (TermExpr& arg : term->args) SkeletonizeGroups(&arg, interner, nested);
+}
+
+// Renames every variable of `term` apart (fresh names), so a pattern can be
+// reused in an auxiliary rule without capturing the caller's variables.
+// Shared variables within the term stay shared.
+void RenameApart(TermExpr* term, Interner* interner,
+                 std::unordered_map<Symbol, Symbol>* renaming) {
+  if (term->is_var()) {
+    auto it = renaming->find(term->symbol);
+    if (it == renaming->end()) {
+      it = renaming->emplace(term->symbol, interner->Fresh("R")).first;
+    }
+    term->symbol = it->second;
+    return;
+  }
+  for (TermExpr& arg : term->args) RenameApart(&arg, interner, renaming);
+}
+
+class Expander {
+ public:
+  Expander(Interner* interner, const Ldl15Options& options)
+      : interner_(interner), options_(options) {}
+
+  StatusOr<ProgramAst> Run(const ProgramAst& program) {
+    ProgramAst result;
+    for (const QueryAst& query : program.queries) {
+      for (const TermExpr& arg : query.goal.args) {
+        if (arg.ContainsGroup()) {
+          return NotWellFormedError(
+              "grouping brackets are not allowed in queries");
+        }
+      }
+      result.queries.push_back(query);
+    }
+    std::deque<RuleAst> pending(program.rules.begin(), program.rules.end());
+    size_t generated = 0;  // rules beyond the input program
+    while (!pending.empty()) {
+      size_t total = result.rules.size() + pending.size();
+      generated = total > program.rules.size() ? total - program.rules.size() : 0;
+      if (generated > options_.max_generated_rules) {
+        return ResourceExhaustedError("LDL1.5 expansion exceeded rule limit");
+      }
+      RuleAst rule = std::move(pending.front());
+      pending.pop_front();
+      LDL_ASSIGN_OR_RETURN(bool changed, Step(&rule, &pending));
+      if (!changed) result.rules.push_back(std::move(rule));
+    }
+    return result;
+  }
+
+ private:
+  TermExpr FreshVar(std::string_view prefix) {
+    return TermExpr::Var(interner_->Fresh(prefix));
+  }
+  Symbol FreshPred(std::string_view prefix) { return interner_->Fresh(prefix); }
+
+  // Applies one rewriting step. If the rule was rewritten, pushes the
+  // replacement rules onto `pending` and returns true.
+  StatusOr<bool> Step(RuleAst* rule, std::deque<RuleAst>* pending) {
+    // §4.1 body groups first.
+    for (size_t i = 0; i < rule->body.size(); ++i) {
+      for (size_t a = 0; a < rule->body[i].args.size(); ++a) {
+        if (rule->body[i].args[a].ContainsGroup()) {
+          if (rule->body[i].negated) {
+            return NotWellFormedError(
+                "grouping brackets are not allowed inside negated literals");
+          }
+          if (rule->body[i].builtin != BuiltinKind::kNone) {
+            return NotWellFormedError(
+                "grouping brackets are not allowed inside built-in literals");
+          }
+          RewriteBodyGroup(rule, i, pending);
+          return true;
+        }
+      }
+    }
+    // §4.2 head terms.
+    std::vector<size_t> group_args;
+    for (size_t a = 0; a < rule->head.args.size(); ++a) {
+      if (rule->head.args[a].ContainsGroup()) group_args.push_back(a);
+    }
+    bool all_base = true;
+    for (size_t a : group_args) {
+      if (!IsBaseHeadArg(rule->head.args[a])) all_base = false;
+    }
+    if (group_args.size() <= 1 && all_base) return false;  // plain LDL1
+
+    if (group_args.size() >= 2) {
+      RewriteDistribution(*rule, group_args, pending);
+      return true;
+    }
+    size_t position = group_args[0];
+    const TermExpr& arg = rule->head.args[position];
+    if (arg.is_group()) {
+      LDL_RETURN_IF_ERROR(RewriteGrouping(*rule, position, pending));
+    } else {
+      LDL_RETURN_IF_ERROR(RewriteNesting(*rule, position, pending));
+    }
+    return true;
+  }
+
+  static LiteralAst MemberLit(TermExpr element, TermExpr set) {
+    LiteralAst l;
+    l.builtin = BuiltinKind::kMember;
+    l.args.push_back(std::move(element));
+    l.args.push_back(std::move(set));
+    return l;
+  }
+  static LiteralAst PredLit(Symbol pred, std::vector<TermExpr> args) {
+    LiteralAst l;
+    l.predicate = pred;
+    l.args = std::move(args);
+    return l;
+  }
+
+  // Emits the uniformity-check predicate for sets carrying `payload`-shaped
+  // elements, where candidate sets come from dom_pred/1. Returns the collect
+  // predicate: collect$(S, S) holds iff S is a non-empty set all of whose
+  // elements match `payload` (nested groups denoting non-empty sets that are
+  // recursively uniform). This generalizes the paper's flat collect rule;
+  // note the non-emptiness at every level is inherited from grouping's
+  // "non-empty finite" semantics (§2.2) and agrees with the paper's own
+  // transformation, under which collect(S, S) fails for S = {}.
+  Symbol MakeUniformityCheck(const TermExpr& payload, Symbol dom_pred,
+                             std::deque<RuleAst>* pending) {
+    // Skeleton with nested groups replaced by fresh variables, then all
+    // variables renamed apart from the caller's.
+    TermExpr skel = payload;
+    std::vector<std::pair<TermExpr, Symbol>> nested;
+    SkeletonizeGroups(&skel, interner_, &nested);
+    std::unordered_map<Symbol, Symbol> renaming;
+    RenameApart(&skel, interner_, &renaming);
+
+    Symbol collect_pred = FreshPred("collect");
+    TermExpr c = FreshVar("C");
+    TermExpr y = FreshVar("Y");
+
+    RuleAst collect_rule;
+    collect_rule.head.predicate = collect_pred;
+    collect_rule.head.args.push_back(c);
+    collect_rule.head.args.push_back(TermExpr::Group(y));
+    collect_rule.body.push_back(PredLit(dom_pred, {c}));
+    collect_rule.body.push_back(MemberLit(skel, c));
+    for (const auto& [inner_payload, u_var] : nested) {
+      TermExpr renamed_u = TermExpr::Var(renaming.at(u_var));
+      // Candidate inner sets: the values at this position across dom's sets.
+      Symbol inner_dom = FreshPred("gdom");
+      RuleAst dom_rule;
+      dom_rule.head.predicate = inner_dom;
+      dom_rule.head.args.push_back(renamed_u);
+      dom_rule.body.push_back(PredLit(dom_pred, {c}));
+      dom_rule.body.push_back(MemberLit(skel, c));
+      pending->push_back(std::move(dom_rule));
+      Symbol inner_collect = MakeUniformityCheck(inner_payload, inner_dom, pending);
+      collect_rule.body.push_back(PredLit(inner_collect, {renamed_u, renamed_u}));
+    }
+    {
+      LiteralAst eq;
+      eq.builtin = BuiltinKind::kEq;
+      eq.args.push_back(y);
+      eq.args.push_back(skel);
+      collect_rule.body.push_back(std::move(eq));
+    }
+    pending->push_back(std::move(collect_rule));
+    return collect_pred;
+  }
+
+  // Appends to `out` the literals that iterate and check one <payload>
+  // occurrence whose set value is `set_term`, with candidate sets supplied
+  // by dom_pred/1:  member(skel, set), collect$(set, set), then recursively
+  // for each nested group.
+  void EmitIterationChain(const TermExpr& payload, const TermExpr& set_term,
+                          Symbol dom_pred, std::vector<LiteralAst>* out,
+                          std::deque<RuleAst>* pending) {
+    TermExpr skel = payload;
+    std::vector<std::pair<TermExpr, Symbol>> nested;
+    SkeletonizeGroups(&skel, interner_, &nested);
+    out->push_back(MemberLit(skel, set_term));
+    Symbol collect_pred = MakeUniformityCheck(payload, dom_pred, pending);
+    out->push_back(PredLit(collect_pred, {set_term, set_term}));
+
+    for (size_t index = 0; index < nested.size(); ++index) {
+      const TermExpr& inner_payload = nested[index].first;
+      Symbol u_var = nested[index].second;
+      // Inner candidate sets for the iteration chain.
+      Symbol inner_dom = FreshPred("gdom");
+      TermExpr dskel = payload;
+      std::vector<std::pair<TermExpr, Symbol>> dnested;
+      SkeletonizeGroups(&dskel, interner_, &dnested);
+      std::unordered_map<Symbol, Symbol> renaming;
+      RenameApart(&dskel, interner_, &renaming);
+      TermExpr c = FreshVar("C");
+      RuleAst dom_rule;
+      dom_rule.head.predicate = inner_dom;
+      dom_rule.head.args.push_back(TermExpr::Var(renaming.at(dnested[index].second)));
+      dom_rule.body.push_back(PredLit(dom_pred, {c}));
+      dom_rule.body.push_back(MemberLit(dskel, c));
+      pending->push_back(std::move(dom_rule));
+
+      EmitIterationChain(inner_payload, TermExpr::Var(u_var), inner_dom, out,
+                         pending);
+    }
+  }
+
+  // §4.1: one outermost <t> occurrence in body literal `index`.
+  void RewriteBodyGroup(RuleAst* rule, size_t index, std::deque<RuleAst>* pending) {
+    LiteralAst& literal = rule->body[index];
+    Symbol set_var = interner_->Fresh("S");
+    TermExpr payload;
+    for (TermExpr& arg : literal.args) {
+      if (ExtractOutermostGroup(&arg, set_var, &payload)) break;
+    }
+    TermExpr set_term = TermExpr::Var(set_var);
+
+    // dom$(S) :- <literal with <t> replaced by S>; restricts the auxiliary
+    // predicates to sets that actually occur (bottom-up safety).
+    Symbol dom_pred = FreshPred("dom");
+    RuleAst dom_rule;
+    dom_rule.head.predicate = dom_pred;
+    dom_rule.head.args.push_back(set_term);
+    dom_rule.body.push_back(literal);
+    pending->push_back(std::move(dom_rule));
+
+    std::vector<LiteralAst> chain;
+    EmitIterationChain(payload, set_term, dom_pred, &chain, pending);
+    for (LiteralAst& l : chain) rule->body.push_back(std::move(l));
+    pending->push_back(std::move(*rule));
+  }
+
+  // §4.2 (i): several head arguments contain groups; split them off.
+  void RewriteDistribution(const RuleAst& rule, const std::vector<size_t>& positions,
+                           std::deque<RuleAst>* pending) {
+    std::vector<Symbol> z;
+    for (const TermExpr& arg : rule.head.args) CollectVarsOutsideGroups(arg, &z);
+
+    RuleAst final_rule;
+    final_rule.head.predicate = rule.head.predicate;
+    final_rule.head.args = rule.head.args;
+    final_rule.body = rule.body;
+
+    for (size_t position : positions) {
+      Symbol part_pred = FreshPred("part");
+      // part$(Z, term_i) :- body.
+      RuleAst part_rule;
+      part_rule.head.predicate = part_pred;
+      for (Symbol var : z) part_rule.head.args.push_back(TermExpr::Var(var));
+      part_rule.head.args.push_back(rule.head.args[position]);
+      part_rule.body = rule.body;
+      pending->push_back(std::move(part_rule));
+
+      // Final rule: term_i -> fresh Y_i, body += part$(Z, Y_i).
+      TermExpr fresh = FreshVar("Y");
+      final_rule.head.args[position] = fresh;
+      LiteralAst part_lit;
+      part_lit.predicate = part_pred;
+      for (Symbol var : z) part_lit.args.push_back(TermExpr::Var(var));
+      part_lit.args.push_back(fresh);
+      final_rule.body.push_back(std::move(part_lit));
+    }
+    pending->push_back(std::move(final_rule));
+  }
+
+  // Decomposes a group payload g(u_1..u_k) into its variable arguments (the
+  // paper's Y) and non-variable arguments (term_1..term_n).
+  struct Decomposition {
+    bool has_functor = false;
+    Symbol functor = 0;
+    std::vector<TermExpr> original_args;  // u_1..u_k (or the payload itself)
+    std::vector<Symbol> key_vars;         // Y (distinct, occurrence order)
+    std::vector<size_t> term_positions;   // indices of non-variable u_j
+  };
+
+  Decomposition Decompose(const TermExpr& payload) {
+    Decomposition d;
+    if (payload.kind == TermExprKind::kFunc) {
+      d.has_functor = true;
+      d.functor = payload.symbol;
+      d.original_args = payload.args;
+    } else {
+      d.original_args.push_back(payload);
+    }
+    for (size_t j = 0; j < d.original_args.size(); ++j) {
+      const TermExpr& u = d.original_args[j];
+      if (u.is_var()) {
+        if (std::find(d.key_vars.begin(), d.key_vars.end(), u.symbol) ==
+            d.key_vars.end()) {
+          d.key_vars.push_back(u.symbol);
+        }
+      } else {
+        d.term_positions.push_back(j);
+      }
+    }
+    return d;
+  }
+
+  // §4.2 (ii) / (ii)': head argument is <t>, t non-variable.
+  Status RewriteGrouping(const RuleAst& rule, size_t position,
+                         std::deque<RuleAst>* pending) {
+    const TermExpr& payload = rule.head.args[position].args[0];
+    Decomposition d = Decompose(payload);
+
+    // Key for the intermediate grouping: Y, or Z u Y under (ii)'.
+    std::vector<Symbol> key = d.key_vars;
+    if (options_.alternative_grouping) {
+      std::vector<Symbol> z;
+      for (const TermExpr& arg : rule.head.args) CollectVarsOutsideGroups(arg, &z);
+      for (Symbol var : d.key_vars) {
+        if (std::find(z.begin(), z.end(), var) == z.end()) z.push_back(var);
+      }
+      key = std::move(z);
+    }
+    return EmitGroupingChain(rule, position, /*top_level_group=*/true, key, d,
+                             pending);
+  }
+
+  // §4.2 (iii): head argument is a non-group term containing groups.
+  Status RewriteNesting(const RuleAst& rule, size_t position,
+                        std::deque<RuleAst>* pending) {
+    const TermExpr& arg = rule.head.args[position];
+    if (arg.kind != TermExprKind::kFunc) {
+      return UnsupportedError(
+          "groups nested inside set enumerations in rule heads are not "
+          "supported");
+    }
+    Decomposition d = Decompose(arg);
+    // Nesting keys by Z: all head variables outside groups (paper (iii)).
+    std::vector<Symbol> key;
+    for (const TermExpr& head_arg : rule.head.args) {
+      CollectVarsOutsideGroups(head_arg, &key);
+    }
+    return EmitGroupingChain(rule, position, /*top_level_group=*/false, key, d,
+                             pending);
+  }
+
+  // Shared emission for (ii)/(ii)'/(iii):
+  //   q$(key, term_1..term_n)   :- body.                 [recursed]
+  //   q1$(key, rebuilt)         :- q$(key, V_1..V_n).
+  //   p(..., <S> or S, ...)     :- q1$(key, S), body.    [recursed]
+  Status EmitGroupingChain(const RuleAst& rule, size_t position,
+                           bool top_level_group, const std::vector<Symbol>& key,
+                           const Decomposition& d, std::deque<RuleAst>* pending) {
+    Symbol q_pred = FreshPred("q");
+    Symbol q1_pred = FreshPred("q1");
+
+    // q$(key, term_1..term_n) :- body.
+    RuleAst q_rule;
+    q_rule.head.predicate = q_pred;
+    for (Symbol var : key) q_rule.head.args.push_back(TermExpr::Var(var));
+    for (size_t j : d.term_positions) {
+      q_rule.head.args.push_back(d.original_args[j]);
+    }
+    q_rule.body = rule.body;
+    pending->push_back(std::move(q_rule));
+
+    // q1$(key, rebuilt) :- q$(key, V_1..V_n).
+    RuleAst q1_rule;
+    q1_rule.head.predicate = q1_pred;
+    for (Symbol var : key) q1_rule.head.args.push_back(TermExpr::Var(var));
+    std::vector<TermExpr> rebuilt_args = d.original_args;
+    LiteralAst q_lit;
+    q_lit.predicate = q_pred;
+    for (Symbol var : key) q_lit.args.push_back(TermExpr::Var(var));
+    for (size_t j : d.term_positions) {
+      TermExpr fresh = FreshVar("V");
+      rebuilt_args[j] = fresh;
+      q_lit.args.push_back(fresh);
+    }
+    TermExpr rebuilt = d.has_functor
+                           ? TermExpr::Func(d.functor, std::move(rebuilt_args))
+                           : std::move(rebuilt_args[0]);
+    q1_rule.head.args.push_back(std::move(rebuilt));
+    q1_rule.body.push_back(std::move(q_lit));
+    pending->push_back(std::move(q1_rule));
+
+    // p(..., <S>/S, ...) :- q1$(key, S), body.
+    RuleAst caller;
+    caller.head = rule.head;
+    TermExpr s = FreshVar("S");
+    caller.head.args[position] = top_level_group ? TermExpr::Group(s) : s;
+    LiteralAst q1_lit;
+    q1_lit.predicate = q1_pred;
+    for (Symbol var : key) q1_lit.args.push_back(TermExpr::Var(var));
+    q1_lit.args.push_back(s);
+    caller.body.push_back(std::move(q1_lit));
+    for (const LiteralAst& literal : rule.body) caller.body.push_back(literal);
+    pending->push_back(std::move(caller));
+    return Status::OK();
+  }
+
+  Interner* interner_;
+  Ldl15Options options_;
+};
+
+}  // namespace
+
+StatusOr<ProgramAst> ExpandLdl15(const ProgramAst& program, Interner* interner,
+                                 const Ldl15Options& options) {
+  return Expander(interner, options).Run(program);
+}
+
+}  // namespace ldl

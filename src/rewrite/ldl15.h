@@ -1,0 +1,50 @@
+// LDL1.5 -> LDL1 macro expansion (paper §4).
+//
+// §4.1: grouping brackets <t> in rule *bodies* are set patterns: the
+// enclosing argument must be a set of uniform structure t, and t's
+// variables range over its elements. Each occurrence is rewritten with a
+// fresh domain/collect predicate pair:
+//
+//     p(...) :- q(..., <t>, ...), rest.
+//  =>
+//     dom$k(S)          :- q(..., S, ...).          (S fresh)
+//     collect$k(S, <Y>) :- dom$k(S), member(t, S), Y = t.   (Y fresh)
+//     p(...)            :- q(..., S, ...), member(t, S), collect$k(S, S), rest.
+//
+// collect$k(S, S) holds exactly when every element of S matches the
+// pattern t (and S is non-empty), which is the paper's uniform-structure
+// condition; member(t, S) makes t's variables range over the elements.
+// (The domain predicate makes the paper's scheme safe for bottom-up
+// evaluation: it restricts S to sets that actually occur.)
+//
+// §4.2: complex head terms are expanded with the paper's three rules --
+// (i) Distribution, (ii) Grouping, (iii) Nesting -- including the
+// degenerate cases, until each head argument is either a group-free term
+// or a top-level <Var>. The alternative semantics (ii)' (grouping keyed by
+// X and Y) is available via Ldl15Options.
+#ifndef LDL1_REWRITE_LDL15_H_
+#define LDL1_REWRITE_LDL15_H_
+
+#include "ast/ast.h"
+#include "base/interner.h"
+#include "base/status.h"
+
+namespace ldl {
+
+struct Ldl15Options {
+  // Use the paper's alternative grouping semantics (ii)': nested groups are
+  // keyed by the outer variables X *and* the enclosing functor's variables
+  // Y, instead of Y alone.
+  bool alternative_grouping = false;
+  // Safety valve for runaway expansions.
+  size_t max_generated_rules = 4096;
+};
+
+// Expands every LDL1.5 construct; the result contains grouping brackets only
+// as single top-level <Var> head arguments and is accepted by LowerProgram.
+StatusOr<ProgramAst> ExpandLdl15(const ProgramAst& program, Interner* interner,
+                                 const Ldl15Options& options = {});
+
+}  // namespace ldl
+
+#endif  // LDL1_REWRITE_LDL15_H_

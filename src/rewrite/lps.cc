@@ -1,0 +1,110 @@
+#include "rewrite/lps.h"
+
+#include <algorithm>
+
+#include "base/str_util.h"
+
+namespace ldl {
+
+Status TranslateLpsRule(const LpsRule& rule, Symbol domain_pred,
+                        Interner* interner, ProgramAst* out) {
+  if (rule.quantifiers.empty()) {
+    return InvalidArgumentError("LPS rule must have at least one quantifier");
+  }
+  if (rule.head.negated || rule.head.builtin != BuiltinKind::kNone) {
+    return InvalidArgumentError("LPS head must be a positive predicate");
+  }
+
+  size_t n = rule.quantifiers.size();
+  Symbol g_functor = interner->Fresh("g");
+  Symbol a_pred = interner->Fresh("lps_a");
+  Symbol b_pred = interner->Fresh("lps_b");
+  Symbol c_pred = interner->Fresh("lps_c");
+  Symbol d_pred = interner->Fresh("lps_d");
+
+  // Common pieces. The auxiliary predicates are keyed by *all* head
+  // variables plus the quantifier sets (the paper's sketch only passes
+  // X1..Xn, which loses head variables the body mentions, e.g. the Y of
+  // subset(X, Y)); the domain predicate enumerates value combinations for
+  // this full key.
+  std::vector<TermExpr> set_vars;      // X1..Xn
+  std::vector<TermExpr> element_vars;  // x1..xn
+  std::vector<Symbol> key_symbols;
+  for (const TermExpr& arg : rule.head.args) arg.CollectVars(&key_symbols);
+  for (const LpsQuantifier& q : rule.quantifiers) {
+    set_vars.push_back(TermExpr::Var(q.set_var));
+    element_vars.push_back(TermExpr::Var(q.element_var));
+    if (std::find(key_symbols.begin(), key_symbols.end(), q.set_var) ==
+        key_symbols.end()) {
+      key_symbols.push_back(q.set_var);
+    }
+  }
+  std::vector<TermExpr> key_vars;
+  for (Symbol symbol : key_symbols) key_vars.push_back(TermExpr::Var(symbol));
+  TermExpr g_tuple = TermExpr::Func(g_functor, element_vars);
+  auto domain_literal = [&]() {
+    LiteralAst l;
+    l.predicate = domain_pred;
+    l.args = key_vars;
+    return l;
+  };
+  auto member_literals = [&](std::vector<LiteralAst>* body) {
+    for (size_t i = 0; i < n; ++i) {
+      LiteralAst member;
+      member.builtin = BuiltinKind::kMember;
+      member.args.push_back(element_vars[i]);
+      member.args.push_back(set_vars[i]);
+      body->push_back(std::move(member));
+    }
+  };
+
+  // a(Key.., g(x1..xn)) :- dom(Key..), B1..Bm, member(x1,X1)..member(xn,Xn).
+  RuleAst a_rule;
+  a_rule.head.predicate = a_pred;
+  a_rule.head.args = key_vars;
+  a_rule.head.args.push_back(g_tuple);
+  a_rule.body.push_back(domain_literal());
+  member_literals(&a_rule.body);
+  for (const LiteralAst& b : rule.body) a_rule.body.push_back(b);
+  out->rules.push_back(std::move(a_rule));
+
+  // b(Key.., g(x1..xn)) :- dom(Key..), member(x1,X1)..member(xn,Xn).
+  RuleAst b_rule;
+  b_rule.head.predicate = b_pred;
+  b_rule.head.args = key_vars;
+  b_rule.head.args.push_back(g_tuple);
+  b_rule.body.push_back(domain_literal());
+  member_literals(&b_rule.body);
+  out->rules.push_back(std::move(b_rule));
+
+  // c(X1..Xn, <S>) :- a(X1..Xn, S).   d likewise from b.
+  for (auto [grouped, source] : {std::pair{c_pred, a_pred}, {d_pred, b_pred}}) {
+    RuleAst rule_cd;
+    TermExpr s = TermExpr::Var(interner->Fresh("S"));
+    rule_cd.head.predicate = grouped;
+    rule_cd.head.args = key_vars;
+    rule_cd.head.args.push_back(TermExpr::Group(s));
+    LiteralAst src;
+    src.predicate = source;
+    src.args = key_vars;
+    src.args.push_back(s);
+    rule_cd.body.push_back(std::move(src));
+    out->rules.push_back(std::move(rule_cd));
+  }
+
+  // head :- d(X1..Xn, S), c(X1..Xn, S).
+  RuleAst head_rule;
+  head_rule.head = rule.head;
+  TermExpr s = TermExpr::Var(interner->Fresh("S"));
+  for (auto pred : {d_pred, c_pred}) {
+    LiteralAst l;
+    l.predicate = pred;
+    l.args = key_vars;
+    l.args.push_back(s);
+    head_rule.body.push_back(std::move(l));
+  }
+  out->rules.push_back(std::move(head_rule));
+  return Status::OK();
+}
+
+}  // namespace ldl

@@ -1,0 +1,56 @@
+// Translation of LPS (Kuper's "Logic Programming with Sets") rules into
+// LDL1 (paper §5, Theorem 3).
+//
+// An LPS rule has the form
+//
+//   head <-- (ALL x1 in X1) ... (ALL xn in Xn) [B1, ..., Bm]
+//
+// and holds when the body conjunction is true for *every* combination of
+// elements of the (finite) sets X1..Xn. The translation builds, per
+// combination of X1..Xn values, the set of g-tuples for which the body
+// holds (the a/c rules) and the set of all combinations (the b/d rules);
+// the head fires when the two sets coincide.
+//
+// Bottom-up safety: LPS evaluates rules against given sets; bottom-up we
+// need the candidate set tuples to come from somewhere. The caller supplies
+// a domain predicate (arity n) whose facts enumerate the X1..Xn
+// combinations to consider -- this is the substitution documented in
+// DESIGN.md; on those combinations the translation agrees with LPS.
+//
+// Caveat reproduced from the paper: the sketch does not handle empty Xi
+// (the universally quantified body over an empty set should be vacuously
+// true, but the grouped sets are empty and the d-rule fails). The paper
+// calls fixing this "a straight-forward task"; we keep the sketch faithful
+// and document the behavior.
+#ifndef LDL1_REWRITE_LPS_H_
+#define LDL1_REWRITE_LPS_H_
+
+#include <vector>
+
+#include "ast/ast.h"
+#include "base/interner.h"
+#include "base/status.h"
+
+namespace ldl {
+
+struct LpsQuantifier {
+  Symbol element_var;  // x_i
+  Symbol set_var;      // X_i
+};
+
+struct LpsRule {
+  LiteralAst head;
+  std::vector<LpsQuantifier> quantifiers;
+  std::vector<LiteralAst> body;
+};
+
+// Translates one LPS rule. `domain_pred` names the predicate enumerating
+// candidate value combinations for all head variables plus the quantifier
+// sets (in head-occurrence order, quantifier sets not already in the head
+// appended). The generated rules are appended to `out`.
+Status TranslateLpsRule(const LpsRule& rule, Symbol domain_pred,
+                        Interner* interner, ProgramAst* out);
+
+}  // namespace ldl
+
+#endif  // LDL1_REWRITE_LPS_H_

@@ -1,0 +1,61 @@
+// Generalized Magic Sets rewriting for admissible programs (paper §6).
+//
+// Given an adorned program and a query, produces:
+//   * one magic predicate m_p__a per adorned predicate (arity = number of
+//     bound positions);
+//   * modified rules: each adorned rule gains the magic literal of its head
+//     in front of its body;
+//   * magic rules: for each adorned (including negated) body literal, a
+//     rule deriving its magic predicate from the head's magic predicate and
+//     the preceding body literals (left-to-right sip). Negated literals and
+//     built-ins that are unevaluable within the prefix are dropped from
+//     magic-rule bodies -- dropping only weakens the restriction, never the
+//     answers;
+//   * the seed fact for the query's magic predicate.
+//
+// The rewritten program is generally not layered (§6); evaluate it with
+// Engine::EvaluateSaturating. Adorned and magic predicates are reused across
+// rewrites of the same goal shape; supplementary sup$ predicates are minted
+// fresh per rewrite (cache the MagicProgram if you re-ask the same goal in a
+// hot loop).
+#ifndef LDL1_REWRITE_MAGIC_H_
+#define LDL1_REWRITE_MAGIC_H_
+
+#include <vector>
+
+#include "base/status.h"
+#include "rewrite/adorn.h"
+
+namespace ldl {
+
+struct MagicOptions {
+  // Use supplementary predicates: per rule, the chain
+  //   sup_0(bound head vars)        <- m_head(bound head args).
+  //   sup_j(live vars after L_j)    <- sup_{j-1}(...), L_j.
+  // with magic rules reading sup_{j-1} and the modified rule reading sup_n.
+  // This shares every body-prefix join between the magic rules and the
+  // modified rule instead of recomputing it ([BR87]'s supplementary magic;
+  // the paper notes in §6 that the related methods extend to LDL1 the same
+  // way). Body literals are ordered by binding propagation first, so the
+  // chain is evaluable left-to-right.
+  bool supplementary = false;
+};
+
+struct MagicProgram {
+  ProgramIr rules;
+  // Query the answers from this (adorned) predicate.
+  PredId answer_pred = kInvalidPred;
+  // Extensional predicates the evaluation database must be seeded with.
+  std::vector<PredId> edb_preds;
+  // For inspection: adorned predicate -> its magic predicate.
+  std::unordered_map<PredId, PredId> magic_of;
+};
+
+// Runs adornment + magic rewriting for `goal` over `program`.
+StatusOr<MagicProgram> MagicRewrite(const ProgramIr& program, Catalog* catalog,
+                                    const LiteralIr& goal,
+                                    const MagicOptions& options = {});
+
+}  // namespace ldl
+
+#endif  // LDL1_REWRITE_MAGIC_H_

@@ -1,0 +1,140 @@
+#include "rewrite/neg_to_grouping.h"
+
+#include "base/str_util.h"
+
+namespace ldl {
+
+namespace {
+
+bool MentionsBottom(const TermExpr& term, Symbol bottom) {
+  if ((term.kind == TermExprKind::kAtom || term.kind == TermExprKind::kFunc) &&
+      term.symbol == bottom) {
+    return true;
+  }
+  for (const TermExpr& arg : term.args) {
+    if (MentionsBottom(arg, bottom)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+StatusOr<ProgramAst> EliminateNegation(const ProgramAst& program,
+                                       Interner* interner) {
+  Symbol bottom = interner->Intern(kBottomAtom);
+  Symbol tuple_functor = interner->Intern(kTupleFunctor);
+
+  ProgramAst result;
+  result.queries = program.queries;
+
+  for (const RuleAst& rule : program.rules) {
+    for (const LiteralAst& literal : rule.body) {
+      for (const TermExpr& arg : literal.args) {
+        if (MentionsBottom(arg, bottom)) {
+          return InvalidArgumentError(
+              StrCat("programs may not mention the reserved constant ",
+                     kBottomAtom, " (paper §3.3)"));
+        }
+      }
+    }
+
+    RuleAst rewritten;
+    rewritten.head = rule.head;
+    std::vector<LiteralAst> positives;
+    for (const LiteralAst& literal : rule.body) {
+      if (!literal.negated) positives.push_back(literal);
+    }
+
+    for (const LiteralAst& literal : rule.body) {
+      if (!literal.negated) {
+        rewritten.body.push_back(literal);
+        continue;
+      }
+      if (literal.builtin != BuiltinKind::kNone) {
+        // Negated built-ins are not predicates over stored relations; the
+        // grouping transformation does not apply. Keep them.
+        rewritten.body.push_back(literal);
+        continue;
+      }
+      size_t arity = literal.args.size();
+      Symbol dom_pred = interner->Fresh("negdom");
+      Symbol ok_pred = interner->Fresh("ok");
+      Symbol g_pred = interner->Fresh("g");
+
+      // Fresh variables W1..Wn for the auxiliary rules.
+      std::vector<TermExpr> w;
+      for (size_t i = 0; i < arity; ++i) {
+        w.push_back(TermExpr::Var(interner->Fresh("W")));
+      }
+      auto w_literal = [&](Symbol pred) {
+        LiteralAst l;
+        l.predicate = pred;
+        l.args = w;
+        return l;
+      };
+
+      // dom$(T1..Tn) :- positives.
+      RuleAst dom_rule;
+      dom_rule.head.predicate = dom_pred;
+      dom_rule.head.args = literal.args;
+      dom_rule.body = positives;
+      result.rules.push_back(std::move(dom_rule));
+
+      // ok$(W.., bottom) :- dom$(W..).
+      RuleAst ok_bottom;
+      ok_bottom.head.predicate = ok_pred;
+      ok_bottom.head.args = w;
+      ok_bottom.head.args.push_back(TermExpr::Atom(bottom));
+      ok_bottom.body.push_back(w_literal(dom_pred));
+      result.rules.push_back(std::move(ok_bottom));
+
+      // ok$(W.., S) :- dom$(W..), p(W..), S = {(W..)}.
+      RuleAst ok_hit;
+      TermExpr s = TermExpr::Var(interner->Fresh("S"));
+      ok_hit.head.predicate = ok_pred;
+      ok_hit.head.args = w;
+      ok_hit.head.args.push_back(s);
+      ok_hit.body.push_back(w_literal(dom_pred));
+      {
+        LiteralAst p_lit;
+        p_lit.predicate = literal.predicate;
+        p_lit.args = w;
+        ok_hit.body.push_back(std::move(p_lit));
+        LiteralAst eq;
+        eq.builtin = BuiltinKind::kEq;
+        eq.args.push_back(s);
+        TermExpr inner = arity == 1
+                             ? w[0]
+                             : (arity == 0 ? TermExpr::Atom(interner->Intern("$unit"))
+                                           : TermExpr::Func(tuple_functor, w));
+        std::vector<TermExpr> singleton;
+        singleton.push_back(std::move(inner));
+        eq.args.push_back(TermExpr::SetEnum(std::move(singleton)));
+        ok_hit.body.push_back(std::move(eq));
+      }
+      result.rules.push_back(std::move(ok_hit));
+
+      // g$(W.., <S>) :- ok$(W.., S).
+      RuleAst g_rule;
+      g_rule.head.predicate = g_pred;
+      g_rule.head.args = w;
+      g_rule.head.args.push_back(TermExpr::Group(s));
+      g_rule.body.push_back(w_literal(ok_pred));
+      g_rule.body.back().args.push_back(s);
+      result.rules.push_back(std::move(g_rule));
+
+      // Caller: !p(T..) -> g$(T.., {bottom}).
+      LiteralAst g_call;
+      g_call.predicate = g_pred;
+      g_call.args = literal.args;
+      std::vector<TermExpr> bottom_only;
+      bottom_only.push_back(TermExpr::Atom(bottom));
+      g_call.args.push_back(TermExpr::SetEnum(std::move(bottom_only)));
+      rewritten.body.push_back(std::move(g_call));
+    }
+    result.rules.push_back(std::move(rewritten));
+  }
+  return result;
+}
+
+}  // namespace ldl

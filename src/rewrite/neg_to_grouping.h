@@ -1,0 +1,39 @@
+// The §3.3 transformation: grouping can express negation.
+//
+// Every negated body literal !p(T1..Tn) is replaced by the positive literal
+// g$(T1..Tn, {bottom}) with the auxiliary rules (bottom is the reserved
+// constant whose use is prohibited in source programs):
+//
+//   dom$(T1..Tn)    :- <the positive literals of the original body>.
+//   ok$(W.., bottom) :- dom$(W..).
+//   ok$(W.., S)      :- dom$(W..), p(W..), S = {(W..)}.
+//   g$(W.., <S>)     :- ok$(W.., S).
+//
+// For a tuple in dom$, the group for g$ is {bottom} exactly when p fails on
+// it, and {bottom, {(W..)}} otherwise. (The paper's scheme uses an
+// unrestricted fact ok(T, bottom); the dom$ predicate restricts it to the
+// active domain so the transformed program stays safe for bottom-up
+// evaluation -- it does not change the meaning on the original predicates.)
+//
+// The transformed program is positive, and it is admissible whenever the
+// input is.
+#ifndef LDL1_REWRITE_NEG_TO_GROUPING_H_
+#define LDL1_REWRITE_NEG_TO_GROUPING_H_
+
+#include "ast/ast.h"
+#include "base/interner.h"
+#include "base/status.h"
+
+namespace ldl {
+
+// The reserved constant (paper's "bottom"/_|_).
+inline constexpr const char kBottomAtom[] = "$bottom";
+
+// Rewrites every negated literal. Returns kInvalidArgument if the program
+// mentions the reserved bottom constant.
+StatusOr<ProgramAst> EliminateNegation(const ProgramAst& program,
+                                       Interner* interner);
+
+}  // namespace ldl
+
+#endif  // LDL1_REWRITE_NEG_TO_GROUPING_H_

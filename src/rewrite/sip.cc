@@ -1,0 +1,165 @@
+#include "rewrite/sip.h"
+
+#include <algorithm>
+
+#include "term/term_ops.h"
+
+namespace ldl {
+
+namespace {
+
+bool Contains(const std::vector<Symbol>& vars, Symbol var) {
+  return std::find(vars.begin(), vars.end(), var) != vars.end();
+}
+
+bool TermBound(const Term* t, const std::vector<Symbol>& bound) {
+  std::vector<Symbol> vars;
+  CollectVars(t, &vars);
+  for (Symbol var : vars) {
+    if (!Contains(bound, var)) return false;
+  }
+  return true;
+}
+
+void BindTermVars(const Term* t, std::vector<Symbol>* bound) {
+  std::vector<Symbol> vars;
+  CollectVars(t, &vars);
+  for (Symbol var : vars) {
+    if (!Contains(*bound, var)) bound->push_back(var);
+  }
+}
+
+// Static built-in binding propagation (mirrors eval/builtins.cc modes).
+bool PropagateBuiltinStatic(const LiteralIr& literal, std::vector<Symbol>* bound) {
+  auto arg_bound = [&](size_t i) { return TermBound(literal.args[i], *bound); };
+  auto bind = [&](size_t i) { BindTermVars(literal.args[i], bound); };
+  size_t before = bound->size();
+  if (literal.negated) return false;
+  switch (literal.builtin) {
+    case BuiltinKind::kEq:
+      if (arg_bound(0)) bind(1);
+      if (arg_bound(1)) bind(0);
+      break;
+    case BuiltinKind::kMember:
+    case BuiltinKind::kSubset:
+      if (arg_bound(1)) bind(0);
+      break;
+    case BuiltinKind::kUnion:
+      if (arg_bound(0) && arg_bound(1)) bind(2);
+      if (arg_bound(2)) {
+        bind(0);
+        bind(1);
+      }
+      break;
+    case BuiltinKind::kIntersection:
+    case BuiltinKind::kDifference:
+      if (arg_bound(0) && arg_bound(1)) bind(2);
+      break;
+    case BuiltinKind::kPartition:
+      if (arg_bound(0)) {
+        bind(1);
+        bind(2);
+      }
+      if (arg_bound(1) && arg_bound(2)) bind(0);
+      break;
+    case BuiltinKind::kCard:
+      if (arg_bound(0)) bind(1);
+      break;
+    case BuiltinKind::kPlus:
+    case BuiltinKind::kMinus:
+    case BuiltinKind::kTimes:
+      if (arg_bound(0) + arg_bound(1) + arg_bound(2) >= 2) {
+        bind(0);
+        bind(1);
+        bind(2);
+      }
+      break;
+    case BuiltinKind::kDiv:
+    case BuiltinKind::kMod:
+      if (arg_bound(0) && arg_bound(1)) bind(2);
+      break;
+    default:
+      break;
+  }
+  return bound->size() > before;
+}
+
+}  // namespace
+
+std::string AdornLiteral(const Catalog& catalog, const LiteralIr& literal,
+                         const std::vector<Symbol>& bound_vars) {
+  const PredicateInfo& info = catalog.info(literal.pred);
+  std::string adornment;
+  adornment.reserve(literal.args.size());
+  for (size_t i = 0; i < literal.args.size(); ++i) {
+    // §6 footnote 6: a grouped argument position never receives bindings.
+    bool grouped = i < info.grouped_args.size() && info.grouped_args[i];
+    bool bound = !grouped && TermBound(literal.args[i], bound_vars);
+    adornment.push_back(bound ? 'b' : 'f');
+  }
+  return adornment;
+}
+
+Sip BuildLeftToRightSip(const Catalog& catalog, const RuleIr& rule,
+                        const std::string& head_adornment) {
+  Sip sip;
+  sip.literal_adornments.resize(rule.body.size());
+
+  // Bound head variables: the 'b' positions, never the grouped one.
+  std::vector<Symbol> bound;
+  for (size_t i = 0; i < rule.head_args.size(); ++i) {
+    if (i < head_adornment.size() && head_adornment[i] == 'b' &&
+        static_cast<int>(i) != rule.group_index) {
+      BindTermVars(rule.head_args[i], &bound);
+    }
+  }
+
+  std::vector<int> positive_sources = {-1};  // p_h
+  for (size_t j = 0; j < rule.body.size(); ++j) {
+    const LiteralIr& literal = rule.body[j];
+    if (literal.is_builtin()) {
+      PropagateBuiltinStatic(literal, &bound);
+      continue;
+    }
+    std::string adornment = AdornLiteral(catalog, literal, bound);
+    sip.literal_adornments[j] = adornment;
+
+    // Record the arc when bindings actually flow.
+    std::vector<Symbol> label;
+    for (const Term* arg : literal.args) {
+      std::vector<Symbol> vars;
+      CollectVars(arg, &vars);
+      for (Symbol var : vars) {
+        if (Contains(bound, var) && !Contains(label, var)) label.push_back(var);
+      }
+    }
+    if (!label.empty()) {
+      SipArc arc;
+      arc.sources = positive_sources;
+      arc.target = static_cast<int>(j);
+      arc.vars = std::move(label);
+      sip.arcs.push_back(std::move(arc));
+    }
+
+    if (!literal.negated) {
+      for (const Term* arg : literal.args) BindTermVars(arg, &bound);
+      positive_sources.push_back(static_cast<int>(j));
+    }
+  }
+
+  // Built-ins may become ready late; run the propagation to fixpoint so
+  // bound_after reflects the full body.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const LiteralIr& literal : rule.body) {
+      if (literal.is_builtin()) {
+        changed = PropagateBuiltinStatic(literal, &bound) || changed;
+      }
+    }
+  }
+  sip.bound_after = std::move(bound);
+  return sip;
+}
+
+}  // namespace ldl

@@ -1,0 +1,55 @@
+// Sideways information passing strategies (paper §6).
+//
+// A sip for a rule (given the bound head arguments) describes how bindings
+// flow from the head and already-evaluated body literals into each body
+// literal. We implement the canonical left-to-right sip, subject to the
+// paper's constraints:
+//
+//   * the head's grouped argument <X> never passes bindings into the body
+//     (§6, footnote 6): the grouped head position is always free;
+//   * bindings into a callee's grouped argument positions are suppressed
+//     likewise (its adornment stays 'f' there);
+//   * negated body literals receive bindings but contribute none;
+//   * built-ins contribute bindings only once an evaluable mode is reached.
+#ifndef LDL1_REWRITE_SIP_H_
+#define LDL1_REWRITE_SIP_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "program/catalog.h"
+#include "program/ir.h"
+
+namespace ldl {
+
+struct SipArc {
+  // Source literal indices (-1 denotes the bound-head pseudo-node p_h).
+  std::vector<int> sources;
+  int target = -1;          // body literal index receiving bindings
+  std::vector<Symbol> vars; // the arc label chi
+};
+
+struct Sip {
+  // Per body literal (textual index): the adornment its predicate receives
+  // ('b'/'f' per argument). Empty string for built-ins.
+  std::vector<std::string> literal_adornments;
+  // Variables bound after the whole body (for diagnostics/tests).
+  std::vector<Symbol> bound_after;
+  std::vector<SipArc> arcs;
+};
+
+// Builds the left-to-right sip for `rule` under `head_adornment` (one char
+// per head argument; 'f' is forced at the grouped position).
+Sip BuildLeftToRightSip(const Catalog& catalog, const RuleIr& rule,
+                        const std::string& head_adornment);
+
+// Computes the adornment of one goal/literal given the currently bound
+// variables: position i is 'b' iff the argument is fully bound and not a
+// grouped argument position of the callee.
+std::string AdornLiteral(const Catalog& catalog, const LiteralIr& literal,
+                         const std::vector<Symbol>& bound_vars);
+
+}  // namespace ldl
+
+#endif  // LDL1_REWRITE_SIP_H_

@@ -1,0 +1,60 @@
+// Why-provenance over the materialized model: for a fact in the standard
+// model, reconstruct a derivation tree (which rule fired, under which
+// bindings, supported by which body facts). Negated literals are justified
+// by absence; grouping rules by the set of body solutions that contributed
+// the grouped elements.
+//
+// Explanation works against the *computed* model, so it never re-runs the
+// fixpoint; it searches for one witness rule instance per fact (facts in
+// the EDB are leaves). Cycles cannot occur on a true derivation of minimal
+// depth, but the searcher guards against them with a path set anyway.
+#ifndef LDL1_SEMANTICS_EXPLAIN_H_
+#define LDL1_SEMANTICS_EXPLAIN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "eval/engine.h"
+
+namespace ldl {
+
+struct Derivation {
+  PredId pred = kInvalidPred;
+  Tuple fact;
+  // -1 for EDB leaves; otherwise the index of the witnessing rule in the
+  // program.
+  int rule_index = -1;
+  // Supporting facts (positive body literals); empty for leaves.
+  std::vector<std::unique_ptr<Derivation>> premises;
+  // Human-readable notes for non-fact justifications ("not a(x, _)",
+  // "grouped 3 elements").
+  std::vector<std::string> notes;
+};
+
+struct ExplainOptions {
+  // Maximum derivation depth before truncating with a "..." note.
+  size_t max_depth = 32;
+};
+
+// Finds a derivation for `fact` of `pred` in `model` under `program`.
+// Returns kNotFound if the fact is not in the model or no rule witnesses it.
+StatusOr<std::unique_ptr<Derivation>> Explain(TermFactory& factory,
+                                              const Catalog& catalog,
+                                              const ProgramIr& program,
+                                              const Database& model, PredId pred,
+                                              const Tuple& fact,
+                                              const ExplainOptions& options = {});
+
+// Renders the tree with indentation:
+//   anc(a, c)                        [rule 2]
+//     parent(a, b)                   [edb]
+//     anc(b, c)                      [rule 1]
+//       parent(b, c)                 [edb]
+std::string FormatDerivation(const TermFactory& factory, const Catalog& catalog,
+                             const Derivation& derivation);
+
+}  // namespace ldl
+
+#endif  // LDL1_SEMANTICS_EXPLAIN_H_

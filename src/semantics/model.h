@@ -1,0 +1,77 @@
+// Declarative model checking for LDL1 interpretations (paper §2.2-§2.4).
+//
+// The evaluation engine *computes* the standard model; this module *checks*
+// the model-theoretic definitions directly, so the paper's semantic
+// examples (interpretations that are or are not models, the failure of
+// model intersection, non-standard minimality) are executable:
+//
+//   * IsModel: does an interpretation (a Database of U-facts) satisfy every
+//     rule, with the §2.2 truth definition for grouping heads?
+//   * FactDominated: the §2.4 domination order e <= e' on U-facts
+//     (set-valued columns compared by subset, others by equality);
+//   * FactSetDominated: A <= B iff a preserving function maps a subset of B
+//     onto A, which reduces to: every fact of A is dominated by some fact
+//     of B with the same predicate;
+//   * DifferenceDominated(M1, M2): the minimality comparison
+//     (M1 - M2) <= (M2 - M1). A model M is §2.4-minimal iff no model M'
+//     different from M has DifferenceDominated(M', M).
+#ifndef LDL1_SEMANTICS_MODEL_H_
+#define LDL1_SEMANTICS_MODEL_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+#include "eval/engine.h"
+
+namespace ldl {
+
+// A labeled fact: predicate plus argument tuple.
+using LabeledFact = std::pair<PredId, Tuple>;
+
+// True iff `interpretation` satisfies every rule of `program` (§2.2).
+// Built-in predicates have their fixed interpretation; a negated literal is
+// satisfied by fact absence. For a grouping rule, the §2.2 semantics
+// requires, per partition key, the fact carrying *exactly* the grouped set.
+// On failure (when the result is false) *counterexample names a violated
+// rule instance.
+StatusOr<bool> IsModel(TermFactory& factory, const Catalog& catalog,
+                       const ProgramIr& program, const Database& interpretation,
+                       std::string* counterexample = nullptr);
+
+// e <= e' (§2.4): same arity, set-valued positions compared by subset,
+// everything else by equality.
+bool FactDominated(TermFactory& factory, const Tuple& e, const Tuple& e_prime);
+
+// The §2.4 *remark*'s more elaborate domination on U-elements, applied
+// recursively:
+//   (i)   e <= e;
+//   (ii)  f(s1..sn) <= f(s1'..sn') if si <= si' for all i;
+//   (iii) for sets c, c': c <= c' if every a in c is dominated by some
+//         b in c'.
+// The paper claims all its results hold under this order as well.
+bool ElementDominated(TermFactory& factory, const Term* e, const Term* e_prime);
+
+// FactDominated under the elaborate order: every column compared by
+// ElementDominated.
+bool FactDeepDominated(TermFactory& factory, const Tuple& e, const Tuple& e_prime);
+
+// A <= B via a preserving function (§2.4): every fact of A is dominated by
+// some same-predicate fact of B.
+bool FactSetDominated(TermFactory& factory,
+                      const std::vector<LabeledFact>& a,
+                      const std::vector<LabeledFact>& b);
+
+// All facts of m1 that are not facts of m2, over `preds` (pass the union of
+// interesting predicates; built-ins are never stored).
+std::vector<LabeledFact> ModelDifference(const Database& m1, const Database& m2,
+                                         const std::vector<PredId>& preds);
+
+// (M1 - M2) <= (M2 - M1): M1 improves on M2 in the §2.4 order.
+bool DifferenceDominated(TermFactory& factory, const Database& m1,
+                         const Database& m2, const std::vector<PredId>& preds);
+
+}  // namespace ldl
+
+#endif  // LDL1_SEMANTICS_MODEL_H_

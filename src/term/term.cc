@@ -1,0 +1,380 @@
+#include "term/term.h"
+
+#include <algorithm>
+#include <cassert>
+#include <new>
+
+#include "base/hash.h"
+#include "base/str_util.h"
+
+namespace ldl {
+
+namespace {
+constexpr uint64_t kKindSeed[] = {0x11, 0x22, 0x33, 0x44, 0x55, 0x66};
+}  // namespace
+
+bool TermFactory::TermStructuralEq::operator()(const Term* a, const Term* b) const {
+  if (a == b) return true;
+  if (a->kind() != b->kind() || a->hash() != b->hash()) return false;
+  switch (a->kind()) {
+    case TermKind::kInt:
+      return a->int_value() == b->int_value();
+    case TermKind::kAtom:
+    case TermKind::kString:
+    case TermKind::kVar:
+      return a->symbol() == b->symbol();
+    case TermKind::kFunc:
+      if (a->symbol() != b->symbol() || a->size() != b->size()) return false;
+      break;
+    case TermKind::kSet:
+      if (a->size() != b->size()) return false;
+      break;
+  }
+  // Children are already interned, so pointer comparison suffices.
+  for (uint32_t i = 0; i < a->size(); ++i) {
+    if (a->arg(i) != b->arg(i)) return false;
+  }
+  return true;
+}
+
+uint64_t TermFactory::ComputeHash(const Term& t) {
+  uint64_t h = kKindSeed[static_cast<int>(t.kind_)];
+  switch (t.kind_) {
+    case TermKind::kInt:
+      h = HashCombine(h, HashMix(static_cast<uint64_t>(t.int_value_)));
+      break;
+    case TermKind::kAtom:
+    case TermKind::kString:
+    case TermKind::kVar:
+      h = HashCombine(h, HashMix(t.symbol_));
+      break;
+    case TermKind::kFunc:
+      h = HashCombine(h, HashMix(t.symbol_));
+      [[fallthrough]];
+    case TermKind::kSet:
+      for (uint32_t i = 0; i < t.size_; ++i) {
+        h = HashCombine(h, t.args_[i]->hash());
+      }
+      break;
+  }
+  return h;
+}
+
+TermFactory::TermFactory(Interner* interner) : interner_(interner) {
+  cons_symbol_ = interner_->Intern(".");
+  scons_symbol_ = interner_->Intern("scons");
+  tuple_symbol_ = interner_->Intern("tuple");
+  Term probe;
+  probe.kind_ = TermKind::kSet;
+  probe.ground_ = true;
+  probe.size_ = 0;
+  probe.symbol_ = 0;
+  probe.int_value_ = 0;
+  probe.args_ = nullptr;
+  probe.has_scons_ = false;
+  probe.hash_ = ComputeHash(probe);
+  empty_set_ = Intern(probe);
+  empty_list_ = MakeAtom("[]");
+}
+
+const Term* TermFactory::Intern(const Term& candidate) {
+  auto it = table_.find(&candidate);
+  if (it != table_.end()) return *it;
+  void* mem = arena_.Allocate(sizeof(Term), alignof(Term));
+  Term* owned = new (mem) Term(candidate);
+  table_.insert(owned);
+  return owned;
+}
+
+const Term* const* TermFactory::CopyArgs(std::span<const Term* const> args) {
+  const Term** copy = arena_.NewArray<const Term*>(args.size());
+  std::copy(args.begin(), args.end(), copy);
+  return copy;
+}
+
+const Term* TermFactory::MakeInt(int64_t value) {
+  Term probe;
+  probe.kind_ = TermKind::kInt;
+  probe.ground_ = true;
+  probe.has_scons_ = false;
+  probe.size_ = 0;
+  probe.symbol_ = 0;
+  probe.int_value_ = value;
+  probe.args_ = nullptr;
+  probe.hash_ = ComputeHash(probe);
+  return Intern(probe);
+}
+
+const Term* TermFactory::MakeAtom(Symbol name) {
+  Term probe;
+  probe.kind_ = TermKind::kAtom;
+  probe.ground_ = true;
+  probe.has_scons_ = false;
+  probe.size_ = 0;
+  probe.symbol_ = name;
+  probe.int_value_ = 0;
+  probe.args_ = nullptr;
+  probe.hash_ = ComputeHash(probe);
+  return Intern(probe);
+}
+
+const Term* TermFactory::MakeAtom(std::string_view name) {
+  return MakeAtom(interner_->Intern(name));
+}
+
+const Term* TermFactory::MakeString(Symbol text) {
+  Term probe;
+  probe.kind_ = TermKind::kString;
+  probe.ground_ = true;
+  probe.has_scons_ = false;
+  probe.size_ = 0;
+  probe.symbol_ = text;
+  probe.int_value_ = 0;
+  probe.args_ = nullptr;
+  probe.hash_ = ComputeHash(probe);
+  return Intern(probe);
+}
+
+const Term* TermFactory::MakeString(std::string_view text) {
+  return MakeString(interner_->Intern(text));
+}
+
+const Term* TermFactory::MakeVar(Symbol name) {
+  Term probe;
+  probe.kind_ = TermKind::kVar;
+  probe.ground_ = false;
+  probe.has_scons_ = false;
+  probe.size_ = 0;
+  probe.symbol_ = name;
+  probe.int_value_ = 0;
+  probe.args_ = nullptr;
+  probe.hash_ = ComputeHash(probe);
+  return Intern(probe);
+}
+
+const Term* TermFactory::MakeVar(std::string_view name) {
+  return MakeVar(interner_->Intern(name));
+}
+
+const Term* TermFactory::MakeFunc(Symbol name, std::span<const Term* const> args) {
+  assert(!args.empty() && "0-ary function terms are atoms");
+  Term probe;
+  probe.kind_ = TermKind::kFunc;
+  probe.ground_ = true;
+  probe.has_scons_ = (name == scons_symbol_);
+  for (const Term* arg : args) {
+    probe.ground_ = probe.ground_ && arg->ground();
+    probe.has_scons_ = probe.has_scons_ || arg->has_scons();
+  }
+  probe.size_ = static_cast<uint32_t>(args.size());
+  probe.symbol_ = name;
+  probe.int_value_ = 0;
+  probe.args_ = args.data();
+  probe.hash_ = ComputeHash(probe);
+  auto it = table_.find(&probe);
+  if (it != table_.end()) return *it;
+  probe.args_ = CopyArgs(args);
+  return Intern(probe);
+}
+
+const Term* TermFactory::MakeFunc(std::string_view name,
+                                  std::span<const Term* const> args) {
+  return MakeFunc(interner_->Intern(name), args);
+}
+
+const Term* TermFactory::MakeSet(std::span<const Term* const> elements) {
+  if (elements.empty()) return empty_set_;
+  std::vector<const Term*> canonical(elements.begin(), elements.end());
+  std::sort(canonical.begin(), canonical.end(),
+            [this](const Term* a, const Term* b) {
+              return CompareTerms(*this, a, b) < 0;
+            });
+  canonical.erase(std::unique(canonical.begin(), canonical.end()), canonical.end());
+  Term probe;
+  probe.kind_ = TermKind::kSet;
+  probe.ground_ = true;
+  probe.has_scons_ = false;
+  for (const Term* element : canonical) {
+    probe.ground_ = probe.ground_ && element->ground();
+    probe.has_scons_ = probe.has_scons_ || element->has_scons();
+  }
+  probe.size_ = static_cast<uint32_t>(canonical.size());
+  probe.symbol_ = 0;
+  probe.int_value_ = 0;
+  probe.args_ = canonical.data();
+  probe.hash_ = ComputeHash(probe);
+  auto it = table_.find(&probe);
+  if (it != table_.end()) return *it;
+  probe.args_ = CopyArgs(canonical);
+  return Intern(probe);
+}
+
+const Term* TermFactory::SetInsert(const Term* element, const Term* set) {
+  assert(set->is_set());
+  if (SetContains(set, element)) return set;
+  std::vector<const Term*> elements(set->args().begin(), set->args().end());
+  elements.push_back(element);
+  return MakeSet(elements);
+}
+
+const Term* TermFactory::SetUnion(const Term* a, const Term* b) {
+  assert(a->is_set() && b->is_set());
+  if (a == b || b->size() == 0) return a;
+  if (a->size() == 0) return b;
+  std::vector<const Term*> elements(a->args().begin(), a->args().end());
+  elements.insert(elements.end(), b->args().begin(), b->args().end());
+  return MakeSet(elements);
+}
+
+const Term* TermFactory::SetDifference(const Term* a, const Term* b) {
+  assert(a->is_set() && b->is_set());
+  if (a == b) return empty_set_;
+  std::vector<const Term*> elements;
+  for (const Term* element : a->args()) {
+    if (!SetContains(b, element)) elements.push_back(element);
+  }
+  return MakeSet(elements);
+}
+
+const Term* TermFactory::SetIntersect(const Term* a, const Term* b) {
+  assert(a->is_set() && b->is_set());
+  if (a == b) return a;
+  std::vector<const Term*> elements;
+  for (const Term* element : a->args()) {
+    if (SetContains(b, element)) elements.push_back(element);
+  }
+  return MakeSet(elements);
+}
+
+bool TermFactory::SetContains(const Term* set, const Term* element) const {
+  assert(set->is_set());
+  // Elements are sorted under CompareTerms; binary search.
+  uint32_t lo = 0;
+  uint32_t hi = set->size();
+  while (lo < hi) {
+    uint32_t mid = lo + (hi - lo) / 2;
+    int cmp = CompareTerms(*this, set->arg(mid), element);
+    if (cmp == 0) return true;
+    if (cmp < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return false;
+}
+
+const Term* TermFactory::EmptyList() { return empty_list_; }
+
+const Term* TermFactory::MakeCons(const Term* head, const Term* tail) {
+  const Term* args[] = {head, tail};
+  return MakeFunc(cons_symbol_, args);
+}
+
+bool TermFactory::IsCons(const Term* t) const {
+  return t->is_func() && t->symbol() == cons_symbol_ && t->size() == 2;
+}
+
+bool TermFactory::IsEmptyList(const Term* t) const { return t == empty_list_; }
+
+int CompareTerms(const TermFactory& factory, const Term* a, const Term* b) {
+  if (a == b) return 0;
+  if (a->kind() != b->kind()) {
+    return static_cast<int>(a->kind()) < static_cast<int>(b->kind()) ? -1 : 1;
+  }
+  const Interner& interner = *factory.interner_;
+  switch (a->kind()) {
+    case TermKind::kInt: {
+      if (a->int_value() == b->int_value()) return 0;
+      return a->int_value() < b->int_value() ? -1 : 1;
+    }
+    case TermKind::kAtom:
+    case TermKind::kString:
+    case TermKind::kVar: {
+      int cmp = interner.Lookup(a->symbol()).compare(interner.Lookup(b->symbol()));
+      return cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+    }
+    case TermKind::kFunc: {
+      int cmp = interner.Lookup(a->symbol()).compare(interner.Lookup(b->symbol()));
+      if (cmp != 0) return cmp < 0 ? -1 : 1;
+      if (a->size() != b->size()) return a->size() < b->size() ? -1 : 1;
+      for (uint32_t i = 0; i < a->size(); ++i) {
+        int arg_cmp = CompareTerms(factory, a->arg(i), b->arg(i));
+        if (arg_cmp != 0) return arg_cmp;
+      }
+      return 0;
+    }
+    case TermKind::kSet: {
+      if (a->size() != b->size()) return a->size() < b->size() ? -1 : 1;
+      for (uint32_t i = 0; i < a->size(); ++i) {
+        int arg_cmp = CompareTerms(factory, a->arg(i), b->arg(i));
+        if (arg_cmp != 0) return arg_cmp;
+      }
+      return 0;
+    }
+  }
+  return 0;
+}
+
+void TermFactory::AppendTo(const Term* t, std::string* out) const {
+  switch (t->kind()) {
+    case TermKind::kInt:
+      StrAppend(*out, t->int_value());
+      break;
+    case TermKind::kAtom:
+    case TermKind::kVar:
+      StrAppend(*out, interner_->Lookup(t->symbol()));
+      break;
+    case TermKind::kString:
+      StrAppend(*out, '"', interner_->Lookup(t->symbol()), '"');
+      break;
+    case TermKind::kFunc: {
+      if (IsCons(t) || IsEmptyList(t)) {
+        // Render list chains as [a, b | Tail].
+        StrAppend(*out, '[');
+        const Term* node = t;
+        bool first = true;
+        while (IsCons(node)) {
+          if (!first) StrAppend(*out, ", ");
+          first = false;
+          AppendTo(node->arg(0), out);
+          node = node->arg(1);
+        }
+        if (!IsEmptyList(node)) {
+          StrAppend(*out, " | ");
+          AppendTo(node, out);
+        }
+        StrAppend(*out, ']');
+        break;
+      }
+      // The reserved tuple functor (§4.2 head terms) prints as "(a, b)".
+      if (t->symbol() != tuple_symbol_) {
+        StrAppend(*out, interner_->Lookup(t->symbol()));
+      }
+      StrAppend(*out, '(');
+      for (uint32_t i = 0; i < t->size(); ++i) {
+        if (i > 0) StrAppend(*out, ", ");
+        AppendTo(t->arg(i), out);
+      }
+      StrAppend(*out, ')');
+      break;
+    }
+    case TermKind::kSet: {
+      StrAppend(*out, '{');
+      for (uint32_t i = 0; i < t->size(); ++i) {
+        if (i > 0) StrAppend(*out, ", ");
+        AppendTo(t->arg(i), out);
+      }
+      StrAppend(*out, '}');
+      break;
+    }
+  }
+}
+
+std::string TermFactory::ToString(const Term* t) const {
+  std::string out;
+  AppendTo(t, &out);
+  return out;
+}
+
+}  // namespace ldl

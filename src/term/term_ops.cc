@@ -1,0 +1,124 @@
+#include "term/term_ops.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ldl {
+
+void Subst::Bind(Symbol var, const Term* value) {
+  assert(Lookup(var) == nullptr && "variable already bound");
+  trail_.emplace_back(var, value);
+}
+
+const Term* Subst::Lookup(Symbol var) const {
+  for (auto it = trail_.rbegin(); it != trail_.rend(); ++it) {
+    if (it->first == var) return it->second;
+  }
+  return nullptr;
+}
+
+const Term* Subst::Walk(const Term* t) const {
+  while (t->is_var()) {
+    const Term* bound = Lookup(t->symbol());
+    if (bound == nullptr) return t;
+    t = bound;
+  }
+  return t;
+}
+
+void Subst::RollbackTo(size_t mark) {
+  assert(mark <= trail_.size());
+  trail_.resize(mark);
+}
+
+bool IsSconsSymbol(const TermFactory& factory, Symbol symbol) {
+  return factory.scons_symbol() == symbol;
+}
+
+const Term* ApplySubst(TermFactory& factory, const Term* t, const Subst& subst) {
+  if (t->ground() && !t->has_scons()) return t;
+  switch (t->kind()) {
+    case TermKind::kInt:
+    case TermKind::kAtom:
+    case TermKind::kString:
+      return t;
+    case TermKind::kVar: {
+      const Term* walked = subst.Walk(t);
+      if (walked == t) return t;
+      return ApplySubst(factory, walked, subst);
+    }
+    case TermKind::kFunc: {
+      std::vector<const Term*> args;
+      args.reserve(t->size());
+      for (const Term* arg : t->args()) {
+        const Term* instantiated = ApplySubst(factory, arg, subst);
+        if (instantiated == nullptr) return nullptr;
+        args.push_back(instantiated);
+      }
+      if (IsSconsSymbol(factory, t->symbol()) && t->size() == 2) {
+        const Term* element = args[0];
+        const Term* set = args[1];
+        if (set->is_set() && element->ground() && set->ground()) {
+          return factory.SetInsert(element, set);
+        }
+        if (set->ground() && !set->is_set()) {
+          // scons applied to a non-set: outside U.
+          return nullptr;
+        }
+        // Not yet fully instantiated: keep the application symbolic.
+      }
+      return factory.MakeFunc(t->symbol(), args);
+    }
+    case TermKind::kSet: {
+      std::vector<const Term*> elements;
+      elements.reserve(t->size());
+      for (const Term* element : t->args()) {
+        const Term* instantiated = ApplySubst(factory, element, subst);
+        if (instantiated == nullptr) return nullptr;
+        elements.push_back(instantiated);
+      }
+      return factory.MakeSet(elements);
+    }
+  }
+  return t;
+}
+
+namespace {
+void CollectVarsImpl(const Term* t, std::vector<Symbol>* out) {
+  if (t->ground()) return;
+  if (t->is_var()) {
+    if (std::find(out->begin(), out->end(), t->symbol()) == out->end()) {
+      out->push_back(t->symbol());
+    }
+    return;
+  }
+  for (const Term* arg : t->args()) CollectVarsImpl(arg, out);
+}
+}  // namespace
+
+void CollectVars(const Term* t, std::vector<Symbol>* out) {
+  CollectVarsImpl(t, out);
+}
+
+bool OccursIn(const Term* t, Symbol var) {
+  if (t->ground()) return false;
+  if (t->is_var()) return t->symbol() == var;
+  for (const Term* arg : t->args()) {
+    if (OccursIn(arg, var)) return true;
+  }
+  return false;
+}
+
+size_t TermSize(const Term* t) {
+  size_t total = 1;
+  for (const Term* arg : t->args()) total += TermSize(arg);
+  return total;
+}
+
+size_t TermDepth(const Term* t) {
+  size_t deepest = 0;
+  for (const Term* arg : t->args()) deepest = std::max(deepest, TermDepth(arg));
+  return deepest + 1;
+}
+
+}  // namespace ldl

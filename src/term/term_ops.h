@@ -1,0 +1,77 @@
+// Substitutions and structural operations over terms.
+#ifndef LDL1_TERM_TERM_OPS_H_
+#define LDL1_TERM_TERM_OPS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "term/term.h"
+
+namespace ldl {
+
+// A binding environment: variable symbol -> term. Implemented as a flat
+// binding trail so the evaluator can cheaply mark/rollback during
+// backtracking joins. Lookups scan backwards; rule patterns have few
+// variables, so linear scan beats hashing in practice.
+class Subst {
+ public:
+  Subst() = default;
+
+  // Binds `var` to `value`. `var` must not already be bound.
+  void Bind(Symbol var, const Term* value);
+
+  // Returns the binding for `var`, or nullptr if unbound.
+  const Term* Lookup(Symbol var) const;
+
+  // Resolves a term through variable bindings: while `t` is a bound
+  // variable, follow the binding. Returns the final term (which may still
+  // be an unbound variable or a non-ground structure).
+  const Term* Walk(const Term* t) const;
+
+  // Trail position for backtracking.
+  size_t Mark() const { return trail_.size(); }
+  // Undoes all bindings made since `mark`.
+  void RollbackTo(size_t mark);
+
+  size_t size() const { return trail_.size(); }
+  bool empty() const { return trail_.empty(); }
+  void Clear() { trail_.clear(); }
+
+  // The trail in binding order.
+  const std::vector<std::pair<Symbol, const Term*>>& trail() const { return trail_; }
+
+ private:
+  std::vector<std::pair<Symbol, const Term*>> trail_;
+};
+
+// Instantiates `t` under `subst`, rebuilding interned structure:
+//   * variables are replaced by their bindings (unbound variables remain),
+//   * scons(e, S) applications with both sides resolved are *evaluated* to
+//     the set {e} U S,
+//   * set literals are re-canonicalized after substitution.
+//
+// Returns nullptr when the instantiated term falls outside the LDL1
+// universe U, i.e. when an scons is applied to a non-set (paper §2.2,
+// restriction (1) on built-in functions). Callers treat nullptr as "no
+// U-fact produced".
+const Term* ApplySubst(TermFactory& factory, const Term* t, const Subst& subst);
+
+// Appends the distinct variables of `t` to `out` in first-occurrence order.
+void CollectVars(const Term* t, std::vector<Symbol>* out);
+
+// True if `var` occurs in `t`.
+bool OccursIn(const Term* t, Symbol var);
+
+// Number of nodes in the term tree (sets count their elements).
+size_t TermSize(const Term* t);
+
+// Depth of nesting (constants/vars have depth 1).
+size_t TermDepth(const Term* t);
+
+// True if the symbol is the reserved scons function name in `factory`'s
+// interner. scons is the one function symbol with evaluation semantics.
+bool IsSconsSymbol(const TermFactory& factory, Symbol symbol);
+
+}  // namespace ldl
+
+#endif  // LDL1_TERM_TERM_OPS_H_

@@ -1,0 +1,188 @@
+#include "term/unify.h"
+
+#include <cassert>
+
+namespace ldl {
+
+namespace {
+
+// Recursive matcher. Returns false iff the continuation asked to stop.
+// On every return the substitution is exactly as it was on entry.
+bool MatchImpl(TermFactory& factory, const Term* pattern, const Term* ground,
+               Subst* subst, const MatchCont& yield);
+
+// Matches patterns[i..] against ground[i..] conjunctively.
+bool MatchSeq(TermFactory& factory, std::span<const Term* const> patterns,
+              std::span<const Term* const> ground, size_t i, Subst* subst,
+              const MatchCont& yield) {
+  if (i == patterns.size()) return yield();
+  return MatchImpl(factory, patterns[i], ground[i], subst,
+                   [&]() { return MatchSeq(factory, patterns, ground, i + 1, subst, yield); });
+}
+
+// Set matching: assign each pattern element to some element of the ground
+// set such that the instantiated elements cover the ground set exactly.
+// `cover` counts how many pattern elements are currently matched to each
+// ground element; `uncovered` counts ground elements with cover 0.
+bool MatchSetElements(TermFactory& factory, const Term* pattern, const Term* ground,
+                      uint32_t i, std::vector<uint32_t>* cover, uint32_t* uncovered,
+                      Subst* subst, const MatchCont& yield) {
+  uint32_t remaining = pattern->size() - i;
+  if (*uncovered > remaining) return true;  // prune: cannot cover the rest
+  if (i == pattern->size()) {
+    assert(*uncovered == 0);
+    return yield();
+  }
+  const Term* element_pattern = pattern->arg(i);
+  for (uint32_t j = 0; j < ground->size(); ++j) {
+    bool keep_going = MatchImpl(
+        factory, element_pattern, ground->arg(j), subst, [&]() {
+          if ((*cover)[j]++ == 0) --*uncovered;
+          bool cont = MatchSetElements(factory, pattern, ground, i + 1, cover,
+                                       uncovered, subst, yield);
+          if (--(*cover)[j] == 0) ++*uncovered;
+          return cont;
+        });
+    if (!keep_going) return false;
+  }
+  return true;
+}
+
+bool MatchImpl(TermFactory& factory, const Term* pattern, const Term* ground,
+               Subst* subst, const MatchCont& yield) {
+  assert(ground->ground() && !ground->has_scons());
+  pattern = subst->Walk(pattern);
+
+  if (pattern->is_var()) {
+    size_t mark = subst->Mark();
+    subst->Bind(pattern->symbol(), ground);
+    bool keep_going = yield();
+    subst->RollbackTo(mark);
+    return keep_going;
+  }
+
+  if (pattern->ground()) {
+    const Term* value = pattern;
+    if (pattern->has_scons()) {
+      // Evaluate residual scons applications; nullptr means outside U.
+      value = ApplySubst(factory, pattern, *subst);
+      if (value == nullptr) return true;
+    }
+    return value == ground ? yield() : true;
+  }
+
+  switch (pattern->kind()) {
+    case TermKind::kInt:
+    case TermKind::kAtom:
+    case TermKind::kString:
+    case TermKind::kVar:
+      return true;  // unreachable: handled above
+    case TermKind::kFunc: {
+      if (IsSconsSymbol(factory, pattern->symbol()) && pattern->size() == 2) {
+        // scons(E, S) denotes {E} U S: the ground side must be a non-empty
+        // set G; E matches an element x of G and S matches G or G \ {x}.
+        if (!ground->is_set() || ground->size() == 0) return true;
+        const Term* element_pattern = pattern->arg(0);
+        const Term* set_pattern = pattern->arg(1);
+        for (uint32_t j = 0; j < ground->size(); ++j) {
+          const Term* x = ground->arg(j);
+          bool keep_going = MatchImpl(factory, element_pattern, x, subst, [&]() {
+            // Candidate 1: S = G \ {x}.
+            std::vector<const Term*> rest;
+            rest.reserve(ground->size() - 1);
+            for (uint32_t k = 0; k < ground->size(); ++k) {
+              if (k != j) rest.push_back(ground->arg(k));
+            }
+            const Term* without = factory.MakeSet(rest);
+            if (!MatchImpl(factory, set_pattern, without, subst, yield)) return false;
+            // Candidate 2: S = G (x also in S).
+            return MatchImpl(factory, set_pattern, ground, subst, yield);
+          });
+          if (!keep_going) return false;
+        }
+        return true;
+      }
+      if (!ground->is_func() || ground->symbol() != pattern->symbol() ||
+          ground->size() != pattern->size()) {
+        return true;
+      }
+      return MatchSeq(factory, pattern->args(), ground->args(), 0, subst, yield);
+    }
+    case TermKind::kSet: {
+      if (!ground->is_set()) return true;
+      if (pattern->size() == 0) return ground->size() == 0 ? yield() : true;
+      if (ground->size() == 0) return true;  // non-empty pattern vs {}
+      std::vector<uint32_t> cover(ground->size(), 0);
+      uint32_t uncovered = ground->size();
+      return MatchSetElements(factory, pattern, ground, 0, &cover, &uncovered,
+                              subst, yield);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool MatchTerm(TermFactory& factory, const Term* pattern, const Term* ground,
+               Subst* subst, const MatchCont& yield) {
+  size_t mark = subst->Mark();
+  bool keep_going = MatchImpl(factory, pattern, ground, subst, yield);
+  subst->RollbackTo(mark);
+  return keep_going;
+}
+
+bool MatchArgs(TermFactory& factory, std::span<const Term* const> patterns,
+               std::span<const Term* const> ground, Subst* subst,
+               const MatchCont& yield) {
+  assert(patterns.size() == ground.size());
+  size_t mark = subst->Mark();
+  bool keep_going = MatchSeq(factory, patterns, ground, 0, subst, yield);
+  subst->RollbackTo(mark);
+  return keep_going;
+}
+
+namespace {
+
+bool UnifyImpl(TermFactory& factory, const Term* a, const Term* b, Subst* subst) {
+  a = subst->Walk(a);
+  b = subst->Walk(b);
+  if (a == b) return true;
+  if (a->is_var()) {
+    const Term* bound_b = ApplySubst(factory, b, *subst);
+    if (bound_b == nullptr || OccursIn(bound_b, a->symbol())) return false;
+    subst->Bind(a->symbol(), bound_b);
+    return true;
+  }
+  if (b->is_var()) return UnifyImpl(factory, b, a, subst);
+  if (a->kind() != b->kind()) return false;
+  switch (a->kind()) {
+    case TermKind::kInt:
+      return a->int_value() == b->int_value();
+    case TermKind::kAtom:
+    case TermKind::kString:
+      return a->symbol() == b->symbol();
+    case TermKind::kVar:
+      return false;  // unreachable
+    case TermKind::kFunc:
+      if (a->symbol() != b->symbol() || a->size() != b->size()) return false;
+      break;
+    case TermKind::kSet:
+      if (a->size() != b->size()) return false;
+      break;
+  }
+  for (uint32_t i = 0; i < a->size(); ++i) {
+    if (!UnifyImpl(factory, a->arg(i), b->arg(i), subst)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool UnifyRigid(TermFactory& factory, const Term* a, const Term* b, Subst* subst) {
+  size_t mark = subst->Mark();
+  if (UnifyImpl(factory, a, b, subst)) return true;
+  subst->RollbackTo(mark);
+  return false;
+}
+
+}  // namespace ldl

@@ -1,0 +1,46 @@
+// Pattern matching and unification over LDL1 terms.
+//
+// Bottom-up evaluation matches rule patterns (terms with variables) against
+// ground U-facts. Because set terms are interpreted as mathematical sets,
+// matching is *enumerative*: the pattern {X, Y} matches the ground set
+// {1, 2} in two ways (X=1,Y=2 and X=2,Y=1) and matches {1} with X=Y=1.
+// Likewise scons(X, S) matches a ground set G by choosing X in G and
+// S = G or S = G \ {X}. MatchTerm therefore takes a continuation that is
+// invoked once per solution.
+#ifndef LDL1_TERM_UNIFY_H_
+#define LDL1_TERM_UNIFY_H_
+
+#include <functional>
+
+#include "term/term.h"
+#include "term/term_ops.h"
+
+namespace ldl {
+
+// Continuation invoked with *subst extended to a solution. Return true to
+// continue enumerating, false to stop.
+using MatchCont = std::function<bool()>;
+
+// Enumerates all extensions of *subst under which `pattern` instantiated
+// equals `ground`. `ground` must be ground. Returns false iff the
+// continuation stopped the enumeration (returned false); the substitution is
+// rolled back to its entry state before returning either way.
+bool MatchTerm(TermFactory& factory, const Term* pattern, const Term* ground,
+               Subst* subst, const MatchCont& yield);
+
+// Matches a vector of patterns against a vector of ground terms
+// simultaneously (the common case: rule literal args against a fact tuple).
+bool MatchArgs(TermFactory& factory, std::span<const Term* const> patterns,
+               std::span<const Term* const> ground, Subst* subst,
+               const MatchCont& yield);
+
+// Deterministic first-order unification of two patterns, treating set terms
+// as rigid (two set patterns unify only element-wise in canonical order) and
+// with the occurs check. Used by rewrite passes and tests; evaluation uses
+// MatchTerm. On success extends *subst and returns true; on failure the
+// substitution is rolled back and the function returns false.
+bool UnifyRigid(TermFactory& factory, const Term* a, const Term* b, Subst* subst);
+
+}  // namespace ldl
+
+#endif  // LDL1_TERM_UNIFY_H_

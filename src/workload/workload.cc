@@ -1,0 +1,148 @@
+#include "workload/workload.h"
+
+#include <vector>
+
+#include "base/str_util.h"
+
+namespace ldl {
+
+std::string ParentChain(size_t n, const std::string& pred) {
+  std::string out;
+  out.reserve(n * (pred.size() + 16));
+  for (size_t i = 0; i < n; ++i) {
+    StrAppend(out, pred, "(p", i, ", p", i + 1, ").\n");
+  }
+  return out;
+}
+
+std::string ParentRandomTree(size_t n, uint64_t seed, const std::string& pred) {
+  Rng rng(seed);
+  std::string out;
+  out.reserve(n * (pred.size() + 16));
+  for (size_t i = 1; i < n; ++i) {
+    StrAppend(out, pred, "(p", rng.Below(i), ", p", i, ").\n");
+  }
+  return out;
+}
+
+std::string RandomGraph(size_t nodes, size_t edges, uint64_t seed,
+                        const std::string& pred) {
+  Rng rng(seed);
+  std::string out;
+  out.reserve(edges * (pred.size() + 16));
+  for (size_t e = 0; e < edges; ++e) {
+    uint64_t from = rng.Below(nodes);
+    uint64_t to = rng.Below(nodes);
+    if (from == to) to = (to + 1) % nodes;
+    StrAppend(out, pred, "(n", from, ", n", to, ").\n");
+  }
+  return out;
+}
+
+SameGenerationWorkload MakeSameGeneration(size_t roots, size_t branching,
+                                          size_t depth) {
+  SameGenerationWorkload result;
+  std::string& out = result.facts;
+  size_t next_id = 0;
+  std::vector<size_t> root_ids;
+  auto name = [](size_t id) { return StrCat("x", id); };
+
+  for (size_t r = 0; r < roots; ++r) root_ids.push_back(next_id++);
+  for (size_t i = 0; i < root_ids.size(); ++i) {
+    for (size_t j = i + 1; j < root_ids.size(); ++j) {
+      StrAppend(out, "siblings(", name(root_ids[i]), ", ", name(root_ids[j]),
+                ").\n");
+      StrAppend(out, "siblings(", name(root_ids[j]), ", ", name(root_ids[i]),
+                ").\n");
+    }
+  }
+
+  // Breadth-first tree construction per root.
+  std::vector<size_t> frontier = root_ids;
+  for (size_t level = 0; level < depth; ++level) {
+    std::vector<size_t> next_frontier;
+    for (size_t parent : frontier) {
+      for (size_t b = 0; b < branching; ++b) {
+        size_t child = next_id++;
+        StrAppend(out, "p(", name(parent), ", ", name(child), ").\n");
+        next_frontier.push_back(child);
+      }
+    }
+    frontier = std::move(next_frontier);
+  }
+  result.person_count = next_id;
+  result.a_leaf = frontier.empty() ? name(root_ids[0]) : name(frontier[0]);
+  result.an_inner = name(root_ids[0]);
+  return result;
+}
+
+std::string SupplierParts(size_t suppliers, size_t parts_per, size_t part_pool,
+                          uint64_t seed) {
+  Rng rng(seed);
+  std::string out;
+  out.reserve(suppliers * parts_per * 24);
+  for (size_t s = 0; s < suppliers; ++s) {
+    for (size_t k = 0; k < parts_per; ++k) {
+      StrAppend(out, "supplies(s", s, ", part", rng.Below(part_pool), ").\n");
+    }
+  }
+  return out;
+}
+
+BomWorkload MakeBom(size_t parts, uint64_t seed, int64_t max_cost) {
+  Rng rng(seed);
+  BomWorkload result;
+  std::string& out = result.facts;
+  std::vector<bool> has_child(parts, false);
+  for (size_t i = 1; i < parts; ++i) {
+    size_t parent = rng.Below(i);
+    StrAppend(out, "part_of(p", parent, ", p", i, ").\n");
+    has_child[parent] = true;
+  }
+  for (size_t i = 0; i < parts; ++i) {
+    if (!has_child[i]) {
+      StrAppend(out, "cost(p", i, ", ", 1 + rng.Below(max_cost), ").\n");
+      ++result.leaf_count;
+    }
+  }
+  result.root = "p0";
+  result.part_count = parts;
+  return result;
+}
+
+std::string Books(size_t n, int64_t max_price, uint64_t seed) {
+  Rng rng(seed);
+  std::string out;
+  out.reserve(n * 24);
+  for (size_t i = 0; i < n; ++i) {
+    StrAppend(out, "book(title", i, ", ", 1 + rng.Below(max_price), ").\n");
+  }
+  return out;
+}
+
+std::string SyntheticStratifiedProgram(size_t layers, size_t per_layer) {
+  std::string out;
+  // Layer 0: EDB facts.
+  for (size_t p = 0; p < per_layer; ++p) {
+    StrAppend(out, "base", p, "(a, b).\n");
+  }
+  for (size_t layer = 1; layer <= layers; ++layer) {
+    for (size_t p = 0; p < per_layer; ++p) {
+      std::string head = StrCat("l", layer, "p", p);
+      std::string below = layer == 1 ? StrCat("base", p)
+                                     : StrCat("l", layer - 1, "p", p);
+      // Recursion within the layer plus a positive dependency downward.
+      StrAppend(out, head, "(X, Y) :- ", below, "(X, Y).\n");
+      StrAppend(out, head, "(X, Y) :- ", head, "(X, Z), ", below, "(Z, Y).\n");
+      // One negation per layer, chained through p0, so the minimal layering
+      // is exactly `layers` deep.
+      if (p == 0 && layer > 1) {
+        StrAppend(out, head, "(X, X) :- ", StrCat("base", p), "(X, _), !",
+                  StrCat("l", layer - 1, "p0"), "(X, X).\n");
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ldl

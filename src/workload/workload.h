@@ -1,0 +1,84 @@
+// Synthetic EDB generators shared by tests, examples and benchmarks.
+//
+// All generators are deterministic in their seed and emit LDL1 fact text
+// that Session::Load accepts, so every experiment in EXPERIMENTS.md is
+// reproducible from the command line.
+#ifndef LDL1_WORKLOAD_WORKLOAD_H_
+#define LDL1_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ldl {
+
+// Deterministic xorshift64* generator (no global state, no <random> cost).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed ? seed : 0x9e3779b97f4a7c15ULL) {}
+  uint64_t Next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545f4914f6cdd1dULL;
+  }
+  // Uniform in [0, bound).
+  uint64_t Below(uint64_t bound) { return bound == 0 ? 0 : Next() % bound; }
+
+ private:
+  uint64_t state_;
+};
+
+// parent(p0, p1). parent(p1, p2). ... -- a chain of n+1 people.
+std::string ParentChain(size_t n, const std::string& pred = "parent");
+
+// A random forest: each person i in [1, n) gets a parent drawn uniformly
+// from [0, i).
+std::string ParentRandomTree(size_t n, uint64_t seed,
+                             const std::string& pred = "parent");
+
+// A random directed graph: `edges` edges over `nodes` nodes (self-loops
+// filtered, duplicates possible and harmless).
+std::string RandomGraph(size_t nodes, size_t edges, uint64_t seed,
+                        const std::string& pred = "edge");
+
+// The §6 running example's base relations: `roots` sibling root people
+// (siblings(r_i, r_j) for all pairs), each root carrying a complete tree of
+// branching `branching` and depth `depth` via p(parent, child). People are
+// named x0, x1, ...; person "x0" is the first root. Leaves have no
+// children, so young/2 succeeds on them.
+struct SameGenerationWorkload {
+  std::string facts;
+  std::string a_leaf;        // name of some leaf (query target)
+  std::string an_inner;      // name of some inner node (has descendants)
+  size_t person_count = 0;
+};
+SameGenerationWorkload MakeSameGeneration(size_t roots, size_t branching,
+                                          size_t depth);
+
+// supplies(s<i>, part<j>). -- `suppliers` suppliers with `parts_per` parts
+// each (parts drawn from a pool of `part_pool` names).
+std::string SupplierParts(size_t suppliers, size_t parts_per, size_t part_pool,
+                          uint64_t seed);
+
+// Bill-of-materials: part_of(p<i>, p<j>) child edges forming a DAG rooted
+// at p0 (every part i >= 1 has a parent drawn from [0, i)); leaf parts get
+// cost(p<i>, c). Returns facts plus the root/leaf names.
+struct BomWorkload {
+  std::string facts;
+  std::string root;
+  size_t part_count = 0;
+  size_t leaf_count = 0;
+};
+BomWorkload MakeBom(size_t parts, uint64_t seed, int64_t max_cost = 50);
+
+// book(title<i>, price). -- `n` books with prices in [1, max_price].
+std::string Books(size_t n, int64_t max_price, uint64_t seed);
+
+// A synthetic stratified program (not facts): `layers` layers, each with
+// `per_layer` predicates; rules chain predicates within and across layers,
+// with a negation per layer crossing. Used to benchmark Stratify.
+std::string SyntheticStratifiedProgram(size_t layers, size_t per_layer);
+
+}  // namespace ldl
+
+#endif  // LDL1_WORKLOAD_WORKLOAD_H_

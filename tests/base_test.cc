@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+#include "base/arena.h"
+#include "base/hash.h"
+#include "base/interner.h"
+#include "base/status.h"
+#include "base/str_util.h"
+
+namespace ldl {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(Status, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.message(), "");
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status status = ParseError("bad token");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kParseError);
+  EXPECT_EQ(status.message(), "bad token");
+  EXPECT_EQ(status.ToString(), "parse_error: bad token");
+}
+
+TEST(Status, CopyPreservesError) {
+  Status status = NotAdmissibleError("cycle");
+  Status copy = status;
+  EXPECT_EQ(copy, status);
+  Status assigned;
+  assigned = status;
+  EXPECT_EQ(assigned.code(), StatusCode::kNotAdmissible);
+}
+
+TEST(Status, AllConstructorsMapCodes) {
+  EXPECT_EQ(InvalidArgumentError("").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseError("").code(), StatusCode::kParseError);
+  EXPECT_EQ(NotAdmissibleError("").code(), StatusCode::kNotAdmissible);
+  EXPECT_EQ(NotWellFormedError("").code(), StatusCode::kNotWellFormed);
+  EXPECT_EQ(NotFoundError("").code(), StatusCode::kNotFound);
+  EXPECT_EQ(UnsupportedError("").code(), StatusCode::kUnsupported);
+  EXPECT_EQ(ResourceExhaustedError("").code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(InternalError("").code(), StatusCode::kInternal);
+}
+
+TEST(Status, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "ok");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kParseError), "parse_error");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNotAdmissible), "not_admissible");
+}
+
+StatusOr<int> ReturnsValue() { return 42; }
+StatusOr<int> ReturnsError() { return InvalidArgumentError("nope"); }
+Status UsesAssignOrReturn(int* out) {
+  LDL_ASSIGN_OR_RETURN(*out, ReturnsValue());
+  return Status::OK();
+}
+Status PropagatesError(int* out) {
+  LDL_ASSIGN_OR_RETURN(*out, ReturnsError());
+  return Status::OK();
+}
+
+TEST(StatusOr, ValueAndError) {
+  auto ok = ReturnsValue();
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  auto err = ReturnsError();
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusOr, Macros) {
+  int out = 0;
+  EXPECT_TRUE(UsesAssignOrReturn(&out).ok());
+  EXPECT_EQ(out, 42);
+  out = 0;
+  Status status = PropagatesError(&out);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(out, 0);
+}
+
+// ----------------------------------------------------------------- Arena --
+
+TEST(Arena, AllocationsAreAlignedAndDisjoint) {
+  Arena arena(256);
+  std::set<void*> seen;
+  for (int i = 0; i < 100; ++i) {
+    void* p = arena.Allocate(24, 8);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % 8, 0u);
+    EXPECT_TRUE(seen.insert(p).second);
+    memset(p, 0xAB, 24);  // must be writable
+  }
+  EXPECT_GE(arena.bytes_allocated(), 2400u);
+  EXPECT_GT(arena.block_count(), 1u);
+}
+
+TEST(Arena, OversizedRequestGetsDedicatedBlock) {
+  Arena arena(64);
+  void* big = arena.Allocate(1000);
+  memset(big, 0, 1000);
+  void* small = arena.Allocate(8);
+  EXPECT_NE(big, small);
+  EXPECT_GE(arena.bytes_reserved(), 1000u);
+}
+
+TEST(Arena, NewConstructsObjects) {
+  Arena arena;
+  struct Pod {
+    int a;
+    double b;
+  };
+  Pod* pod = arena.New<Pod>(Pod{7, 2.5});
+  EXPECT_EQ(pod->a, 7);
+  EXPECT_EQ(pod->b, 2.5);
+  int* array = arena.NewArray<int>(16);
+  for (int i = 0; i < 16; ++i) array[i] = i;
+  EXPECT_EQ(array[15], 15);
+}
+
+TEST(Arena, ZeroSizeAllocationIsValid) {
+  Arena arena;
+  void* a = arena.Allocate(0);
+  void* b = arena.Allocate(0);
+  EXPECT_NE(a, nullptr);
+  EXPECT_NE(a, b);
+}
+
+// -------------------------------------------------------------- Interner --
+
+TEST(Interner, InternIsIdempotent) {
+  Interner interner;
+  Symbol a = interner.Intern("hello");
+  Symbol b = interner.Intern("hello");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(interner.Lookup(a), "hello");
+}
+
+TEST(Interner, DistinctStringsGetDistinctIds) {
+  Interner interner;
+  Symbol a = interner.Intern("a");
+  Symbol b = interner.Intern("b");
+  EXPECT_NE(a, b);
+}
+
+TEST(Interner, EmptyStringIsSymbolZero) {
+  Interner interner;
+  EXPECT_EQ(interner.Intern(""), 0u);
+}
+
+TEST(Interner, FindDoesNotIntern) {
+  Interner interner;
+  Symbol out = 0;
+  EXPECT_FALSE(interner.Find("missing", &out));
+  size_t before = interner.size();
+  EXPECT_FALSE(interner.Find("missing", &out));
+  EXPECT_EQ(interner.size(), before);
+  Symbol interned = interner.Intern("missing");
+  ASSERT_TRUE(interner.Find("missing", &out));
+  EXPECT_EQ(out, interned);
+}
+
+TEST(Interner, FreshNeverCollides) {
+  Interner interner;
+  interner.Intern("q$0");
+  Symbol fresh1 = interner.Fresh("q");
+  Symbol fresh2 = interner.Fresh("q");
+  EXPECT_NE(fresh1, fresh2);
+  EXPECT_NE(interner.Lookup(fresh1), "q$0");
+}
+
+TEST(Interner, LookupViewsStayValidAfterGrowth) {
+  Interner interner;
+  Symbol first = interner.Intern("first");
+  std::string_view view = interner.Lookup(first);
+  for (int i = 0; i < 1000; ++i) interner.Intern(StrCat("filler", i));
+  EXPECT_EQ(view, "first");
+  EXPECT_EQ(interner.Lookup(first), "first");
+}
+
+// --------------------------------------------------------------- StrUtil --
+
+TEST(StrUtil, StrCatMixesTypes) {
+  EXPECT_EQ(StrCat("a", 1, "b", size_t{2}, 'c'), "a1b2c");
+  EXPECT_EQ(StrCat(-5, "x"), "-5x");
+  EXPECT_EQ(StrCat(), "");
+}
+
+TEST(StrUtil, StrJoin) {
+  std::vector<std::string> pieces = {"a", "b", "c"};
+  EXPECT_EQ(StrJoin(pieces, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin(std::vector<int>{1, 2}, "-"), "1-2");
+  EXPECT_EQ(StrJoin(std::vector<std::string>{}, ","), "");
+}
+
+TEST(StrUtil, StrSplitKeepsEmptyPieces) {
+  auto pieces = StrSplit("a,,b", ',');
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[1], "");
+  EXPECT_EQ(StrSplit("", ',').size(), 1u);
+}
+
+TEST(StrUtil, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  x y \t\n"), "x y");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace("abc"), "abc");
+}
+
+TEST(StrUtil, Affixes) {
+  EXPECT_TRUE(StartsWith("magic_anc", "magic_"));
+  EXPECT_FALSE(StartsWith("m", "magic_"));
+  EXPECT_TRUE(EndsWith("p__bf", "__bf"));
+  EXPECT_FALSE(EndsWith("bf", "__bf"));
+}
+
+// ------------------------------------------------------------------ Hash --
+
+TEST(Hash, MixSpreadsBits) {
+  EXPECT_NE(HashMix(1), HashMix(2));
+  EXPECT_NE(HashMix(0), 0u);
+}
+
+TEST(Hash, CombineIsOrderDependent) {
+  EXPECT_NE(HashCombine(HashMix(1), HashMix(2)),
+            HashCombine(HashMix(2), HashMix(1)));
+}
+
+TEST(Hash, BytesMatchesContent) {
+  EXPECT_EQ(HashBytes("abc", 3), HashBytes("abc", 3));
+  EXPECT_NE(HashBytes("abc", 3), HashBytes("abd", 3));
+}
+
+}  // namespace
+}  // namespace ldl

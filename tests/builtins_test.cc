@@ -1,0 +1,331 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "eval/builtins.h"
+#include "parser/parser.h"
+#include "program/lower.h"
+
+namespace ldl {
+namespace {
+
+class BuiltinsTest : public ::testing::Test {
+ protected:
+  LiteralIr Lit(BuiltinKind kind, std::initializer_list<const char*> args,
+                bool negated = false) {
+    LiteralIr literal;
+    literal.builtin = kind;
+    literal.negated = negated;
+    for (const char* text : args) {
+      auto expr = ParseTermText(text, &interner_);
+      EXPECT_TRUE(expr.ok()) << text << ": " << expr.status();
+      auto term = LowerTerm(factory_, *expr);
+      EXPECT_TRUE(term.ok()) << text;
+      literal.args.push_back(*term);
+    }
+    return literal;
+  }
+
+  // Runs the builtin with an optional pre-binding; returns solutions as
+  // sorted strings.
+  StatusOr<std::multiset<std::string>> Run(
+      const LiteralIr& literal,
+      std::initializer_list<std::pair<const char*, const char*>> bindings = {}) {
+    Subst subst;
+    for (auto [var, value] : bindings) {
+      auto expr = ParseTermText(value, &interner_);
+      EXPECT_TRUE(expr.ok());
+      auto term = LowerTerm(factory_, *expr);
+      EXPECT_TRUE(term.ok());
+      subst.Bind(interner_.Intern(var), *term);
+    }
+    std::multiset<std::string> solutions;
+    size_t base = subst.size();
+    bool keep_going = true;
+    Status status = EvalBuiltin(
+        factory_, literal, &subst,
+        [&]() {
+          std::vector<std::string> parts;
+          for (size_t i = base; i < subst.trail().size(); ++i) {
+            parts.push_back(std::string(interner_.Lookup(subst.trail()[i].first)) +
+                            "=" + factory_.ToString(subst.trail()[i].second));
+          }
+          std::sort(parts.begin(), parts.end());
+          std::string joined;
+          for (const auto& p : parts) joined += p + ";";
+          solutions.insert(joined);
+          return true;
+        },
+        &keep_going);
+    if (!status.ok()) return status;
+    return solutions;
+  }
+
+  size_t Count(const LiteralIr& literal,
+               std::initializer_list<std::pair<const char*, const char*>> b = {}) {
+    auto result = Run(literal, b);
+    EXPECT_TRUE(result.ok()) << result.status();
+    return result.ok() ? result->size() : 0;
+  }
+
+  Interner interner_;
+  TermFactory factory_{&interner_};
+};
+
+// --------------------------------------------------------------- equality --
+
+TEST_F(BuiltinsTest, EqBindsEitherSide) {
+  auto sols = Run(Lit(BuiltinKind::kEq, {"X", "{1, 2}"}));
+  ASSERT_TRUE(sols.ok());
+  ASSERT_EQ(sols->size(), 1u);
+  EXPECT_EQ(*sols->begin(), "X={1, 2};");
+  EXPECT_EQ(Count(Lit(BuiltinKind::kEq, {"3", "Y"})), 1u);
+}
+
+TEST_F(BuiltinsTest, EqChecksGroundTerms) {
+  EXPECT_EQ(Count(Lit(BuiltinKind::kEq, {"{1, 2}", "{2, 1}"})), 1u);
+  EXPECT_EQ(Count(Lit(BuiltinKind::kEq, {"{1}", "{2}"})), 0u);
+  EXPECT_EQ(Count(Lit(BuiltinKind::kEq, {"a", "a"})), 1u);
+}
+
+TEST_F(BuiltinsTest, EqNormalizesArithmetic) {
+  // C = 1 + 2 binds C to 3 (the paper's tc example uses +(C1,C2,C)).
+  auto sols = Run(Lit(BuiltinKind::kEq, {"C", "X"}), {{"X", "3"}});
+  ASSERT_TRUE(sols.ok());
+  EXPECT_EQ(*sols->begin(), "C=3;");
+}
+
+TEST_F(BuiltinsTest, EqEnumeratesSetPatterns) {
+  // {A, B} = {1, 2} has two solutions.
+  EXPECT_EQ(Count(Lit(BuiltinKind::kEq, {"{A, B}", "{1, 2}"})), 2u);
+}
+
+TEST_F(BuiltinsTest, EqEvaluatesScons) {
+  EXPECT_EQ(Count(Lit(BuiltinKind::kEq, {"scons(1, {2})", "{1, 2}"})), 1u);
+  EXPECT_EQ(Count(Lit(BuiltinKind::kEq, {"scons(1, {1})", "{1}"})), 1u);
+  // scons on a non-set is outside U: equality is false.
+  EXPECT_EQ(Count(Lit(BuiltinKind::kEq, {"scons(1, a)", "{1}"})), 0u);
+}
+
+TEST_F(BuiltinsTest, Neq) {
+  EXPECT_EQ(Count(Lit(BuiltinKind::kNeq, {"1", "2"})), 1u);
+  EXPECT_EQ(Count(Lit(BuiltinKind::kNeq, {"{1}", "{1}"})), 0u);
+}
+
+// ------------------------------------------------------------ comparisons --
+
+TEST_F(BuiltinsTest, Comparisons) {
+  EXPECT_EQ(Count(Lit(BuiltinKind::kLt, {"1", "2"})), 1u);
+  EXPECT_EQ(Count(Lit(BuiltinKind::kLt, {"2", "2"})), 0u);
+  EXPECT_EQ(Count(Lit(BuiltinKind::kLe, {"2", "2"})), 1u);
+  EXPECT_EQ(Count(Lit(BuiltinKind::kGt, {"3", "2"})), 1u);
+  EXPECT_EQ(Count(Lit(BuiltinKind::kGe, {"2", "3"})), 0u);
+  // Non-integers compare false (paper's "otherwise false" convention).
+  EXPECT_EQ(Count(Lit(BuiltinKind::kLt, {"a", "b"})), 0u);
+}
+
+// ---------------------------------------------------------------- member --
+
+TEST_F(BuiltinsTest, MemberEnumerates) {
+  EXPECT_EQ(Count(Lit(BuiltinKind::kMember, {"X", "{1, 2, 3}"})), 3u);
+  EXPECT_EQ(Count(Lit(BuiltinKind::kMember, {"2", "{1, 2, 3}"})), 1u);
+  EXPECT_EQ(Count(Lit(BuiltinKind::kMember, {"9", "{1, 2, 3}"})), 0u);
+  EXPECT_EQ(Count(Lit(BuiltinKind::kMember, {"X", "{}"})), 0u);
+}
+
+TEST_F(BuiltinsTest, MemberOnNonSetIsFalse) {
+  EXPECT_EQ(Count(Lit(BuiltinKind::kMember, {"X", "a"})), 0u);
+}
+
+TEST_F(BuiltinsTest, MemberWithPatternElement) {
+  // member(f(X), {f(1), g(2), f(3)}) enumerates X in {1, 3}.
+  EXPECT_EQ(Count(Lit(BuiltinKind::kMember, {"f(X)", "{f(1), g(2), f(3)}"})), 2u);
+}
+
+TEST_F(BuiltinsTest, NegatedMember) {
+  EXPECT_EQ(Count(Lit(BuiltinKind::kMember, {"4", "{1, 2}"}, true)), 1u);
+  EXPECT_EQ(Count(Lit(BuiltinKind::kMember, {"1", "{1, 2}"}, true)), 0u);
+}
+
+// ------------------------------------------------------------------ union --
+
+TEST_F(BuiltinsTest, UnionForward) {
+  auto sols = Run(Lit(BuiltinKind::kUnion, {"{1, 2}", "{2, 3}", "S"}));
+  ASSERT_TRUE(sols.ok());
+  ASSERT_EQ(sols->size(), 1u);
+  EXPECT_EQ(*sols->begin(), "S={1, 2, 3};");
+  EXPECT_EQ(Count(Lit(BuiltinKind::kUnion, {"{1}", "{2}", "{1, 2}"})), 1u);
+  EXPECT_EQ(Count(Lit(BuiltinKind::kUnion, {"{1}", "{2}", "{1, 2, 3}"})), 0u);
+}
+
+TEST_F(BuiltinsTest, UnionBackwardEnumeratesSplits) {
+  // union(S1, S2, {1, 2}): each element in S1 only, S2 only, or both: 9.
+  EXPECT_EQ(Count(Lit(BuiltinKind::kUnion, {"S1", "S2", "{1, 2}"})), 9u);
+  // Singleton: 3 splits.
+  EXPECT_EQ(Count(Lit(BuiltinKind::kUnion, {"S1", "S2", "{1}"})), 3u);
+}
+
+TEST_F(BuiltinsTest, UnionOneSideKnown) {
+  // union({1}, S2, {1, 2}): S2 must contain 2, may contain 1: 2 solutions.
+  EXPECT_EQ(Count(Lit(BuiltinKind::kUnion, {"{1}", "S2", "{1, 2}"})), 2u);
+  // union({3}, S2, {1, 2}): 3 not in result: no solutions.
+  EXPECT_EQ(Count(Lit(BuiltinKind::kUnion, {"{3}", "S2", "{1, 2}"})), 0u);
+}
+
+TEST_F(BuiltinsTest, UnionEnumerationLimit) {
+  std::string big = "{";
+  for (int i = 0; i < 14; ++i) big += (i ? ", " : "") + std::to_string(i);
+  big += "}";
+  LiteralIr literal = Lit(BuiltinKind::kUnion, {"S1", "S2", big.c_str()});
+  auto result = Run(literal);
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(BuiltinsTest, IntersectionAndDifference) {
+  auto sols = Run(Lit(BuiltinKind::kIntersection, {"{1, 2, 3}", "{2, 3, 4}", "S"}));
+  ASSERT_TRUE(sols.ok());
+  EXPECT_EQ(*sols->begin(), "S={2, 3};");
+  EXPECT_EQ(Count(Lit(BuiltinKind::kIntersection, {"{1}", "{2}", "{}"})), 1u);
+  EXPECT_EQ(Count(Lit(BuiltinKind::kIntersection, {"{1}", "{1}", "{2}"})), 0u);
+  sols = Run(Lit(BuiltinKind::kDifference, {"{1, 2, 3}", "{2}", "S"}));
+  ASSERT_TRUE(sols.ok());
+  EXPECT_EQ(*sols->begin(), "S={1, 3};");
+  EXPECT_EQ(Count(Lit(BuiltinKind::kDifference, {"{1}", "{1}", "{}"})), 1u);
+  // Non-sets make the predicate false.
+  EXPECT_EQ(Count(Lit(BuiltinKind::kIntersection, {"a", "{1}", "S"})), 0u);
+  // Both inputs must be bound.
+  Subst empty;
+  EXPECT_FALSE(BuiltinReady(factory_,
+                            Lit(BuiltinKind::kDifference, {"{1}", "S2", "S3"}),
+                            empty));
+}
+
+// ---------------------------------------------------------------- subset --
+
+TEST_F(BuiltinsTest, SubsetCheckAndEnumerate) {
+  EXPECT_EQ(Count(Lit(BuiltinKind::kSubset, {"{1}", "{1, 2}"})), 1u);
+  EXPECT_EQ(Count(Lit(BuiltinKind::kSubset, {"{3}", "{1, 2}"})), 0u);
+  EXPECT_EQ(Count(Lit(BuiltinKind::kSubset, {"{}", "{1, 2}"})), 1u);
+  // Enumeration: all 2^3 subsets.
+  EXPECT_EQ(Count(Lit(BuiltinKind::kSubset, {"S", "{1, 2, 3}"})), 8u);
+}
+
+// -------------------------------------------------------------- partition --
+
+TEST_F(BuiltinsTest, PartitionModes) {
+  // Forward: compute the whole from disjoint parts.
+  EXPECT_EQ(Count(Lit(BuiltinKind::kPartition, {"S", "{1}", "{2}"})), 1u);
+  // Overlapping parts are not a partition.
+  EXPECT_EQ(Count(Lit(BuiltinKind::kPartition, {"S", "{1, 2}", "{2}"})), 0u);
+  // Backward: enumerate all 2^n disjoint splits.
+  EXPECT_EQ(Count(Lit(BuiltinKind::kPartition, {"{1, 2}", "A", "B"})), 4u);
+  // One part known.
+  EXPECT_EQ(Count(Lit(BuiltinKind::kPartition, {"{1, 2}", "{1}", "B"})), 1u);
+  auto sols = Run(Lit(BuiltinKind::kPartition, {"{1, 2}", "{1}", "B"}));
+  ASSERT_TRUE(sols.ok());
+  EXPECT_EQ(*sols->begin(), "B={2};");
+  // All three ground: verify.
+  EXPECT_EQ(Count(Lit(BuiltinKind::kPartition, {"{1, 2}", "{1}", "{2}"})), 1u);
+  EXPECT_EQ(Count(Lit(BuiltinKind::kPartition, {"{1, 2}", "{1}", "{1, 2}"})), 0u);
+}
+
+// ------------------------------------------------------------------- card --
+
+TEST_F(BuiltinsTest, Card) {
+  auto sols = Run(Lit(BuiltinKind::kCard, {"{a, b, c}", "N"}));
+  ASSERT_TRUE(sols.ok());
+  EXPECT_EQ(*sols->begin(), "N=3;");
+  EXPECT_EQ(Count(Lit(BuiltinKind::kCard, {"{}", "0"})), 1u);
+  EXPECT_EQ(Count(Lit(BuiltinKind::kCard, {"{a}", "2"})), 0u);
+}
+
+// ------------------------------------------------------------- arithmetic --
+
+TEST_F(BuiltinsTest, PlusAllModes) {
+  auto sols = Run(Lit(BuiltinKind::kPlus, {"1", "2", "C"}));
+  ASSERT_TRUE(sols.ok());
+  EXPECT_EQ(*sols->begin(), "C=3;");
+  sols = Run(Lit(BuiltinKind::kPlus, {"1", "B", "3"}));
+  EXPECT_EQ(*sols->begin(), "B=2;");
+  sols = Run(Lit(BuiltinKind::kPlus, {"A", "2", "3"}));
+  EXPECT_EQ(*sols->begin(), "A=1;");
+  EXPECT_EQ(Count(Lit(BuiltinKind::kPlus, {"1", "2", "3"})), 1u);
+  EXPECT_EQ(Count(Lit(BuiltinKind::kPlus, {"1", "2", "4"})), 0u);
+}
+
+TEST_F(BuiltinsTest, MinusModes) {
+  auto sols = Run(Lit(BuiltinKind::kMinus, {"5", "2", "C"}));
+  EXPECT_EQ(*sols->begin(), "C=3;");
+  sols = Run(Lit(BuiltinKind::kMinus, {"5", "B", "3"}));
+  EXPECT_EQ(*sols->begin(), "B=2;");
+  sols = Run(Lit(BuiltinKind::kMinus, {"A", "2", "3"}));
+  EXPECT_EQ(*sols->begin(), "A=5;");
+}
+
+TEST_F(BuiltinsTest, TimesModes) {
+  auto sols = Run(Lit(BuiltinKind::kTimes, {"3", "4", "C"}));
+  EXPECT_EQ(*sols->begin(), "C=12;");
+  sols = Run(Lit(BuiltinKind::kTimes, {"3", "B", "12"}));
+  EXPECT_EQ(*sols->begin(), "B=4;");
+  // Non-divisible: no solution.
+  EXPECT_EQ(Count(Lit(BuiltinKind::kTimes, {"3", "B", "13"})), 0u);
+  // 0 * B = 5: false.
+  EXPECT_EQ(Count(Lit(BuiltinKind::kTimes, {"0", "B", "5"})), 0u);
+}
+
+TEST_F(BuiltinsTest, DivMod) {
+  auto sols = Run(Lit(BuiltinKind::kDiv, {"7", "2", "C"}));
+  EXPECT_EQ(*sols->begin(), "C=3;");
+  sols = Run(Lit(BuiltinKind::kMod, {"7", "2", "C"}));
+  EXPECT_EQ(*sols->begin(), "C=1;");
+  EXPECT_EQ(Count(Lit(BuiltinKind::kDiv, {"7", "0", "C"})), 0u);
+}
+
+TEST_F(BuiltinsTest, ArithmeticOnNonIntegersIsFalse) {
+  EXPECT_EQ(Count(Lit(BuiltinKind::kPlus, {"a", "2", "C"})), 0u);
+  EXPECT_EQ(Count(Lit(BuiltinKind::kPlus, {"{1}", "2", "C"})), 0u);
+}
+
+// -------------------------------------------------------------- readiness --
+
+TEST_F(BuiltinsTest, ReadyChecks) {
+  Subst empty;
+  EXPECT_FALSE(BuiltinReady(factory_, Lit(BuiltinKind::kMember, {"X", "S"}), empty));
+  EXPECT_TRUE(
+      BuiltinReady(factory_, Lit(BuiltinKind::kMember, {"X", "{1}"}), empty));
+  EXPECT_FALSE(BuiltinReady(factory_, Lit(BuiltinKind::kEq, {"X", "Y"}), empty));
+  EXPECT_TRUE(BuiltinReady(factory_, Lit(BuiltinKind::kEq, {"X", "1"}), empty));
+  EXPECT_FALSE(
+      BuiltinReady(factory_, Lit(BuiltinKind::kPlus, {"A", "B", "3"}), empty));
+  EXPECT_TRUE(
+      BuiltinReady(factory_, Lit(BuiltinKind::kPlus, {"1", "B", "3"}), empty));
+  Subst bound;
+  bound.Bind(interner_.Intern("S"), factory_.EmptySet());
+  EXPECT_TRUE(BuiltinReady(factory_, Lit(BuiltinKind::kMember, {"X", "S"}), bound));
+}
+
+// ---------------------------------------------------------- EvalArith unit --
+
+TEST_F(BuiltinsTest, EvalArithExpressions) {
+  auto term = [&](const char* text) {
+    auto expr = ParseTermText(text, &interner_);
+    EXPECT_TRUE(expr.ok());
+    auto lowered = LowerTerm(factory_, *expr);
+    EXPECT_TRUE(lowered.ok());
+    return *lowered;
+  };
+  // The parser lowers infix arithmetic inside comparison contexts; here we
+  // construct $add terms via the factory.
+  const Term* one = factory_.MakeInt(1);
+  const Term* two = factory_.MakeInt(2);
+  const Term* add_args[] = {one, two};
+  const Term* add = factory_.MakeFunc("$add", add_args);
+  EXPECT_EQ(EvalArith(factory_, add).value_or(-1), 3);
+  EXPECT_EQ(NormalizeArith(factory_, add), factory_.MakeInt(3));
+  EXPECT_FALSE(EvalArith(factory_, term("a")).has_value());
+  const Term* div_args[] = {one, factory_.MakeInt(0)};
+  EXPECT_FALSE(EvalArith(factory_, factory_.MakeFunc("$div", div_args)).has_value());
+}
+
+}  // namespace
+}  // namespace ldl

@@ -1,0 +1,140 @@
+// Dependency-graph construction and SCC computation (§3.1 machinery).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "base/str_util.h"
+#include "parser/parser.h"
+#include "program/depgraph.h"
+#include "program/lower.h"
+
+namespace ldl {
+namespace {
+
+class DepGraphTest : public ::testing::Test {
+ protected:
+  void Build(const std::string& source) {
+    auto ast = ParseProgram(source, &interner_);
+    ASSERT_TRUE(ast.ok()) << ast.status();
+    auto ir = LowerProgram(factory_, catalog_, *ast);
+    ASSERT_TRUE(ir.ok()) << ir.status();
+    program_ = std::move(*ir);
+    graph_ = DepGraph::Build(catalog_, program_);
+  }
+
+  PredId Pred(const char* name, uint32_t arity) {
+    PredId id = catalog_.Find(name, arity);
+    EXPECT_NE(id, kInvalidPred) << name;
+    return id;
+  }
+
+  // (from, to, strict) triples for easy assertions.
+  std::multiset<std::tuple<PredId, PredId, bool>> Edges() {
+    std::multiset<std::tuple<PredId, PredId, bool>> result;
+    for (const DepEdge& edge : graph_.edges()) {
+      result.insert({edge.from, edge.to, edge.strict});
+    }
+    return result;
+  }
+
+  Interner interner_;
+  TermFactory factory_{&interner_};
+  Catalog catalog_{&interner_};
+  ProgramIr program_;
+  DepGraph graph_;
+};
+
+TEST_F(DepGraphTest, PositiveBodyGivesLooseEdges) {
+  Build("a(X) :- b(X), c(X).");
+  auto edges = Edges();
+  EXPECT_EQ(edges.size(), 2u);
+  EXPECT_TRUE(edges.count({Pred("a", 1), Pred("b", 1), false}));
+  EXPECT_TRUE(edges.count({Pred("a", 1), Pred("c", 1), false}));
+}
+
+TEST_F(DepGraphTest, NegationGivesStrictEdge) {
+  Build("a(X) :- b(X), !c(X).");
+  auto edges = Edges();
+  EXPECT_TRUE(edges.count({Pred("a", 1), Pred("b", 1), false}));
+  EXPECT_TRUE(edges.count({Pred("a", 1), Pred("c", 1), true}));
+}
+
+TEST_F(DepGraphTest, GroupingHeadMakesAllBodyEdgesStrict) {
+  // §3.1 clause (2): a grouping head depends strictly on *every* body
+  // predicate, positive or not.
+  Build("g(K, <V>) :- b(K), e(K, V).");
+  auto edges = Edges();
+  EXPECT_TRUE(edges.count({Pred("g", 2), Pred("b", 1), true}));
+  EXPECT_TRUE(edges.count({Pred("g", 2), Pred("e", 2), true}));
+}
+
+TEST_F(DepGraphTest, BuiltinsContributeNoEdges) {
+  Build("a(X, S) :- b(X), s(S), member(X, S), X < 9.");
+  EXPECT_EQ(graph_.edges().size(), 2u);
+}
+
+TEST_F(DepGraphTest, DuplicateBodyOccurrencesGiveDuplicateEdges) {
+  Build("a(X, Y) :- e(X, Z), e(Z, Y).");
+  auto edges = Edges();
+  EXPECT_EQ(edges.count({Pred("a", 2), Pred("e", 2), false}), 2u);
+}
+
+TEST_F(DepGraphTest, EdgeRecordsOriginRule) {
+  Build("a(X) :- b(X).\nc(X) :- a(X).");
+  ASSERT_EQ(graph_.edges().size(), 2u);
+  EXPECT_EQ(graph_.edges()[0].rule_index, 0);
+  EXPECT_EQ(graph_.edges()[1].rule_index, 1);
+}
+
+TEST_F(DepGraphTest, SccGroupsMutualRecursion) {
+  Build(
+      "a(X) :- b(X).\n"
+      "b(X) :- a(X).\n"
+      "c(X) :- a(X).\n"
+      "base(1).");
+  int count = 0;
+  std::vector<int> component = graph_.StronglyConnectedComponents(&count);
+  EXPECT_EQ(component[Pred("a", 1)], component[Pred("b", 1)]);
+  EXPECT_NE(component[Pred("a", 1)], component[Pred("c", 1)]);
+  // Reverse-topological numbering: dependencies have smaller ids.
+  EXPECT_LT(component[Pred("a", 1)], component[Pred("c", 1)]);
+}
+
+TEST_F(DepGraphTest, SccReverseTopologicalOrder) {
+  Build(
+      "l3(X) :- l2(X).\n"
+      "l2(X) :- l1(X).\n"
+      "l1(X) :- base(X).");
+  int count = 0;
+  std::vector<int> component = graph_.StronglyConnectedComponents(&count);
+  EXPECT_LT(component[Pred("base", 1)], component[Pred("l1", 1)]);
+  EXPECT_LT(component[Pred("l1", 1)], component[Pred("l2", 1)]);
+  EXPECT_LT(component[Pred("l2", 1)], component[Pred("l3", 1)]);
+}
+
+TEST_F(DepGraphTest, DeepChainDoesNotOverflowTheStack) {
+  // 4000-deep dependency chain: the iterative Tarjan must handle it.
+  std::string source;
+  for (int i = 0; i < 4000; ++i) {
+    source += StrCat("p", i + 1, "(X) :- p", i, "(X).\n");
+  }
+  Build(source);
+  int count = 0;
+  std::vector<int> component = graph_.StronglyConnectedComponents(&count);
+  EXPECT_EQ(count, static_cast<int>(catalog_.size()));
+}
+
+TEST_F(DepGraphTest, LargeCycleIsOneComponent) {
+  std::string source;
+  for (int i = 0; i < 500; ++i) {
+    source += StrCat("c", i, "(X) :- c", (i + 1) % 500, "(X).\n");
+  }
+  Build(source);
+  int count = 0;
+  std::vector<int> component = graph_.StronglyConnectedComponents(&count);
+  EXPECT_EQ(count, 1);
+  for (int c : component) EXPECT_EQ(c, 0);
+}
+
+}  // namespace
+}  // namespace ldl

@@ -1,0 +1,217 @@
+// LDL1.5 macro expansion tests (paper §4).
+#include <gtest/gtest.h>
+
+#include "ldl/ldl.h"
+#include "parser/parser.h"
+
+namespace ldl {
+namespace {
+
+StatusOr<std::vector<std::string>> EvalAndFetch(Session& session,
+                                                const char* pred, uint32_t arity) {
+  LDL_RETURN_IF_ERROR(session.Evaluate());
+  PredId id = session.catalog().Find(pred, arity);
+  if (id == kInvalidPred) return NotFoundError(pred);
+  auto tuples = session.database().relation(id).Snapshot();
+  return FormatFacts(session, id, tuples);
+}
+
+// ------------------------------------------------------- §4.1 body groups --
+
+TEST(Ldl15Body, GroupTermMatchesUniformSets) {
+  // p(<X>) in a body matches p-facts whose argument is a set; X ranges over
+  // the elements.
+  Session session;
+  ASSERT_TRUE(session
+                  .Load("p({1, 2}). p({3}).\n"
+                        "elem(X) :- p(<X>).")
+                  .ok());
+  auto facts = EvalAndFetch(session, "elem", 1);
+  ASSERT_TRUE(facts.ok()) << facts.status();
+  EXPECT_EQ(*facts,
+            (std::vector<std::string>{"elem(1)", "elem(2)", "elem(3)"}));
+}
+
+TEST(Ldl15Body, UniformStructureRequired) {
+  // The paper's §4.1 example: p(<<X>>) matches p({{1,2},{3},{4,5}}) but not
+  // p({{1,2}, 3, {4,5}}) because 3 is not a set.
+  Session session;
+  ASSERT_TRUE(session
+                  .Load("p({{1, 2}, {3}, {4, 5}}).\n"
+                        "p({{6, 7}, 8}).\n"
+                        "inner(X) :- p(<<X>>).")
+                  .ok());
+  auto facts = EvalAndFetch(session, "inner", 1);
+  ASSERT_TRUE(facts.ok()) << facts.status();
+  // Only elements of the uniform fact's inner sets appear; 6 and 7 do not
+  // (their enclosing set contains the non-set 8).
+  EXPECT_EQ(*facts, (std::vector<std::string>{"inner(1)", "inner(2)", "inner(3)",
+                                              "inner(4)", "inner(5)"}));
+}
+
+TEST(Ldl15Body, StructuredGroupPattern) {
+  // q(<f(X)>) requires every element to be an f-term.
+  Session session;
+  ASSERT_TRUE(session
+                  .Load("q({f(1), f(2)}). q({f(3), g(4)}).\n"
+                        "got(X) :- q(<f(X)>).")
+                  .ok());
+  auto facts = EvalAndFetch(session, "got", 1);
+  ASSERT_TRUE(facts.ok()) << facts.status();
+  EXPECT_EQ(*facts, (std::vector<std::string>{"got(1)", "got(2)"}));
+}
+
+TEST(Ldl15Body, GroupInsideNegationIsRejected) {
+  Session session;
+  ASSERT_TRUE(session.Load("bad(X) :- q(X), !p(<X>).").ok());
+  EXPECT_EQ(session.Analyze().code(), StatusCode::kNotWellFormed);
+}
+
+// ------------------------------------------------------- §4.2 head terms --
+
+constexpr const char* kSchool =
+    // r(Teacher, Student, Class, Day)
+    "r(smith, ann, math, mon).\n"
+    "r(smith, ann, math, wed).\n"
+    "r(smith, bob, art, mon).\n"
+    "r(jones, ann, bio, thu).\n";
+
+TEST(Ldl15Head, MultipleGroupsDistribute) {
+  // (T, <S>, <D>): per teacher, the set of students and the set of days.
+  Session session;
+  ASSERT_TRUE(session.Load(kSchool).ok());
+  ASSERT_TRUE(session.Load("ex1(T, <S>, <D>) :- r(T, S, C, D).").ok());
+  auto facts = EvalAndFetch(session, "ex1", 3);
+  ASSERT_TRUE(facts.ok()) << facts.status();
+  EXPECT_EQ(*facts, (std::vector<std::string>{
+                        "ex1(jones, {ann}, {thu})",
+                        "ex1(smith, {ann, bob}, {mon, wed})"}));
+}
+
+TEST(Ldl15Head, NestedGroupingKeyedByInnerVars) {
+  // The paper's second example: (T, <h(S, <D>)>). The inner day-set is per
+  // student *across all teachers* ("not necessarily with this teacher").
+  Session session;
+  ASSERT_TRUE(session.Load(kSchool).ok());
+  ASSERT_TRUE(session.Load("ex2(T, <h(S, <D>)>) :- r(T, S, C, D).").ok());
+  auto facts = EvalAndFetch(session, "ex2", 2);
+  ASSERT_TRUE(facts.ok()) << facts.status();
+  // ann's days are {mon, wed, thu} globally -- including under teacher
+  // smith, jones' thu appears because the inner group is keyed by S only.
+  EXPECT_EQ(*facts,
+            (std::vector<std::string>{
+                "ex2(jones, {h(ann, {mon, thu, wed})})",
+                "ex2(smith, {h(ann, {mon, thu, wed}), h(bob, {mon})})"}));
+}
+
+TEST(Ldl15Head, AlternativeGroupingSemantics) {
+  // (ii)': the inner group is keyed by the outer variables too, so ann's
+  // days under smith exclude jones' thu.
+  Session session;
+  Ldl15Options options;
+  options.alternative_grouping = true;
+  session.set_ldl15_options(options);
+  ASSERT_TRUE(session.Load(kSchool).ok());
+  ASSERT_TRUE(session.Load("ex2(T, <h(S, <D>)>) :- r(T, S, C, D).").ok());
+  auto facts = EvalAndFetch(session, "ex2", 2);
+  ASSERT_TRUE(facts.ok()) << facts.status();
+  EXPECT_EQ(*facts, (std::vector<std::string>{
+                        "ex2(jones, {h(ann, {thu})})",
+                        "ex2(smith, {h(ann, {mon, wed}), h(bob, {mon})})"}));
+}
+
+TEST(Ldl15Head, TupleKeysWithNestedGroups) {
+  // The paper's third example: ((T, S), <(C, <D>)>) -- per teacher/student
+  // pair, the set of (class, days-class-is-taught-by-anyone) tuples.
+  Session session;
+  ASSERT_TRUE(session.Load(kSchool).ok());
+  ASSERT_TRUE(session.Load("ex3((T, S), <(C, <D>)>) :- r(T, S, C, D).").ok());
+  auto facts = EvalAndFetch(session, "ex3", 2);
+  ASSERT_TRUE(facts.ok()) << facts.status();
+  EXPECT_EQ(*facts, (std::vector<std::string>{
+                        "ex3((jones, ann), {(bio, {thu})})",
+                        "ex3((smith, ann), {(math, {mon, wed})})",
+                        "ex3((smith, bob), {(art, {mon})})"}));
+}
+
+TEST(Ldl15Head, ThreeGroupsDistribute) {
+  // Distribution (i) over three grouped positions at once.
+  Session session;
+  ASSERT_TRUE(session.Load(kSchool).ok());
+  ASSERT_TRUE(session.Load("ex4(T, <S>, <C>, <D>) :- r(T, S, C, D).").ok());
+  auto facts = EvalAndFetch(session, "ex4", 4);
+  ASSERT_TRUE(facts.ok()) << facts.status();
+  EXPECT_EQ(*facts, (std::vector<std::string>{
+                        "ex4(jones, {ann}, {bio}, {thu})",
+                        "ex4(smith, {ann, bob}, {art, math}, {mon, wed})"}));
+}
+
+TEST(Ldl15Head, MixedPlainAndGroupedArgs) {
+  // A group-free structured argument stays in place while the groups are
+  // distributed around it.
+  Session session;
+  ASSERT_TRUE(session
+                  .Load("e(1, a). e(1, b). e(2, c).\n"
+                        "m(tag(K), <V>, K) :- e(K, V).")
+                  .ok());
+  auto facts = EvalAndFetch(session, "m", 3);
+  ASSERT_TRUE(facts.ok()) << facts.status();
+  EXPECT_EQ(*facts, (std::vector<std::string>{"m(tag(1), {a, b}, 1)",
+                                              "m(tag(2), {c}, 2)"}));
+}
+
+TEST(Ldl15Head, GroupOfConstant) {
+  Session session;
+  ASSERT_TRUE(session.Load("q(1).\nmarked(<ok>) :- q(_).").ok());
+  auto facts = EvalAndFetch(session, "marked", 1);
+  ASSERT_TRUE(facts.ok()) << facts.status();
+  EXPECT_EQ(*facts, (std::vector<std::string>{"marked({ok})"}));
+}
+
+TEST(Ldl15Head, GroupOfStructuredTerm) {
+  // <g(X, Y)> collects g-tuples.
+  Session session;
+  ASSERT_TRUE(session
+                  .Load("e(1, a). e(1, b). e(2, c).\n"
+                        "byk(K, <g(K, V)>) :- e(K, V).")
+                  .ok());
+  auto facts = EvalAndFetch(session, "byk", 2);
+  ASSERT_TRUE(facts.ok()) << facts.status();
+  EXPECT_EQ(*facts, (std::vector<std::string>{
+                        "byk(1, {g(1, a), g(1, b)})", "byk(2, {g(2, c)})"}));
+}
+
+TEST(Ldl15Head, NestingInsideFunctor) {
+  // p(X, wrap(<D>)): rule (iii) -- the group nests inside a non-grouped
+  // functor, keyed by the head variables outside groups (X).
+  Session session;
+  ASSERT_TRUE(session
+                  .Load("e(1, a). e(1, b). e(2, c).\n"
+                        "w(K, wrap(<V>)) :- e(K, V).")
+                  .ok());
+  auto facts = EvalAndFetch(session, "w", 2);
+  ASSERT_TRUE(facts.ok()) << facts.status();
+  EXPECT_EQ(*facts, (std::vector<std::string>{"w(1, wrap({a, b}))",
+                                              "w(2, wrap({c}))"}));
+}
+
+TEST(Ldl15Head, ExpansionPreservesPlainRules) {
+  Interner interner;
+  auto ast = ParseProgram("anc(X, Y) :- p(X, Y).\ng(K, <V>) :- e(K, V).",
+                          &interner);
+  ASSERT_TRUE(ast.ok());
+  auto expanded = ExpandLdl15(*ast, &interner);
+  ASSERT_TRUE(expanded.ok()) << expanded.status();
+  EXPECT_EQ(expanded->rules.size(), 2u);  // already plain LDL1
+}
+
+TEST(Ldl15Head, QueriesMayNotContainGroups) {
+  Interner interner;
+  auto ast = ParseProgram("? p(<X>).", &interner);
+  ASSERT_TRUE(ast.ok());
+  EXPECT_EQ(ExpandLdl15(*ast, &interner).status().code(),
+            StatusCode::kNotWellFormed);
+}
+
+}  // namespace
+}  // namespace ldl

@@ -1,0 +1,379 @@
+// §6: sips, adornment, Generalized Magic Sets, and the equivalence theorems.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "base/str_util.h"
+#include "ldl/ldl.h"
+#include "parser/parser.h"
+#include "rewrite/adorn.h"
+#include "rewrite/magic.h"
+#include "rewrite/sip.h"
+#include "workload/workload.h"
+
+namespace ldl {
+namespace {
+
+constexpr const char* kAncestorRules =
+    "a(X, Y) :- p(X, Y).\n"
+    "a(X, Y) :- a(X, Z), a(Z, Y).\n";
+
+constexpr const char* kYoungRules =
+    // The paper's §6 running example, rules 1-5.
+    "a(X, Y) :- p(X, Y).\n"
+    "a(X, Y) :- a(X, Z), a(Z, Y).\n"
+    "sg(X, Y) :- siblings(X, Y).\n"
+    "sg(X, Y) :- p(Z1, X), sg(Z1, Z2), p(Z2, Y).\n"
+    "young(X, <Y>) :- !a(X, Z), sg(X, Y).\n";
+
+// ------------------------------------------------------------------- sips --
+
+TEST(Sip, LeftToRightBindingFlow) {
+  Session session;
+  ASSERT_TRUE(session.Load(kAncestorRules).ok());
+  ASSERT_TRUE(session.Analyze().ok());
+  // Rule 2: a(X, Y) :- a(X, Z), a(Z, Y) with head adornment bf.
+  const RuleIr* rule2 = nullptr;
+  for (const RuleIr& rule : session.program().rules) {
+    if (rule.body.size() == 2) rule2 = &rule;
+  }
+  ASSERT_NE(rule2, nullptr);
+  Sip sip = BuildLeftToRightSip(session.catalog(), *rule2, "bf");
+  // First occurrence sees X bound: "bf"; its outputs bind Z, so the second
+  // sees "bf" too -- the paper's sip for rule 2.
+  EXPECT_EQ(sip.literal_adornments[0], "bf");
+  EXPECT_EQ(sip.literal_adornments[1], "bf");
+  ASSERT_EQ(sip.arcs.size(), 2u);
+  EXPECT_EQ(sip.arcs[0].target, 0);
+  EXPECT_EQ(sip.arcs[1].target, 1);
+  // Second arc's sources include the head pseudo-node and occurrence 0.
+  EXPECT_EQ(sip.arcs[1].sources, (std::vector<int>{-1, 0}));
+}
+
+TEST(Sip, GroupedHeadArgumentPassesNoBindings) {
+  Session session;
+  ASSERT_TRUE(session.Load(kYoungRules).ok());
+  ASSERT_TRUE(session.Analyze().ok());
+  const RuleIr* young_rule = nullptr;
+  for (const RuleIr& rule : session.program().rules) {
+    if (rule.is_grouping()) young_rule = &rule;
+  }
+  ASSERT_NE(young_rule, nullptr);
+  // Even if a caller somehow bound the grouped position, its variable must
+  // not flow into the body.
+  Sip sip = BuildLeftToRightSip(session.catalog(), *young_rule, "bb");
+  // Body: !a(X, Z), sg(X, Y). X is bound (head position 0), Y is not.
+  EXPECT_EQ(sip.literal_adornments[0], "bf");
+  EXPECT_EQ(sip.literal_adornments[1], "bf");
+}
+
+TEST(Sip, QueryAdornmentForcesGroupedPositionsFree) {
+  Session session;
+  ASSERT_TRUE(session.Load(kYoungRules).ok());
+  ASSERT_TRUE(session.Analyze().ok());
+  Interner& interner = session.interner();
+  auto goal_ast = ParseLiteralText("young(john, {a})", &interner);
+  ASSERT_TRUE(goal_ast.ok());
+  auto goal = LowerLiteral(session.factory(), session.catalog(), *goal_ast);
+  ASSERT_TRUE(goal.ok());
+  // Both args are ground, but position 1 is grouped: adornment stays bf.
+  EXPECT_EQ(QueryAdornment(session.catalog(), *goal), "bf");
+}
+
+// -------------------------------------------------------------- adornment --
+
+TEST(Adorn, ProducesReachableAdornedRules) {
+  Session session;
+  ASSERT_TRUE(session.Load(kYoungRules).ok());
+  ASSERT_TRUE(session.Analyze().ok());
+  auto goal_ast = ParseLiteralText("young(john, S)", &session.interner());
+  ASSERT_TRUE(goal_ast.ok());
+  auto goal = LowerLiteral(session.factory(), session.catalog(), *goal_ast);
+  ASSERT_TRUE(goal.ok());
+  auto adorned = AdornProgram(session.program(), &session.catalog(), *goal);
+  ASSERT_TRUE(adorned.ok()) << adorned.status();
+  EXPECT_EQ(adorned->query_adornment, "bf");
+  // The paper's adorned program: young__bf, a__bf, sg__bf (5 rules).
+  EXPECT_EQ(adorned->rules.rules.size(), 5u);
+  Catalog& catalog = session.catalog();
+  EXPECT_NE(catalog.Find("young__bf", 2), kInvalidPred);
+  EXPECT_NE(catalog.Find("a__bf", 2), kInvalidPred);
+  EXPECT_NE(catalog.Find("sg__bf", 2), kInvalidPred);
+  // No free-free versions are reachable.
+  EXPECT_EQ(catalog.Find("a__ff", 2), kInvalidPred);
+}
+
+TEST(Adorn, GoalOnExtensionalPredicateFails) {
+  Session session;
+  ASSERT_TRUE(session.Load("p(a, b).\n").ok());
+  ASSERT_TRUE(session.Analyze().ok());
+  auto goal_ast = ParseLiteralText("p(a, X)", &session.interner());
+  ASSERT_TRUE(goal_ast.ok());
+  auto goal = LowerLiteral(session.factory(), session.catalog(), *goal_ast);
+  ASSERT_TRUE(goal.ok());
+  EXPECT_FALSE(AdornProgram(session.program(), &session.catalog(), *goal).ok());
+}
+
+// ------------------------------------------------------------ magic rules --
+
+TEST(Magic, RewriteShapeMatchesPaper) {
+  // The paper's rewritten rule set 1'-11' (modulo rule numbering): one seed,
+  // magic rules for a, sg (two each: from rule 2 twice / rules 4, 5), one
+  // magic rule for a from rule 5, and five modified rules.
+  Session session;
+  ASSERT_TRUE(session.Load(kYoungRules).ok());
+  ASSERT_TRUE(session.Analyze().ok());
+  auto goal_ast = ParseLiteralText("young(john, S)", &session.interner());
+  auto goal = LowerLiteral(session.factory(), session.catalog(), *goal_ast);
+  ASSERT_TRUE(goal.ok());
+  auto magic = MagicRewrite(session.program(), &session.catalog(), *goal);
+  ASSERT_TRUE(magic.ok()) << magic.status();
+  Catalog& catalog = session.catalog();
+  PredId m_young = catalog.Find("m_young__bf", 1);
+  PredId m_a = catalog.Find("m_a__bf", 1);
+  PredId m_sg = catalog.Find("m_sg__bf", 1);
+  ASSERT_NE(m_young, kInvalidPred);
+  ASSERT_NE(m_a, kInvalidPred);
+  ASSERT_NE(m_sg, kInvalidPred);
+
+  size_t seeds = 0;
+  size_t magic_rules = 0;
+  size_t modified = 0;
+  for (const RuleIr& rule : magic->rules.rules) {
+    if (rule.head_pred == m_young || rule.head_pred == m_a ||
+        rule.head_pred == m_sg) {
+      if (rule.is_fact()) {
+        ++seeds;
+      } else {
+        ++magic_rules;
+        // Every magic rule starts from a magic literal.
+        EXPECT_FALSE(rule.body.empty());
+      }
+    } else {
+      ++modified;
+      // Every modified rule is guarded by its head's magic literal.
+      ASSERT_FALSE(rule.body.empty());
+      EXPECT_TRUE(rule.body[0].pred == m_young || rule.body[0].pred == m_a ||
+                  rule.body[0].pred == m_sg);
+    }
+  }
+  EXPECT_EQ(seeds, 1u);      // 11': magic_young(john)
+  EXPECT_EQ(modified, 5u);   // 6'-10'
+  // 1' is the trivially cyclic magic rule the paper notes "may be deleted";
+  // our generator emits it too: rules 2 (x2), 4, 5 produce 5 magic rules.
+  EXPECT_EQ(magic_rules, 5u);
+}
+
+TEST(Magic, AnswersMatchFullEvaluationOnBoundQuery) {
+  Session session;
+  ASSERT_TRUE(session.Load(ParentChain(30, "p")).ok());
+  ASSERT_TRUE(session.Load(kAncestorRules).ok());
+  auto full = session.Query("a(p0, X)");
+  ASSERT_TRUE(full.ok()) << full.status();
+  QueryOptions magic_options;
+  magic_options.use_magic = true;
+  auto magic = session.Query("a(p0, X)", magic_options);
+  ASSERT_TRUE(magic.ok()) << magic.status();
+  EXPECT_EQ(full->tuples.size(), 30u);
+  EXPECT_EQ(magic->tuples.size(), 30u);
+}
+
+TEST(Magic, TouchesFewerTuplesThanFullEvaluation) {
+  Session session;
+  ASSERT_TRUE(session.Load(ParentChain(120, "p")).ok());
+  ASSERT_TRUE(session
+                  .Load("a(X, Y) :- p(X, Y).\n"
+                        "a(X, Y) :- p(X, Z), a(Z, Y).")
+                  .ok());
+  QueryOptions magic_options;
+  magic_options.use_magic = true;
+  auto magic = session.Query("a(p110, X)", magic_options);
+  ASSERT_TRUE(magic.ok()) << magic.status();
+  EXPECT_EQ(magic->tuples.size(), 10u);
+  auto full = session.Query("a(p110, X)");
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->tuples.size(), 10u);
+  // §6's efficiency claim: the bound query restricts computation.
+  EXPECT_LT(magic->stats.facts_derived, full->stats.facts_derived / 10);
+}
+
+TEST(Magic, YoungRunningExampleEndToEnd) {
+  SameGenerationWorkload workload = MakeSameGeneration(3, 2, 3);
+  Session session;
+  ASSERT_TRUE(session.Load(workload.facts).ok());
+  ASSERT_TRUE(session.Load(kYoungRules).ok());
+
+  QueryOptions magic_options;
+  magic_options.use_magic = true;
+  std::string goal = StrCat("young(", workload.a_leaf, ", S)");
+  auto magic = session.Query(goal, magic_options);
+  ASSERT_TRUE(magic.ok()) << magic.status();
+  auto full = session.Query(goal);
+  ASSERT_TRUE(full.ok()) << full.status();
+  ASSERT_EQ(magic->tuples.size(), full->tuples.size());
+  if (!full->tuples.empty()) {
+    EXPECT_EQ(session.FormatTuple(magic->tuples[0]),
+              session.FormatTuple(full->tuples[0]));
+  }
+  // A person with descendants is not young -- the magic query fails like the
+  // full one.
+  std::string inner_goal = StrCat("young(", workload.an_inner, ", S)");
+  auto inner = session.Query(inner_goal, magic_options);
+  ASSERT_TRUE(inner.ok()) << inner.status();
+  EXPECT_TRUE(inner->tuples.empty());
+}
+
+// Property sweep (Theorems 3/4): on random workloads, the magic-rewritten
+// program computes exactly the answers of the stratified evaluation, for
+// queries over recursion, negation and grouping.
+struct MagicCase {
+  const char* name;
+  const char* rules;
+  const char* goal_pattern;  // %s replaced by a constant
+  const char* goal_constant;
+  const char* facts_kind;    // "tree" or "sg"
+};
+
+class MagicEquivalenceSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MagicEquivalenceSweep, MagicEqualsStratified) {
+  int seed = GetParam();
+  SameGenerationWorkload workload = MakeSameGeneration(2, 2, 2 + seed % 2);
+  Session session;
+  ASSERT_TRUE(session.Load(workload.facts).ok());
+  ASSERT_TRUE(session.Load(ParentRandomTree(25, seed, "p")).ok());
+  ASSERT_TRUE(session.Load(kYoungRules).ok());
+
+  for (const std::string& goal :
+       {StrCat("a(x0, X)"), StrCat("sg(", workload.a_leaf, ", X)"),
+        StrCat("young(", workload.a_leaf, ", S)")}) {
+    auto full = session.Query(goal);
+    ASSERT_TRUE(full.ok()) << goal << ": " << full.status();
+    QueryOptions magic_options;
+    magic_options.use_magic = true;
+    auto magic = session.Query(goal, magic_options);
+    ASSERT_TRUE(magic.ok()) << goal << ": " << magic.status();
+
+    auto render = [&](const std::vector<Tuple>& tuples) {
+      std::vector<std::string> out;
+      for (const Tuple& tuple : tuples) out.push_back(session.FormatTuple(tuple));
+      std::sort(out.begin(), out.end());
+      return out;
+    };
+    EXPECT_EQ(render(full->tuples), render(magic->tuples)) << goal;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MagicEquivalenceSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Adorn, MultipleAdornmentsForOnePredicate) {
+  // anc is consulted bound-first by one rule and bound-second by another:
+  // both adorned versions must be generated, each with its own magic
+  // predicate, and the answers must match full evaluation.
+  Session session;
+  ASSERT_TRUE(session.Load(ParentChain(20, "p")).ok());
+  ASSERT_TRUE(session
+                  .Load("anc(X, Y) :- p(X, Y).\n"
+                        "anc(X, Y) :- p(X, Z), anc(Z, Y).\n"
+                        "rel(A, B) :- anc(A, B).\n"
+                        "rel(A, B) :- anc(B, A).")
+                  .ok());
+  ASSERT_TRUE(session.Analyze().ok());
+  auto goal_ast = ParseLiteralText("rel(p5, X)", &session.interner());
+  ASSERT_TRUE(goal_ast.ok());
+  auto goal = LowerLiteral(session.factory(), session.catalog(), *goal_ast);
+  ASSERT_TRUE(goal.ok());
+  auto adorned = AdornProgram(session.program(), &session.catalog(), *goal);
+  ASSERT_TRUE(adorned.ok()) << adorned.status();
+  EXPECT_NE(session.catalog().Find("anc__bf", 2), kInvalidPred);
+  EXPECT_NE(session.catalog().Find("anc__fb", 2), kInvalidPred);
+
+  QueryOptions magic;
+  magic.use_magic = true;
+  auto full = session.Query("rel(p5, X)");
+  auto fast = session.Query("rel(p5, X)", magic);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(fast.ok()) << fast.status();
+  EXPECT_EQ(full->tuples.size(), fast->tuples.size());
+  EXPECT_EQ(fast->tuples.size(), 20u);  // 15 descendants + 5 ancestors of p5
+}
+
+// Supplementary magic ([BR87]) computes the same answers with shared
+// prefix joins.
+TEST(SupplementaryMagic, AnswersMatchPlainMagic) {
+  Session session;
+  ASSERT_TRUE(session.Load(ParentChain(60, "p")).ok());
+  ASSERT_TRUE(session.Load(kYoungRules).ok());
+  ASSERT_TRUE(session.Load(MakeSameGeneration(2, 2, 3).facts).ok());
+
+  for (const char* goal : {"a(x0, X)", "sg(x3, X)", "young(x3, S)"}) {
+    QueryOptions plain;
+    plain.use_magic = true;
+    QueryOptions supplementary = plain;
+    supplementary.use_supplementary = true;
+    auto a = session.Query(goal, plain);
+    auto b = session.Query(goal, supplementary);
+    ASSERT_TRUE(a.ok()) << goal << ": " << a.status();
+    ASSERT_TRUE(b.ok()) << goal << ": " << b.status();
+    auto render = [&](const std::vector<Tuple>& tuples) {
+      std::vector<std::string> out;
+      for (const Tuple& t : tuples) out.push_back(session.FormatTuple(t));
+      std::sort(out.begin(), out.end());
+      return out;
+    };
+    EXPECT_EQ(render(a->tuples), render(b->tuples)) << goal;
+  }
+}
+
+TEST(SupplementaryMagic, EmitsSupChains) {
+  Session session;
+  ASSERT_TRUE(session.Load(kYoungRules).ok());
+  ASSERT_TRUE(session.Analyze().ok());
+  auto goal_ast = ParseLiteralText("young(john, S)", &session.interner());
+  auto goal = LowerLiteral(session.factory(), session.catalog(), *goal_ast);
+  ASSERT_TRUE(goal.ok());
+  MagicOptions options;
+  options.supplementary = true;
+  auto magic = MagicRewrite(session.program(), &session.catalog(), *goal, options);
+  ASSERT_TRUE(magic.ok()) << magic.status();
+  // Every rule with a non-empty body got a sup_0 chain; count sup preds.
+  size_t sup_rules = 0;
+  for (const RuleIr& rule : magic->rules.rules) {
+    std::string name(
+        session.interner().Lookup(session.catalog().info(rule.head_pred).name));
+    if (name.rfind("sup$", 0) == 0) ++sup_rules;
+  }
+  EXPECT_GE(sup_rules, 5u);  // at least one sup_0 per original rule
+}
+
+TEST(SupplementaryMagic, BomPartitionRuleWorks) {
+  // The partition built-in precedes its inputs textually; the supplementary
+  // scheduler must defer it and still produce an evaluable chain.
+  BomWorkload workload = MakeBom(16, 3);
+  Session session;
+  ASSERT_TRUE(session.Load(workload.facts).ok());
+  ASSERT_TRUE(session.Load(
+      "p(P, S) :- part_of(P, S).\n"
+      "q(X, C) :- cost(X, C).\n"
+      "part(P, <S>) :- p(P, S).\n"
+      "tc({X}, C) :- q(X, C).\n"
+      "tc({X}, C) :- part(X, S), tc(S, C).\n"
+      "tc(S, C) :- partition(S, S1, S2), tc(S1, C1), tc(S2, C2), +(C1, C2, C).\n"
+      "result(X, C) :- tc({X}, C).").ok());
+  QueryOptions plain;
+  plain.use_magic = true;
+  QueryOptions supplementary = plain;
+  supplementary.use_supplementary = true;
+  std::string goal = StrCat("result(", workload.root, ", C)");
+  auto a = session.Query(goal, plain);
+  auto b = session.Query(goal, supplementary);
+  ASSERT_TRUE(a.ok()) << a.status();
+  ASSERT_TRUE(b.ok()) << b.status();
+  ASSERT_EQ(a->tuples.size(), 1u);
+  ASSERT_EQ(b->tuples.size(), 1u);
+  EXPECT_EQ(a->tuples[0][1], b->tuples[0][1]);
+}
+
+}  // namespace
+}  // namespace ldl

@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include "parser/lexer.h"
+#include "parser/parser.h"
+
+namespace ldl {
+namespace {
+
+// ------------------------------------------------------------------ Lexer --
+
+TEST(Lexer, BasicTokens) {
+  auto tokens = Tokenize("p(X, 42) :- q(X).");
+  ASSERT_TRUE(tokens.ok()) << tokens.status();
+  std::vector<TokenKind> kinds;
+  for (const Token& t : *tokens) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds, std::vector<TokenKind>({
+                       TokenKind::kName, TokenKind::kLParen, TokenKind::kVarName,
+                       TokenKind::kComma, TokenKind::kInt, TokenKind::kRParen,
+                       TokenKind::kIf, TokenKind::kName, TokenKind::kLParen,
+                       TokenKind::kVarName, TokenKind::kRParen, TokenKind::kDot,
+                       TokenKind::kEof}));
+}
+
+TEST(Lexer, ArrowVariantsAllMeanIf) {
+  for (const char* arrow : {":-", "<-", "<--"}) {
+    auto tokens = Tokenize(arrow);
+    ASSERT_TRUE(tokens.ok());
+    EXPECT_EQ((*tokens)[0].kind, TokenKind::kIf) << arrow;
+  }
+}
+
+TEST(Lexer, ComparisonOperators) {
+  auto tokens = Tokenize("< <= > >= = /= !=");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<TokenKind> kinds;
+  for (const Token& t : *tokens) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds, std::vector<TokenKind>(
+                       {TokenKind::kLAngle, TokenKind::kLe, TokenKind::kRAngle,
+                        TokenKind::kGe, TokenKind::kEq, TokenKind::kNeq,
+                        TokenKind::kNeq, TokenKind::kEof}));
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  auto tokens = Tokenize("a % rest of line\n# another\nb");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens->size(), 3u);  // a, b, eof
+}
+
+TEST(Lexer, StringsWithEscapes) {
+  auto tokens = Tokenize(R"("a\"b\n")");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kString);
+  EXPECT_EQ((*tokens)[0].text, "a\"b\n");
+}
+
+TEST(Lexer, UnterminatedStringIsError) {
+  EXPECT_FALSE(Tokenize("\"abc").ok());
+}
+
+TEST(Lexer, LineAndColumnTracking) {
+  auto tokens = Tokenize("a\n  b");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].line, 1);
+  EXPECT_EQ((*tokens)[1].line, 2);
+  EXPECT_EQ((*tokens)[1].column, 3);
+}
+
+TEST(Lexer, AnonymousVariable) {
+  auto tokens = Tokenize("_ _x X");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kAnonVar);
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kVarName);
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kVarName);
+}
+
+TEST(Lexer, DigitPrefixedIdentifierIsError) {
+  EXPECT_FALSE(Tokenize("12abc").ok());
+}
+
+// ----------------------------------------------------------------- Parser --
+
+class ParserTest : public ::testing::Test {
+ protected:
+  TermExpr Term(const std::string& text) {
+    auto result = ParseTermText(text, &interner_);
+    EXPECT_TRUE(result.ok()) << text << ": " << result.status();
+    return result.ok() ? *result : TermExpr{};
+  }
+  std::string RoundTrip(const std::string& text) {
+    return AstPrinter(&interner_).ToString(Term(text));
+  }
+  Interner interner_;
+};
+
+TEST_F(ParserTest, SimpleTerms) {
+  EXPECT_EQ(Term("42").kind, TermExprKind::kInt);
+  EXPECT_EQ(Term("-7").int_value, -7);
+  EXPECT_EQ(Term("john").kind, TermExprKind::kAtom);
+  EXPECT_EQ(Term("X").kind, TermExprKind::kVar);
+  EXPECT_EQ(Term("\"hi\"").kind, TermExprKind::kString);
+}
+
+TEST_F(ParserTest, StructuredTerms) {
+  TermExpr f = Term("f(a, X, 3)");
+  EXPECT_EQ(f.kind, TermExprKind::kFunc);
+  EXPECT_EQ(f.args.size(), 3u);
+  TermExpr set = Term("{1, 2, a}");
+  EXPECT_EQ(set.kind, TermExprKind::kSetEnum);
+  EXPECT_EQ(set.args.size(), 3u);
+  EXPECT_EQ(Term("{}").kind, TermExprKind::kSetEnum);
+  EXPECT_TRUE(Term("{}").args.empty());
+  TermExpr group = Term("<X>");
+  EXPECT_EQ(group.kind, TermExprKind::kGroup);
+  EXPECT_TRUE(group.args[0].is_var());
+}
+
+TEST_F(ParserTest, NestedGroups) {
+  TermExpr t = Term("<h(S, <D>)>");
+  EXPECT_TRUE(t.is_group());
+  EXPECT_EQ(t.args[0].kind, TermExprKind::kFunc);
+  EXPECT_TRUE(t.args[0].args[1].is_group());
+}
+
+TEST_F(ParserTest, TupleTerms) {
+  TermExpr t = Term("(X, Y, <Z>)");
+  EXPECT_EQ(t.kind, TermExprKind::kFunc);
+  EXPECT_EQ(interner_.Lookup(t.symbol), "tuple");
+  EXPECT_EQ(t.args.size(), 3u);
+  // A parenthesized single term is not a tuple.
+  EXPECT_EQ(Term("(X)").kind, TermExprKind::kVar);
+}
+
+TEST_F(ParserTest, Lists) {
+  EXPECT_EQ(RoundTrip("[1, 2]"), ".(1, .(2, []))");
+  EXPECT_EQ(RoundTrip("[H | T]"), ".(H, T)");
+  EXPECT_EQ(RoundTrip("[]"), "[]");
+}
+
+TEST_F(ParserTest, RoundTripPrinting) {
+  for (const char* text :
+       {"f(a, X, 3)", "{1, 2, a}", "<X>", "scons(X, S)", "f(g(h(1)))"}) {
+    EXPECT_EQ(RoundTrip(text), text);
+  }
+}
+
+TEST_F(ParserTest, AnonymousVarsAreRenamedApart) {
+  TermExpr t = Term("f(_, _)");
+  ASSERT_EQ(t.args.size(), 2u);
+  EXPECT_TRUE(t.args[0].is_var());
+  EXPECT_NE(t.args[0].symbol, t.args[1].symbol);
+}
+
+TEST(ParserRules, FactAndRule) {
+  Interner interner;
+  auto program = ParseProgram("p(a). q(X) :- p(X).", &interner);
+  ASSERT_TRUE(program.ok()) << program.status();
+  ASSERT_EQ(program->rules.size(), 2u);
+  EXPECT_TRUE(program->rules[0].is_fact());
+  EXPECT_EQ(program->rules[1].body.size(), 1u);
+}
+
+TEST(ParserRules, NegationForms) {
+  Interner interner;
+  auto program = ParseProgram(
+      "a(X) :- b(X), !c(X).\n"
+      "d(X) :- b(X), not c(X).\n"
+      "e(X) :- b(X), ~c(X).",
+      &interner);
+  ASSERT_TRUE(program.ok()) << program.status();
+  for (const RuleAst& rule : program->rules) {
+    ASSERT_EQ(rule.body.size(), 2u);
+    EXPECT_FALSE(rule.body[0].negated);
+    EXPECT_TRUE(rule.body[1].negated);
+  }
+}
+
+TEST(ParserRules, ComparisonsAndArithmetic) {
+  Interner interner;
+  auto program = ParseProgram(
+      "deal(X, Y) :- book(X, Px), book(Y, Py), Px + Py < 100.\n"
+      "tc(C) :- q(C1), q(C2), +(C1, C2, C).\n"
+      "eq(X, Y) :- p(X), Y = X.\n"
+      "ne(X) :- p(X), X /= 3.",
+      &interner);
+  ASSERT_TRUE(program.ok()) << program.status();
+  const RuleAst& deal = program->rules[0];
+  ASSERT_EQ(deal.body.size(), 3u);
+  EXPECT_EQ(deal.body[2].builtin, BuiltinKind::kLt);
+  EXPECT_EQ(deal.body[2].args[0].kind, TermExprKind::kFunc);  // $add
+  const RuleAst& tc = program->rules[1];
+  EXPECT_EQ(tc.body[2].builtin, BuiltinKind::kPlus);
+  EXPECT_EQ(program->rules[2].body[1].builtin, BuiltinKind::kEq);
+  EXPECT_EQ(program->rules[3].body[1].builtin, BuiltinKind::kNeq);
+}
+
+TEST(ParserRules, BuiltinRecognition) {
+  Interner interner;
+  auto program = ParseProgram(
+      "a(X) :- s(S), member(X, S).\n"
+      "b(S) :- s(S1), s(S2), union(S1, S2, S).\n"
+      "c(S, N) :- s(S), card(S, N).",
+      &interner);
+  ASSERT_TRUE(program.ok()) << program.status();
+  EXPECT_EQ(program->rules[0].body[1].builtin, BuiltinKind::kMember);
+  EXPECT_EQ(program->rules[1].body[2].builtin, BuiltinKind::kUnion);
+  EXPECT_EQ(program->rules[2].body[1].builtin, BuiltinKind::kCard);
+}
+
+TEST(ParserRules, MemberWithWrongArityIsOrdinaryPredicate) {
+  Interner interner;
+  auto program = ParseProgram("a(X) :- member(X, S, T).", &interner);
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->rules[0].body[0].builtin, BuiltinKind::kNone);
+}
+
+TEST(ParserRules, GroupingHead) {
+  Interner interner;
+  auto program = ParseProgram("part(P, <S>) :- p(P, S).", &interner);
+  ASSERT_TRUE(program.ok()) << program.status();
+  EXPECT_TRUE(program->rules[0].head.args[1].is_group());
+}
+
+TEST(ParserRules, Queries) {
+  Interner interner;
+  auto program = ParseProgram("? young(john, S).\n?- anc(X, Y).", &interner);
+  ASSERT_TRUE(program.ok()) << program.status();
+  ASSERT_EQ(program->queries.size(), 2u);
+  EXPECT_EQ(interner.Lookup(program->queries[0].goal.predicate), "young");
+}
+
+TEST(ParserRules, SetEnumerationInHead) {
+  Interner interner;
+  auto program = ParseProgram(
+      "book_deal({X, Y, Z}) :- book(X, Px), book(Y, Py), book(Z, Pz), "
+      "Px + Py + Pz < 100.",
+      &interner);
+  ASSERT_TRUE(program.ok()) << program.status();
+  EXPECT_EQ(program->rules[0].head.args[0].kind, TermExprKind::kSetEnum);
+}
+
+TEST(ParserRules, ZeroArityPredicates) {
+  Interner interner;
+  auto program = ParseProgram("flag. go :- flag.", &interner);
+  ASSERT_TRUE(program.ok()) << program.status();
+  EXPECT_TRUE(program->rules[0].head.args.empty());
+}
+
+TEST(ParserRules, Errors) {
+  Interner interner;
+  EXPECT_FALSE(ParseProgram("p(a)", &interner).ok());        // missing dot
+  EXPECT_FALSE(ParseProgram("p(a,).", &interner).ok());      // dangling comma
+  EXPECT_FALSE(ParseProgram(":- p(a).", &interner).ok());    // headless
+  EXPECT_FALSE(ParseProgram("!p(a) :- q.", &interner).ok()); // negated head
+  EXPECT_FALSE(ParseProgram("X = 3.", &interner).ok());      // builtin head
+  EXPECT_FALSE(ParseProgram("p(a) :- q(b]).", &interner).ok());
+  auto err = ParseProgram("p(a) :-\nq(", &interner);
+  ASSERT_FALSE(err.ok());
+  // Error message carries position info.
+  EXPECT_NE(err.status().message().find("line 2"), std::string::npos)
+      << err.status();
+}
+
+TEST(ParserRules, ParseLiteralTextConvenience) {
+  Interner interner;
+  auto goal = ParseLiteralText("young(john, S)", &interner);
+  ASSERT_TRUE(goal.ok()) << goal.status();
+  EXPECT_EQ(goal->args.size(), 2u);
+  EXPECT_FALSE(ParseLiteralText("young(john", &interner).ok());
+}
+
+}  // namespace
+}  // namespace ldl

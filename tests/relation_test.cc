@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "eval/relation.h"
+
+namespace ldl {
+namespace {
+
+class RelationTest : public ::testing::Test {
+ protected:
+  Tuple T(std::initializer_list<int> values) {
+    Tuple t;
+    for (int v : values) t.push_back(factory_.MakeInt(v));
+    return t;
+  }
+
+  Interner interner_;
+  TermFactory factory_{&interner_};
+};
+
+TEST_F(RelationTest, InsertDeduplicates) {
+  Relation r(2);
+  EXPECT_TRUE(r.Insert(T({1, 2})));
+  EXPECT_FALSE(r.Insert(T({1, 2})));
+  EXPECT_TRUE(r.Insert(T({2, 1})));
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_TRUE(r.Contains(T({1, 2})));
+  EXPECT_FALSE(r.Contains(T({3, 3})));
+}
+
+TEST_F(RelationTest, EraseTombstones) {
+  Relation r(1);
+  r.Insert(T({1}));
+  r.Insert(T({2}));
+  EXPECT_TRUE(r.Erase(T({1})));
+  EXPECT_FALSE(r.Erase(T({1})));
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_FALSE(r.Contains(T({1})));
+  // Row storage keeps the slot (stable row ids for delta windows).
+  EXPECT_EQ(r.row_count(), 2u);
+  int seen = 0;
+  r.ForEachRow(0, r.row_count(), [&](size_t, const Tuple&) { ++seen; });
+  EXPECT_EQ(seen, 1);
+}
+
+TEST_F(RelationTest, ReviveAfterErase) {
+  Relation r(1);
+  r.Insert(T({1}));
+  r.Erase(T({1}));
+  EXPECT_TRUE(r.Insert(T({1})));
+  EXPECT_TRUE(r.Contains(T({1})));
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST_F(RelationTest, WindowedIteration) {
+  Relation r(1);
+  for (int i = 0; i < 10; ++i) r.Insert(T({i}));
+  std::vector<int64_t> seen;
+  r.ForEachRow(4, 7, [&](size_t, const Tuple& t) {
+    seen.push_back(t[0]->int_value());
+  });
+  EXPECT_EQ(seen, (std::vector<int64_t>{4, 5, 6}));
+}
+
+TEST_F(RelationTest, ProbeFindsMatchingRows) {
+  Relation r(2);
+  r.Insert(T({1, 10}));
+  r.Insert(T({2, 20}));
+  r.Insert(T({1, 30}));
+  std::vector<size_t> rows;
+  r.Probe(0, factory_.MakeInt(1), 0, r.row_count(), &rows);
+  EXPECT_EQ(rows.size(), 2u);
+  r.Probe(1, factory_.MakeInt(20), 0, r.row_count(), &rows);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(r.row(rows[0])[0]->int_value(), 2);
+}
+
+TEST_F(RelationTest, ProbeRespectsWindowAndTombstones) {
+  Relation r(1);
+  for (int i = 0; i < 5; ++i) r.Insert(T({1}));  // dedup: only one row!
+  Relation r2(2);
+  for (int i = 0; i < 5; ++i) r2.Insert(T({1, i}));
+  std::vector<size_t> rows;
+  r2.Probe(0, factory_.MakeInt(1), 2, 4, &rows);
+  EXPECT_EQ(rows.size(), 2u);
+  r2.Erase(T({1, 2}));
+  r2.Probe(0, factory_.MakeInt(1), 2, 4, &rows);
+  EXPECT_EQ(rows.size(), 1u);
+}
+
+TEST_F(RelationTest, IndexStaysFreshAcrossInserts) {
+  Relation r(1);
+  r.Insert(T({1}));
+  std::vector<size_t> rows;
+  r.Probe(0, factory_.MakeInt(1), 0, r.row_count(), &rows);  // builds index
+  r.Insert(T({2}));
+  r.Probe(0, factory_.MakeInt(2), 0, r.row_count(), &rows);
+  EXPECT_EQ(rows.size(), 1u);
+}
+
+TEST_F(RelationTest, SnapshotSkipsTombstones) {
+  Relation r(1);
+  r.Insert(T({1}));
+  r.Insert(T({2}));
+  r.Erase(T({1}));
+  auto snapshot = r.Snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot[0][0]->int_value(), 2);
+}
+
+TEST_F(RelationTest, ZeroArityRelation) {
+  Relation r(0);
+  EXPECT_TRUE(r.Insert(Tuple{}));
+  EXPECT_FALSE(r.Insert(Tuple{}));
+  EXPECT_TRUE(r.Contains(Tuple{}));
+  EXPECT_TRUE(r.Erase(Tuple{}));
+  EXPECT_FALSE(r.Contains(Tuple{}));
+}
+
+TEST_F(RelationTest, DatabaseLazyRelations) {
+  Catalog catalog(&interner_);
+  PredId p = catalog.GetOrCreate("p", 2);
+  PredId q = catalog.GetOrCreate("q", 1);
+  Database db(&catalog);
+  db.AddFact(p, T({1, 2}));
+  db.AddFact(q, T({3}));
+  EXPECT_EQ(db.relation(p).arity(), 2u);
+  EXPECT_EQ(db.TotalFacts(), 2u);
+  // Registering new predicates after the fact still works.
+  PredId r = catalog.GetOrCreate("r", 3);
+  db.AddFact(r, T({1, 2, 3}));
+  EXPECT_EQ(db.TotalFacts(), 3u);
+}
+
+TEST_F(RelationTest, DatabaseCopyFrom) {
+  Catalog catalog(&interner_);
+  PredId p = catalog.GetOrCreate("p", 1);
+  PredId q = catalog.GetOrCreate("q", 1);
+  Database source(&catalog);
+  source.AddFact(p, T({1}));
+  source.AddFact(q, T({2}));
+  Database target(&catalog);
+  target.CopyFrom(source, {p});
+  EXPECT_EQ(target.relation(p).size(), 1u);
+  EXPECT_EQ(target.relation(q).size(), 0u);
+}
+
+}  // namespace
+}  // namespace ldl

@@ -1,0 +1,98 @@
+// End-to-end test of the ldl_repl binary: pipe a script through it and
+// check the rendered answers, strata, provenance and warnings.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace ldl {
+namespace {
+
+// Runs the repl with `input` on stdin; returns stdout.
+std::string RunRepl(const std::string& input, const std::string& args = "") {
+  std::string command = "printf '%s' '" + input + "' | " +
+                        std::string(LDL1_REPL_BINARY) + " " + args + " 2>&1";
+  FILE* pipe = popen(command.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  std::string output;
+  char buffer[512];
+  while (fgets(buffer, sizeof buffer, pipe) != nullptr) output += buffer;
+  pclose(pipe);
+  return output;
+}
+
+TEST(Repl, AnswersQueries) {
+  std::string out = RunRepl(
+      "parent(a,b).\n"
+      "parent(b,c).\n"
+      "anc(X,Y) :- parent(X,Y).\n"
+      "anc(X,Y) :- parent(X,Z), anc(Z,Y).\n"
+      "? anc(a,X).\n"
+      ":quit\n");
+  EXPECT_NE(out.find("(a, b)"), std::string::npos) << out;
+  EXPECT_NE(out.find("(a, c)"), std::string::npos) << out;
+  EXPECT_NE(out.find("2 answer(s)"), std::string::npos) << out;
+}
+
+TEST(Repl, StrataAndPreds) {
+  std::string out = RunRepl(
+      "p(a). q(X) :- p(X), !r(X). r(a).\n"
+      ":strata\n"
+      ":preds\n"
+      ":quit\n");
+  EXPECT_NE(out.find("layer 0"), std::string::npos) << out;
+  EXPECT_NE(out.find("layer 1"), std::string::npos) << out;
+  EXPECT_NE(out.find("q/1"), std::string::npos) << out;
+}
+
+TEST(Repl, MagicModeAndStats) {
+  std::string out = RunRepl(
+      "e(1,2). e(2,3).\n"
+      "t(X,Y) :- e(X,Y).\n"
+      "t(X,Y) :- e(X,Z), t(Z,Y).\n"
+      ":magic on\n"
+      "? t(1,X).\n"
+      ":stats\n"
+      ":quit\n");
+  EXPECT_NE(out.find("[magic]"), std::string::npos) << out;
+  EXPECT_NE(out.find("firings="), std::string::npos) << out;
+}
+
+TEST(Repl, WhyProvenance) {
+  std::string out = RunRepl(
+      "parent(a,b).\n"
+      "anc(X,Y) :- parent(X,Y).\n"
+      ":why anc(a, b)\n"
+      ":quit\n");
+  EXPECT_NE(out.find("anc(a, b)   [rule"), std::string::npos) << out;
+  EXPECT_NE(out.find("parent(a, b)   [edb]"), std::string::npos) << out;
+}
+
+TEST(Repl, WarningsCommand) {
+  std::string out = RunRepl(
+      "int(z).\n"
+      "int(s(X)) :- int(X).\n"
+      ":warnings\n"
+      ":quit\n");
+  EXPECT_NE(out.find("may be infinite"), std::string::npos) << out;
+}
+
+TEST(Repl, ErrorsAreReportedNotFatal) {
+  std::string out = RunRepl(
+      "p(a.\n"          // parse error
+      "p(a).\n"         // still works afterwards
+      "? p(X).\n"
+      ":quit\n");
+  EXPECT_NE(out.find("parse_error"), std::string::npos) << out;
+  EXPECT_NE(out.find("1 answer(s)"), std::string::npos) << out;
+}
+
+TEST(Repl, LoadsCorpusFile) {
+  std::string out = RunRepl("? young(ella, S).\n:quit\n",
+                            std::string(LDL1_CORPUS_DIR) + "/young.ldl");
+  EXPECT_NE(out.find("loaded"), std::string::npos) << out;
+  EXPECT_NE(out.find("{bob}"), std::string::npos) << out;
+}
+
+}  // namespace
+}  // namespace ldl

@@ -1,0 +1,218 @@
+// Executable versions of the paper's §2.2-§2.4 semantic examples: model
+// checking, the failure of model intersection, the Russell-Whitehead
+// program, and the non-standard minimality order.
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+#include "program/lower.h"
+#include "program/stratify.h"
+#include "eval/bindings.h"
+#include "semantics/model.h"
+
+namespace ldl {
+namespace {
+
+class SemanticsTest : public ::testing::Test {
+ protected:
+  void LoadProgram(const std::string& source) {
+    auto ast = ParseProgram(source, &interner_);
+    ASSERT_TRUE(ast.ok()) << ast.status();
+    auto ir = LowerProgram(factory_, catalog_, *ast);
+    ASSERT_TRUE(ir.ok()) << ir.status();
+    program_ = std::move(*ir);
+  }
+
+  // Builds an interpretation from fact text like "q(1). p({1, 2}).".
+  std::unique_ptr<Database> Interp(const std::string& facts) {
+    auto db = std::make_unique<Database>(&catalog_);
+    auto ast = ParseProgram(facts, &interner_);
+    EXPECT_TRUE(ast.ok()) << ast.status();
+    for (const RuleAst& rule : ast->rules) {
+      EXPECT_TRUE(rule.is_fact());
+      auto ir = LowerRule(factory_, catalog_, rule, -1);
+      EXPECT_TRUE(ir.ok()) << ir.status();
+      InstantiationResult inst =
+          InstantiateArgs(factory_, ir->head_args, Subst());
+      EXPECT_FALSE(inst.unbound);
+      if (!inst.outside_universe) db->AddFact(ir->head_pred, inst.tuple);
+    }
+    return db;
+  }
+
+  bool CheckModel(const Database& db, std::string* why = nullptr) {
+    auto result = IsModel(factory_, catalog_, program_, db, why);
+    EXPECT_TRUE(result.ok()) << result.status();
+    return result.ok() && *result;
+  }
+
+  std::vector<PredId> AllPreds() {
+    std::vector<PredId> preds;
+    for (PredId p = 0; p < catalog_.size(); ++p) preds.push_back(p);
+    return preds;
+  }
+
+  Interner interner_;
+  TermFactory factory_{&interner_};
+  Catalog catalog_{&interner_};
+  ProgramIr program_;
+};
+
+// §2.2: the q/p/r/h example: {r(1), h({1}), p({1}), q({1})} is a model,
+// {r(1), h({1}), p({1,2})} is not.
+TEST_F(SemanticsTest, Section22ModelExample) {
+  LoadProgram(
+      "q(X) :- p(X), h(X).\n"
+      "p(<X>) :- r(X).\n"
+      "r(1).\n"
+      "h({1}).");
+  auto good = Interp("r(1). h({1}). p({1}). q({1}).");
+  EXPECT_TRUE(CheckModel(*good));
+
+  std::string why;
+  auto bad = Interp("r(1). h({1}). p({1, 2}).");
+  EXPECT_FALSE(CheckModel(*bad, &why));
+  // The grouping rule demands exactly p({1}).
+  EXPECT_NE(why.find("p({1})"), std::string::npos) << why;
+
+  // Adding p({1}) back fixes grouping but the q rule then fires on p({1})?
+  // No: q(X) :- p(X), h(X) needs h(S) too; h({1}) holds, p({1}) holds, so
+  // q({1}) is required.
+  auto partial = Interp("r(1). h({1}). p({1}). p({1, 2}).");
+  EXPECT_FALSE(CheckModel(*partial, &why));
+  EXPECT_NE(why.find("q({1})"), std::string::npos) << why;
+}
+
+// §2.3: models are not closed under intersection.
+TEST_F(SemanticsTest, Section23IntersectionFails) {
+  LoadProgram("p(<X>) :- q(X).");
+  auto model_a = Interp("q(1). q(2). p({1, 2}).");
+  auto model_b = Interp("q(2). q(3). p({2, 3}).");
+  EXPECT_TRUE(CheckModel(*model_a));
+  EXPECT_TRUE(CheckModel(*model_b));
+  // A n B = {q(2)}: not a model, p({2}) is missing.
+  std::string why;
+  auto intersection = Interp("q(2).");
+  EXPECT_FALSE(CheckModel(*intersection, &why));
+  EXPECT_NE(why.find("p({2})"), std::string::npos) << why;
+}
+
+// §2.3: the Russell-Whitehead program p(<X>) <- p(X), p(1) has no model;
+// every candidate interpretation we try fails, and each failure demands a
+// strictly larger p-fact (the regress the paper describes).
+TEST_F(SemanticsTest, Section23NoModelRegress) {
+  LoadProgram(
+      "p(1).\n"
+      "p(<X>) :- p(X).");
+  const char* candidates[] = {
+      "p(1).",
+      "p(1). p({1}).",
+      "p(1). p({1}). p({1, {1}}).",
+      "p(1). p({1}). p({1, {1}}). p({1, {1}, {1, {1}}}).",
+  };
+  for (const char* candidate : candidates) {
+    auto db = Interp(candidate);
+    std::string why;
+    EXPECT_FALSE(CheckModel(*db, &why)) << candidate;
+    EXPECT_NE(why.find("missing grouped fact"), std::string::npos) << why;
+  }
+}
+
+// §2.4: the paper's minimality example. M1 = {q(1), q(2), p({1,2})} and
+// M2 = {q(1), p({1})} are both models; M2 improves on M1 in the domination
+// order, so M1 is not minimal.
+TEST_F(SemanticsTest, Section24MinimalityOrder) {
+  LoadProgram(
+      "q(1).\n"
+      "p(<X>) :- q(X).\n"
+      "q(2) :- p({1, 2}).");
+  auto m1 = Interp("q(1). q(2). p({1, 2}).");
+  auto m2 = Interp("q(1). p({1}).");
+  EXPECT_TRUE(CheckModel(*m1));
+  EXPECT_TRUE(CheckModel(*m2));
+  // (M2 - M1) = {p({1})} <= (M1 - M2) = {q(2), p({1,2})}.
+  EXPECT_TRUE(DifferenceDominated(factory_, *m2, *m1, AllPreds()));
+  EXPECT_FALSE(DifferenceDominated(factory_, *m1, *m2, AllPreds()));
+}
+
+// §2.4 remark: the program without a unique minimal model. M = {q(1),
+// w({1}, 7)} is not a model (grouping demands p({1}), which would force
+// q(7), which would force a bigger group...). M1 = M u {q(2), p({1,2})} and
+// M2 = M u {q(3), p({1,3})} are both models, and neither dominates the
+// other.
+TEST_F(SemanticsTest, Section24NoUniqueMinimalModel) {
+  LoadProgram(
+      "p(<X>) :- q(X).\n"
+      "q(Y) :- w(S, Y), p(S).\n"
+      "q(1).\n"
+      "w({1}, 7).");
+  std::string why;
+  auto m = Interp("q(1). w({1}, 7).");
+  EXPECT_FALSE(CheckModel(*m, &why));
+  EXPECT_NE(why.find("p({1})"), std::string::npos) << why;
+
+  // Adding p({1}) triggers the w-rule: q(7) becomes required.
+  auto with_p = Interp("q(1). w({1}, 7). p({1}).");
+  EXPECT_FALSE(CheckModel(*with_p, &why));
+  EXPECT_NE(why.find("q(7)"), std::string::npos) << why;
+
+  // ... and with q(7) the group must regrow: p({1, 7}) required.
+  auto with_q7 = Interp("q(1). w({1}, 7). p({1}). q(7).");
+  EXPECT_FALSE(CheckModel(*with_q7, &why));
+  EXPECT_NE(why.find("p({1, 7})"), std::string::npos) << why;
+
+  // The paper's two incomparable models.
+  auto m1 = Interp("q(1). w({1}, 7). q(2). p({1, 2}).");
+  auto m2 = Interp("q(1). w({1}, 7). q(3). p({1, 3}).");
+  EXPECT_TRUE(CheckModel(*m1)) << why;
+  EXPECT_TRUE(CheckModel(*m2));
+  EXPECT_FALSE(DifferenceDominated(factory_, *m1, *m2, AllPreds()));
+  EXPECT_FALSE(DifferenceDominated(factory_, *m2, *m1, AllPreds()));
+}
+
+// Fact domination basics.
+TEST_F(SemanticsTest, FactDomination) {
+  auto set = [&](std::initializer_list<int> xs) {
+    std::vector<const Term*> elements;
+    for (int x : xs) elements.push_back(factory_.MakeInt(x));
+    return factory_.MakeSet(elements);
+  };
+  const Term* a = factory_.MakeAtom("a");
+  // Set columns compare by subset.
+  EXPECT_TRUE(FactDominated(factory_, {a, set({1})}, {a, set({1, 2})}));
+  EXPECT_FALSE(FactDominated(factory_, {a, set({1, 2})}, {a, set({1})}));
+  EXPECT_TRUE(FactDominated(factory_, {a, set({})}, {a, set({1})}));
+  // Non-set columns compare by equality.
+  EXPECT_FALSE(FactDominated(factory_, {factory_.MakeAtom("b"), set({1})},
+                             {a, set({1, 2})}));
+  // Mixed kinds at a position: only equality counts.
+  EXPECT_FALSE(FactDominated(factory_, {set({})}, {a}));
+  EXPECT_TRUE(FactDominated(factory_, {a}, {a}));
+}
+
+// The engine's standard model is §2.2-sound: IsModel holds for what
+// stratified evaluation computes, on a program exercising grouping,
+// negation and recursion together.
+TEST_F(SemanticsTest, ComputedModelIsAModel) {
+  LoadProgram(
+      "e(1, 2). e(2, 3). e(3, 4). n(1). n(2). n(3). n(4).\n"
+      "t(X, Y) :- e(X, Y).\n"
+      "t(X, Y) :- t(X, Z), e(Z, Y).\n"
+      "sink(X) :- n(X), !e(X, Z).\n"
+      "reach(X, <Y>) :- t(X, Y).");
+  auto strat = Stratify(catalog_, program_);
+  ASSERT_TRUE(strat.ok()) << strat.status();
+  Database db(&catalog_);
+  Engine engine(&factory_, &catalog_);
+  ASSERT_TRUE(engine.EvaluateProgram(program_, *strat, &db).ok());
+  std::string why;
+  EXPECT_TRUE(CheckModel(db, &why)) << why;
+
+  // Dropping a derived fact breaks modelhood.
+  PredId t = catalog_.Find("t", 2);
+  ASSERT_TRUE(db.relation(t).Erase(
+      {factory_.MakeInt(1), factory_.MakeInt(4)}));
+  EXPECT_FALSE(CheckModel(db, &why));
+}
+
+}  // namespace
+}  // namespace ldl

@@ -1,0 +1,129 @@
+// Facade behaviors: incremental loading, re-analysis, error propagation,
+// formatting, stored queries.
+#include <gtest/gtest.h>
+
+#include "ldl/ldl.h"
+
+namespace ldl {
+namespace {
+
+TEST(Session, IncrementalLoadInvalidatesAnalysis) {
+  Session session;
+  ASSERT_TRUE(session.Load("p(a).").ok());
+  ASSERT_TRUE(session.Evaluate().ok());
+  ASSERT_TRUE(session.Load("q(X) :- p(X).").ok());
+  auto result = session.Query("q(X)");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->tuples.size(), 1u);
+}
+
+TEST(Session, ParseErrorsSurface) {
+  Session session;
+  Status status = session.Load("p(a");
+  EXPECT_EQ(status.code(), StatusCode::kParseError);
+}
+
+TEST(Session, AnalysisErrorsSurfaceOnQuery) {
+  Session session;
+  ASSERT_TRUE(session.Load("p(1). p(<X>) :- p(X).").ok());
+  auto result = session.Query("p(X)");
+  EXPECT_EQ(result.status().code(), StatusCode::kNotAdmissible);
+}
+
+TEST(Session, QueryValidation) {
+  Session session;
+  ASSERT_TRUE(session.Load("p(a).").ok());
+  EXPECT_FALSE(session.Query("!p(X)").ok());
+  EXPECT_FALSE(session.Query("X = 1").ok());
+  EXPECT_FALSE(session.Query("p(").ok());
+}
+
+TEST(Session, QueryOnUnknownPredicate) {
+  Session session;
+  ASSERT_TRUE(session.Load("p(a).").ok());
+  // Unknown predicates simply have empty relations.
+  auto result = session.Query("zzz(X)");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->tuples.empty());
+}
+
+TEST(Session, StoredQueriesAreKept) {
+  Session session;
+  ASSERT_TRUE(session.Load("p(a).\n? p(X).").ok());
+  ASSERT_EQ(session.stored_queries().size(), 1u);
+}
+
+TEST(Session, FormatFactRendersSets) {
+  Session session;
+  ASSERT_TRUE(session.Load("p(a, {1, 2}).").ok());
+  ASSERT_TRUE(session.Evaluate().ok());
+  PredId p = session.catalog().Find("p", 2);
+  auto rows = session.database().relation(p).Snapshot();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(session.FormatFact(p, rows[0]), "p(a, {1, 2})");
+  EXPECT_EQ(session.FormatTuple(rows[0]), "(a, {1, 2})");
+}
+
+TEST(Session, EvaluateIsRepeatable) {
+  Session session;
+  ASSERT_TRUE(session.Load("e(1, 2). e(2, 3).\n"
+                           "t(X, Y) :- e(X, Y).\n"
+                           "t(X, Y) :- t(X, Z), e(Z, Y).")
+                  .ok());
+  ASSERT_TRUE(session.Evaluate().ok());
+  size_t first = session.database().TotalFacts();
+  ASSERT_TRUE(session.Evaluate().ok());
+  EXPECT_EQ(session.database().TotalFacts(), first);
+}
+
+TEST(Session, MagicFallsBackForExtensionalGoals) {
+  Session session;
+  ASSERT_TRUE(session.Load("p(a, b).").ok());
+  QueryOptions options;
+  options.use_magic = true;
+  auto result = session.Query("p(a, X)", options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->tuples.size(), 1u);
+}
+
+TEST(Session, MagicQueryDoesNotPolluteSessionDatabase) {
+  Session session;
+  ASSERT_TRUE(session.Load("p(a, b). p(b, c).\n"
+                           "anc(X, Y) :- p(X, Y).\n"
+                           "anc(X, Y) :- p(X, Z), anc(Z, Y).")
+                  .ok());
+  ASSERT_TRUE(session.Evaluate().ok());
+  size_t facts = session.database().TotalFacts();
+  QueryOptions options;
+  options.use_magic = true;
+  ASSERT_TRUE(session.Query("anc(a, X)", options).ok());
+  EXPECT_EQ(session.database().TotalFacts(), facts);
+}
+
+TEST(Session, DuplicateFactsCollapse) {
+  Session session;
+  ASSERT_TRUE(session.Load("p(a). p(a). p({1, 1}). p({1}).").ok());
+  ASSERT_TRUE(session.Evaluate().ok());
+  PredId p = session.catalog().Find("p", 1);
+  EXPECT_EQ(session.database().relation(p).size(), 2u);  // p(a), p({1})
+}
+
+TEST(Session, SconsFactsEvaluate) {
+  Session session;
+  ASSERT_TRUE(session.Load("p(scons(1, scons(2, {}))).").ok());
+  ASSERT_TRUE(session.Evaluate().ok());
+  auto result = session.Query("p({1, 2})");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->tuples.size(), 1u);
+}
+
+TEST(Session, LastEvalStatsPopulated) {
+  Session session;
+  ASSERT_TRUE(session.Load("e(1, 2).\nt(X, Y) :- e(X, Y).").ok());
+  ASSERT_TRUE(session.Evaluate().ok());
+  EXPECT_GT(session.last_eval_stats().rule_firings, 0u);
+  EXPECT_GT(session.last_eval_stats().facts_derived, 0u);
+}
+
+}  // namespace
+}  // namespace ldl

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+#include "program/depgraph.h"
+#include "program/lower.h"
+#include "program/stratify.h"
+#include "workload/workload.h"
+
+namespace ldl {
+namespace {
+
+class StratifyTest : public ::testing::Test {
+ protected:
+  StatusOr<Stratification> StratifyText(const std::string& source) {
+    auto ast = ParseProgram(source, &interner_);
+    if (!ast.ok()) return ast.status();
+    auto ir = LowerProgram(factory_, catalog_, *ast);
+    if (!ir.ok()) return ir.status();
+    program_ = std::move(*ir);
+    return Stratify(catalog_, program_);
+  }
+
+  int LayerOf(const char* name, uint32_t arity, const Stratification& s) {
+    PredId pred = catalog_.Find(name, arity);
+    EXPECT_NE(pred, kInvalidPred) << name;
+    return s.layer_of_pred[pred];
+  }
+
+  Interner interner_;
+  TermFactory factory_{&interner_};
+  Catalog catalog_{&interner_};
+  ProgramIr program_;
+};
+
+TEST_F(StratifyTest, SimpleProgramIsOneLayer) {
+  auto s = StratifyText(
+      "ancestor(X, Y) :- parent(X, Y).\n"
+      "ancestor(X, Y) :- parent(X, Z), ancestor(Z, Y).");
+  ASSERT_TRUE(s.ok()) << s.status();
+  EXPECT_EQ(LayerOf("ancestor", 2, *s), LayerOf("parent", 2, *s));
+}
+
+TEST_F(StratifyTest, NegationForcesHigherLayer) {
+  // The paper's excl_ancestor program (§1) has two layers.
+  auto s = StratifyText(
+      "ancestor(X, Y) :- parent(X, Y).\n"
+      "ancestor(X, Y) :- parent(X, Z), ancestor(Z, Y).\n"
+      "excl_ancestor(X, Y, Z) :- ancestor(X, Y), !ancestor(X, Z).");
+  ASSERT_TRUE(s.ok()) << s.status();
+  EXPECT_EQ(LayerOf("excl_ancestor", 3, *s), LayerOf("ancestor", 2, *s) + 1);
+}
+
+TEST_F(StratifyTest, GroupingForcesHigherLayer) {
+  auto s = StratifyText("part(P, <S>) :- p(P, S).");
+  ASSERT_TRUE(s.ok()) << s.status();
+  EXPECT_EQ(LayerOf("part", 2, *s), LayerOf("p", 2, *s) + 1);
+}
+
+TEST_F(StratifyTest, EvenOddIsInadmissible) {
+  // The paper's §1 example: even depends negatively on itself through int.
+  auto s = StratifyText(
+      "int(z).\n"
+      "int(s(X)) :- int(X).\n"
+      "even(z).\n"
+      "even(s(X)) :- int(X), !even(X).");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.status().code(), StatusCode::kNotAdmissible);
+  EXPECT_NE(s.status().message().find("even"), std::string::npos);
+}
+
+TEST_F(StratifyTest, GroupingSelfRecursionIsInadmissible) {
+  // §2.3: p(<X>) <- p(X) has no model; rejected syntactically.
+  auto s = StratifyText(
+      "p(1).\n"
+      "p(<X>) :- p(X).");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.status().code(), StatusCode::kNotAdmissible);
+}
+
+TEST_F(StratifyTest, GroupingCycleThroughTwoPredicatesIsInadmissible) {
+  // §2.4's program: q depends on p which groups over q.
+  auto s = StratifyText(
+      "q(1).\n"
+      "p(<X>) :- q(X).\n"
+      "q(2) :- p({1, 2}).");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.status().code(), StatusCode::kNotAdmissible);
+}
+
+TEST_F(StratifyTest, MutualPositiveRecursionIsFine) {
+  auto s = StratifyText(
+      "a(X) :- b(X).\n"
+      "b(X) :- a(X).\n"
+      "a(X) :- base(X).");
+  ASSERT_TRUE(s.ok()) << s.status();
+  EXPECT_EQ(LayerOf("a", 1, *s), LayerOf("b", 1, *s));
+}
+
+TEST_F(StratifyTest, NegationInsideMutualRecursionIsInadmissible) {
+  auto s = StratifyText(
+      "a(X) :- b(X).\n"
+      "b(X) :- base(X), !a(X).");
+  ASSERT_FALSE(s.ok());
+}
+
+TEST_F(StratifyTest, LayersChainThroughMultipleNegations) {
+  auto s = StratifyText(
+      "l1(X) :- base(X).\n"
+      "l2(X) :- base(X), !l1(X).\n"
+      "l3(X) :- base(X), !l2(X).\n"
+      "l4(X) :- l3(X), l1(X).");
+  ASSERT_TRUE(s.ok()) << s.status();
+  EXPECT_EQ(LayerOf("l1", 1, *s), 0);
+  EXPECT_EQ(LayerOf("l2", 1, *s), 1);
+  EXPECT_EQ(LayerOf("l3", 1, *s), 2);
+  EXPECT_EQ(LayerOf("l4", 1, *s), 2);  // minimal: >= l3, >= l1
+}
+
+TEST_F(StratifyTest, RulesGroupedByLayerInOrder) {
+  auto s = StratifyText(
+      "d(X) :- c(X).\n"
+      "c(X) :- base(X), !b(X).\n"
+      "b(X) :- base(X).");
+  ASSERT_TRUE(s.ok()) << s.status();
+  ASSERT_EQ(s->strata.size(), 2u);
+  // Layer 0 holds the b rule; layer 1 the c and d rules.
+  EXPECT_EQ(s->strata[0].size(), 1u);
+  EXPECT_EQ(s->strata[1].size(), 2u);
+  for (const std::vector<int>& stratum : s->strata) {
+    for (int r : stratum) {
+      EXPECT_EQ(s->layer_of_rule[r],
+                s->layer_of_pred[program_.rules[r].head_pred]);
+    }
+  }
+}
+
+TEST_F(StratifyTest, FineLayeringIsAlsoValid) {
+  auto coarse = StratifyText(
+      "anc(X, Y) :- parent(X, Y).\n"
+      "anc(X, Y) :- parent(X, Z), anc(Z, Y).\n"
+      "top(X) :- anc(X, _), !anc(_, X).");
+  ASSERT_TRUE(coarse.ok());
+  auto fine = StratifyFine(catalog_, program_);
+  ASSERT_TRUE(fine.ok());
+  // Validity of a layering: p >= q => layer(p) >= layer(q); p > q => strictly.
+  DepGraph graph = DepGraph::Build(catalog_, program_);
+  for (const Stratification* s : {&*coarse, &*fine}) {
+    for (const DepEdge& edge : graph.edges()) {
+      if (edge.strict) {
+        EXPECT_GT(s->layer_of_pred[edge.from], s->layer_of_pred[edge.to]);
+      } else {
+        EXPECT_GE(s->layer_of_pred[edge.from], s->layer_of_pred[edge.to]);
+      }
+    }
+  }
+  // Fine layering has at least as many layers.
+  EXPECT_GE(fine->strata.size(), coarse->strata.size());
+}
+
+TEST_F(StratifyTest, DepGraphEdgeKinds) {
+  auto s = StratifyText(
+      "g(P, <S>) :- p(P, S).\n"
+      "n(X) :- base(X), !p(X, X).\n"
+      "pos(X) :- base(X).");
+  ASSERT_TRUE(s.ok()) << s.status();
+  DepGraph graph = DepGraph::Build(catalog_, program_);
+  int strict = 0;
+  int loose = 0;
+  for (const DepEdge& edge : graph.edges()) {
+    (edge.strict ? strict : loose)++;
+  }
+  // g > p (grouping), n >= base, n > p (negation), pos >= base.
+  EXPECT_EQ(strict, 2);
+  EXPECT_EQ(loose, 2);
+}
+
+// Parameterized sweep: synthetic layered programs of growing depth must
+// stratify with exactly `layers` + 1 layers (layer 0 = EDB-only preds get 0;
+// the synthetic generator introduces one negation per layer crossing).
+class SyntheticLayersSweep : public StratifyTest,
+                             public ::testing::WithParamInterface<int> {};
+
+TEST_P(SyntheticLayersSweep, LayerCountMatches) {
+  int layers = GetParam();
+  auto s = StratifyText(SyntheticStratifiedProgram(layers, 3));
+  ASSERT_TRUE(s.ok()) << s.status();
+  // Negations cross at layers 2..layers; the minimal layering therefore has
+  // `layers` distinct values for the generated predicates.
+  int max_layer = 0;
+  for (int layer : s->layer_of_pred) max_layer = std::max(max_layer, layer);
+  EXPECT_EQ(max_layer, layers - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, SyntheticLayersSweep,
+                         ::testing::Values(2, 3, 5, 8, 13));
+
+}  // namespace
+}  // namespace ldl

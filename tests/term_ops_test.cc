@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "term/term_ops.h"
+
+namespace ldl {
+namespace {
+
+class TermOpsTest : public ::testing::Test {
+ protected:
+  const Term* Var(const char* name) { return factory_.MakeVar(name); }
+  const Term* Atom(const char* name) { return factory_.MakeAtom(name); }
+  const Term* Int(int64_t v) { return factory_.MakeInt(v); }
+  Symbol Sym(const char* name) { return interner_.Intern(name); }
+
+  Interner interner_;
+  TermFactory factory_{&interner_};
+};
+
+// ------------------------------------------------------------------ Subst --
+
+TEST_F(TermOpsTest, BindAndLookup) {
+  Subst subst;
+  EXPECT_EQ(subst.Lookup(Sym("X")), nullptr);
+  subst.Bind(Sym("X"), Atom("a"));
+  EXPECT_EQ(subst.Lookup(Sym("X")), Atom("a"));
+  EXPECT_EQ(subst.Lookup(Sym("Y")), nullptr);
+}
+
+TEST_F(TermOpsTest, MarkAndRollback) {
+  Subst subst;
+  subst.Bind(Sym("X"), Atom("a"));
+  size_t mark = subst.Mark();
+  subst.Bind(Sym("Y"), Atom("b"));
+  subst.Bind(Sym("Z"), Atom("c"));
+  EXPECT_EQ(subst.size(), 3u);
+  subst.RollbackTo(mark);
+  EXPECT_EQ(subst.size(), 1u);
+  EXPECT_EQ(subst.Lookup(Sym("X")), Atom("a"));
+  EXPECT_EQ(subst.Lookup(Sym("Y")), nullptr);
+}
+
+TEST_F(TermOpsTest, WalkFollowsChains) {
+  Subst subst;
+  subst.Bind(Sym("X"), Var("Y"));
+  subst.Bind(Sym("Y"), Atom("a"));
+  EXPECT_EQ(subst.Walk(Var("X")), Atom("a"));
+  EXPECT_EQ(subst.Walk(Var("Z")), Var("Z"));  // unbound stays
+  EXPECT_EQ(subst.Walk(Atom("a")), Atom("a"));  // non-var unchanged
+}
+
+// ------------------------------------------------------------- ApplySubst --
+
+TEST_F(TermOpsTest, SubstituteIntoFunction) {
+  Subst subst;
+  subst.Bind(Sym("X"), Int(1));
+  const Term* args[] = {Var("X"), Var("Y")};
+  const Term* pattern = factory_.MakeFunc("f", args);
+  const Term* result = ApplySubst(factory_, pattern, subst);
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(factory_.ToString(result), "f(1, Y)");
+  EXPECT_FALSE(result->ground());
+}
+
+TEST_F(TermOpsTest, SubstituteIntoSetRecanonicalizes) {
+  Subst subst;
+  subst.Bind(Sym("X"), Int(1));
+  subst.Bind(Sym("Y"), Int(1));  // X and Y collapse to the same element
+  const Term* elems[] = {Var("X"), Var("Y"), Int(2)};
+  const Term* pattern = factory_.MakeSet(elems);
+  const Term* result = ApplySubst(factory_, pattern, subst);
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(result->size(), 2u);
+  EXPECT_EQ(factory_.ToString(result), "{1, 2}");
+}
+
+TEST_F(TermOpsTest, SconsEvaluatesToSetInsertion) {
+  Subst subst;
+  const Term* one_set_elems[] = {Int(1)};
+  subst.Bind(Sym("S"), factory_.MakeSet(one_set_elems));
+  const Term* scons_args[] = {Int(2), Var("S")};
+  const Term* pattern = factory_.MakeFunc("scons", scons_args);
+  const Term* result = ApplySubst(factory_, pattern, subst);
+  ASSERT_NE(result, nullptr);
+  EXPECT_TRUE(result->is_set());
+  EXPECT_EQ(factory_.ToString(result), "{1, 2}");
+}
+
+TEST_F(TermOpsTest, SconsOfExistingElementIsIdentity) {
+  Subst subst;
+  const Term* elems[] = {Int(1)};
+  subst.Bind(Sym("S"), factory_.MakeSet(elems));
+  const Term* scons_args[] = {Int(1), Var("S")};
+  const Term* result =
+      ApplySubst(factory_, factory_.MakeFunc("scons", scons_args), subst);
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(result->size(), 1u);
+}
+
+TEST_F(TermOpsTest, SconsOnNonSetIsOutsideUniverse) {
+  // scons(1, a) denotes an object outside U (paper §2.2, restriction 1).
+  Subst subst;
+  subst.Bind(Sym("S"), Atom("a"));
+  const Term* scons_args[] = {Int(1), Var("S")};
+  const Term* result =
+      ApplySubst(factory_, factory_.MakeFunc("scons", scons_args), subst);
+  EXPECT_EQ(result, nullptr);
+}
+
+TEST_F(TermOpsTest, NestedSconsChainEvaluates) {
+  // scons(1, scons(2, {})) -> {1, 2}.
+  const Term* inner_args[] = {Int(2), factory_.EmptySet()};
+  const Term* inner = factory_.MakeFunc("scons", inner_args);
+  const Term* outer_args[] = {Int(1), inner};
+  const Term* outer = factory_.MakeFunc("scons", outer_args);
+  const Term* result = ApplySubst(factory_, outer, Subst());
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(factory_.ToString(result), "{1, 2}");
+}
+
+TEST_F(TermOpsTest, UnboundSconsStaysSymbolic) {
+  const Term* scons_args[] = {Var("X"), Var("S")};
+  const Term* pattern = factory_.MakeFunc("scons", scons_args);
+  const Term* result = ApplySubst(factory_, pattern, Subst());
+  ASSERT_NE(result, nullptr);
+  EXPECT_TRUE(result->has_scons());
+  EXPECT_FALSE(result->ground());
+}
+
+TEST_F(TermOpsTest, GroundTermFastPath) {
+  const Term* args[] = {Atom("a"), Int(1)};
+  const Term* t = factory_.MakeFunc("f", args);
+  EXPECT_EQ(ApplySubst(factory_, t, Subst()), t);
+}
+
+// --------------------------------------------------------------- Var walks --
+
+TEST_F(TermOpsTest, CollectVarsInOrder) {
+  const Term* args[] = {Var("Y"), Var("X"), Var("Y")};
+  const Term* t = factory_.MakeFunc("f", args);
+  std::vector<Symbol> vars;
+  CollectVars(t, &vars);
+  ASSERT_EQ(vars.size(), 2u);
+  EXPECT_EQ(vars[0], Sym("Y"));
+  EXPECT_EQ(vars[1], Sym("X"));
+}
+
+TEST_F(TermOpsTest, CollectVarsInsideSets) {
+  const Term* elems[] = {Var("X"), Atom("a")};
+  std::vector<Symbol> vars;
+  CollectVars(factory_.MakeSet(elems), &vars);
+  EXPECT_EQ(vars.size(), 1u);
+}
+
+TEST_F(TermOpsTest, OccursIn) {
+  const Term* args[] = {Var("X")};
+  const Term* t = factory_.MakeFunc("f", args);
+  EXPECT_TRUE(OccursIn(t, Sym("X")));
+  EXPECT_FALSE(OccursIn(t, Sym("Y")));
+  EXPECT_FALSE(OccursIn(Atom("a"), Sym("X")));
+}
+
+TEST_F(TermOpsTest, SizeAndDepth) {
+  EXPECT_EQ(TermSize(Atom("a")), 1u);
+  EXPECT_EQ(TermDepth(Atom("a")), 1u);
+  const Term* args[] = {Atom("a"), Atom("b")};
+  const Term* f = factory_.MakeFunc("f", args);
+  EXPECT_EQ(TermSize(f), 3u);
+  EXPECT_EQ(TermDepth(f), 2u);
+  const Term* elems[] = {f, Int(1)};
+  const Term* s = factory_.MakeSet(elems);
+  EXPECT_EQ(TermSize(s), 5u);
+  EXPECT_EQ(TermDepth(s), 3u);
+}
+
+}  // namespace
+}  // namespace ldl

@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include "term/term.h"
+
+namespace ldl {
+namespace {
+
+class TermTest : public ::testing::Test {
+ protected:
+  Interner interner_;
+  TermFactory factory_{&interner_};
+};
+
+// ----------------------------------------------------------- Hash-consing --
+
+TEST_F(TermTest, ConstantsAreInterned) {
+  EXPECT_EQ(factory_.MakeInt(7), factory_.MakeInt(7));
+  EXPECT_NE(factory_.MakeInt(7), factory_.MakeInt(8));
+  EXPECT_EQ(factory_.MakeAtom("john"), factory_.MakeAtom("john"));
+  EXPECT_NE(factory_.MakeAtom("john"), factory_.MakeAtom("jane"));
+  EXPECT_EQ(factory_.MakeString("x"), factory_.MakeString("x"));
+  // An atom and a string with the same text are distinct terms.
+  EXPECT_NE(static_cast<const void*>(factory_.MakeAtom("x")),
+            static_cast<const void*>(factory_.MakeString("x")));
+}
+
+TEST_F(TermTest, FunctionTermsAreInterned) {
+  const Term* a = factory_.MakeAtom("a");
+  const Term* b = factory_.MakeAtom("b");
+  const Term* args1[] = {a, b};
+  const Term* args2[] = {a, b};
+  EXPECT_EQ(factory_.MakeFunc("f", args1), factory_.MakeFunc("f", args2));
+  const Term* args3[] = {b, a};
+  EXPECT_NE(factory_.MakeFunc("f", args1), factory_.MakeFunc("f", args3));
+  EXPECT_NE(factory_.MakeFunc("f", args1), factory_.MakeFunc("g", args1));
+}
+
+TEST_F(TermTest, InternedCountGrowsOnlyOnNewStructure) {
+  size_t before = factory_.interned_count();
+  factory_.MakeInt(1);
+  factory_.MakeInt(1);
+  factory_.MakeInt(1);
+  EXPECT_EQ(factory_.interned_count(), before + 1);
+}
+
+// ------------------------------------------------------- Canonical sets --
+
+TEST_F(TermTest, SetsAreSortedAndDeduplicated) {
+  const Term* one = factory_.MakeInt(1);
+  const Term* two = factory_.MakeInt(2);
+  const Term* elems1[] = {two, one, two};
+  const Term* elems2[] = {one, two};
+  const Term* s1 = factory_.MakeSet(elems1);
+  const Term* s2 = factory_.MakeSet(elems2);
+  EXPECT_EQ(s1, s2);  // set equality is pointer equality
+  EXPECT_EQ(s1->size(), 2u);
+  EXPECT_EQ(s1->arg(0), one);  // sorted: 1 < 2
+  EXPECT_EQ(s1->arg(1), two);
+}
+
+TEST_F(TermTest, EmptySetIsUnique) {
+  EXPECT_EQ(factory_.MakeSet({}), factory_.EmptySet());
+  EXPECT_EQ(factory_.EmptySet()->size(), 0u);
+  EXPECT_TRUE(factory_.EmptySet()->is_set());
+}
+
+TEST_F(TermTest, NestedSets) {
+  const Term* one = factory_.MakeInt(1);
+  const Term* inner_elems[] = {one};
+  const Term* inner = factory_.MakeSet(inner_elems);
+  const Term* outer_elems[] = {inner, factory_.EmptySet()};
+  const Term* outer = factory_.MakeSet(outer_elems);
+  EXPECT_EQ(outer->size(), 2u);
+  // {} sorts before {1} (smaller cardinality).
+  EXPECT_EQ(outer->arg(0), factory_.EmptySet());
+  EXPECT_EQ(outer->arg(1), inner);
+}
+
+TEST_F(TermTest, SetInsertIsSconsSemantics) {
+  const Term* one = factory_.MakeInt(1);
+  const Term* two = factory_.MakeInt(2);
+  const Term* s = factory_.SetInsert(one, factory_.EmptySet());
+  EXPECT_EQ(s->size(), 1u);
+  const Term* s2 = factory_.SetInsert(two, s);
+  EXPECT_EQ(s2->size(), 2u);
+  // Inserting an existing element is the identity (duplicate elimination).
+  EXPECT_EQ(factory_.SetInsert(one, s2), s2);
+}
+
+TEST_F(TermTest, SetAlgebra) {
+  auto set_of = [&](std::initializer_list<int> xs) {
+    std::vector<const Term*> elems;
+    for (int x : xs) elems.push_back(factory_.MakeInt(x));
+    return factory_.MakeSet(elems);
+  };
+  const Term* a = set_of({1, 2, 3});
+  const Term* b = set_of({2, 3, 4});
+  EXPECT_EQ(factory_.SetUnion(a, b), set_of({1, 2, 3, 4}));
+  EXPECT_EQ(factory_.SetIntersect(a, b), set_of({2, 3}));
+  EXPECT_EQ(factory_.SetDifference(a, b), set_of({1}));
+  EXPECT_EQ(factory_.SetDifference(a, a), factory_.EmptySet());
+  EXPECT_EQ(factory_.SetUnion(a, factory_.EmptySet()), a);
+  // Union is commutative and idempotent on interned sets.
+  EXPECT_EQ(factory_.SetUnion(a, b), factory_.SetUnion(b, a));
+  EXPECT_EQ(factory_.SetUnion(a, a), a);
+}
+
+TEST_F(TermTest, SetContainsUsesBinarySearch) {
+  std::vector<const Term*> elems;
+  for (int i = 0; i < 50; ++i) elems.push_back(factory_.MakeInt(i * 2));
+  const Term* s = factory_.MakeSet(elems);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(factory_.SetContains(s, factory_.MakeInt(i * 2)));
+    EXPECT_FALSE(factory_.SetContains(s, factory_.MakeInt(i * 2 + 1)));
+  }
+}
+
+// ------------------------------------------------------------- Groundness --
+
+TEST_F(TermTest, GroundFlags) {
+  const Term* x = factory_.MakeVar("X");
+  EXPECT_FALSE(x->ground());
+  const Term* a = factory_.MakeAtom("a");
+  EXPECT_TRUE(a->ground());
+  const Term* args[] = {a, x};
+  EXPECT_FALSE(factory_.MakeFunc("f", args)->ground());
+  const Term* ground_args[] = {a, a};
+  EXPECT_TRUE(factory_.MakeFunc("f", ground_args)->ground());
+  const Term* set_elems[] = {x};
+  EXPECT_FALSE(factory_.MakeSet(set_elems)->ground());
+}
+
+TEST_F(TermTest, HasSconsPropagates) {
+  const Term* a = factory_.MakeAtom("a");
+  const Term* scons_args[] = {a, factory_.EmptySet()};
+  const Term* sc = factory_.MakeFunc("scons", scons_args);
+  EXPECT_TRUE(sc->has_scons());
+  EXPECT_TRUE(sc->ground());  // ground but needs evaluation
+  const Term* wrap_args[] = {sc};
+  EXPECT_TRUE(factory_.MakeFunc("f", wrap_args)->has_scons());
+  EXPECT_FALSE(factory_.MakeFunc("f", scons_args)->has_scons());
+}
+
+// ----------------------------------------------------------- Total order --
+
+TEST_F(TermTest, CompareIsTotalAndAntisymmetric) {
+  std::vector<const Term*> terms = {
+      factory_.MakeInt(-3),
+      factory_.MakeInt(7),
+      factory_.MakeAtom("apple"),
+      factory_.MakeAtom("zebra"),
+      factory_.MakeString("apple"),
+      factory_.MakeVar("X"),
+      factory_.EmptySet(),
+  };
+  const Term* fa_args[] = {factory_.MakeAtom("a")};
+  terms.push_back(factory_.MakeFunc("f", fa_args));
+  for (const Term* a : terms) {
+    EXPECT_EQ(CompareTerms(factory_, a, a), 0);
+    for (const Term* b : terms) {
+      int ab = CompareTerms(factory_, a, b);
+      int ba = CompareTerms(factory_, b, a);
+      if (a == b) {
+        EXPECT_EQ(ab, 0);
+      } else {
+        EXPECT_NE(ab, 0) << "distinct terms must compare unequal";
+        EXPECT_EQ(ab, -ba);
+      }
+    }
+  }
+}
+
+TEST_F(TermTest, CompareKindRank) {
+  // kInt < kAtom < kString < kFunc < kSet < kVar.
+  const Term* i = factory_.MakeInt(100);
+  const Term* a = factory_.MakeAtom("a");
+  const Term* s = factory_.MakeString("a");
+  const Term* f_args[] = {i};
+  const Term* f = factory_.MakeFunc("f", f_args);
+  const Term* set = factory_.EmptySet();
+  const Term* v = factory_.MakeVar("X");
+  EXPECT_LT(CompareTerms(factory_, i, a), 0);
+  EXPECT_LT(CompareTerms(factory_, a, s), 0);
+  EXPECT_LT(CompareTerms(factory_, s, f), 0);
+  EXPECT_LT(CompareTerms(factory_, f, set), 0);
+  EXPECT_LT(CompareTerms(factory_, set, v), 0);
+}
+
+TEST_F(TermTest, CompareAtomsByTextNotInsertionOrder) {
+  const Term* z = factory_.MakeAtom("zz");
+  const Term* a = factory_.MakeAtom("aa");  // interned later, sorts earlier
+  EXPECT_LT(CompareTerms(factory_, a, z), 0);
+}
+
+// --------------------------------------------------------------- Printing --
+
+TEST_F(TermTest, Printing) {
+  const Term* one = factory_.MakeInt(1);
+  const Term* a = factory_.MakeAtom("a");
+  EXPECT_EQ(factory_.ToString(one), "1");
+  EXPECT_EQ(factory_.ToString(factory_.MakeInt(-4)), "-4");
+  EXPECT_EQ(factory_.ToString(a), "a");
+  EXPECT_EQ(factory_.ToString(factory_.MakeString("hi")), "\"hi\"");
+  EXPECT_EQ(factory_.ToString(factory_.MakeVar("X")), "X");
+  const Term* args[] = {a, one};
+  EXPECT_EQ(factory_.ToString(factory_.MakeFunc("f", args)), "f(a, 1)");
+  const Term* elems[] = {one, a};
+  EXPECT_EQ(factory_.ToString(factory_.MakeSet(elems)), "{1, a}");
+  EXPECT_EQ(factory_.ToString(factory_.EmptySet()), "{}");
+}
+
+TEST_F(TermTest, ListPrinting) {
+  const Term* one = factory_.MakeInt(1);
+  const Term* two = factory_.MakeInt(2);
+  const Term* list = factory_.MakeCons(one, factory_.MakeCons(two, factory_.EmptyList()));
+  EXPECT_EQ(factory_.ToString(list), "[1, 2]");
+  const Term* improper = factory_.MakeCons(one, factory_.MakeVar("T"));
+  EXPECT_EQ(factory_.ToString(improper), "[1 | T]");
+  EXPECT_EQ(factory_.ToString(factory_.EmptyList()), "[]");
+  EXPECT_TRUE(factory_.IsCons(list));
+  EXPECT_TRUE(factory_.IsEmptyList(factory_.EmptyList()));
+  EXPECT_FALSE(factory_.IsCons(one));
+}
+
+// --------------------------------------------------- Universe construction --
+
+TEST_F(TermTest, DeepNestingStaysInterned) {
+  // Build {{{...{1}...}}} 100 deep twice; must intern to the same pointer.
+  auto build = [&]() {
+    const Term* t = factory_.MakeInt(1);
+    for (int i = 0; i < 100; ++i) {
+      const Term* elems[] = {t};
+      t = factory_.MakeSet(elems);
+    }
+    return t;
+  };
+  EXPECT_EQ(build(), build());
+}
+
+TEST_F(TermTest, MixedFunctionAndSetNesting) {
+  // f({a, g(b)}, {}) -- the omega-closure mixes functions and sets (§2.2).
+  const Term* a = factory_.MakeAtom("a");
+  const Term* b = factory_.MakeAtom("b");
+  const Term* g_args[] = {b};
+  const Term* g = factory_.MakeFunc("g", g_args);
+  const Term* set_elems[] = {a, g};
+  const Term* set = factory_.MakeSet(set_elems);
+  const Term* f_args[] = {set, factory_.EmptySet()};
+  const Term* f = factory_.MakeFunc("f", f_args);
+  EXPECT_TRUE(f->ground());
+  EXPECT_EQ(factory_.ToString(f), "f({a, g(b)}, {})");
+}
+
+}  // namespace
+}  // namespace ldl

@@ -1,0 +1,132 @@
+// §7 finiteness analysis and the elaborate §2.4 domination order.
+#include <gtest/gtest.h>
+
+#include "ldl/ldl.h"
+#include "semantics/model.h"
+
+namespace ldl {
+namespace {
+
+StatusOr<std::vector<TerminationWarning>> Warnings(const std::string& source) {
+  Session session;
+  LDL_RETURN_IF_ERROR(session.Load(source));
+  return session.TerminationWarnings();
+}
+
+TEST(Termination, FlagsFunctionBuildingRecursion) {
+  auto warnings = Warnings(
+      "int(z).\n"
+      "int(s(X)) :- int(X).");
+  ASSERT_TRUE(warnings.ok()) << warnings.status();
+  ASSERT_EQ(warnings->size(), 1u);
+  EXPECT_NE((*warnings)[0].message.find("int/1"), std::string::npos);
+}
+
+TEST(Termination, FlagsSetBuildingRecursion) {
+  auto warnings = Warnings(
+      "acc({}).\n"
+      "acc(scons(X, S)) :- acc(S), item(X).\n"
+      "item(1).");
+  ASSERT_TRUE(warnings.ok()) << warnings.status();
+  EXPECT_EQ(warnings->size(), 1u);
+}
+
+TEST(Termination, PlainRecursionIsClean) {
+  auto warnings = Warnings(
+      "anc(X, Y) :- parent(X, Y).\n"
+      "anc(X, Y) :- parent(X, Z), anc(Z, Y).");
+  ASSERT_TRUE(warnings.ok()) << warnings.status();
+  EXPECT_TRUE(warnings->empty());
+}
+
+TEST(Termination, NonRecursiveConstructionIsClean) {
+  // Building terms in non-recursive rules cannot grow the domain unboundedly.
+  auto warnings = Warnings(
+      "wrap(f(X)) :- base(X).\n"
+      "pairs({X, Y}) :- base(X), base(Y).\n"
+      "base(1).");
+  ASSERT_TRUE(warnings.ok()) << warnings.status();
+  EXPECT_TRUE(warnings->empty());
+}
+
+TEST(Termination, BomStyleRecursionIsFlaggedAdvisory) {
+  // tc({X}, C) :- part(X, S), tc(S, C): head builds a singleton inside the
+  // tc SCC. The program terminates (finite part domain), but the
+  // conservative analysis flags it -- that is the documented advisory
+  // nature of the check.
+  auto warnings = Warnings(
+      "tc({X}, C) :- part(X, S), tc(S, C).\n"
+      "tc({X}, C) :- q(X, C).\n"
+      "q(1, 5).\n"
+      "part(2, {1}).");
+  ASSERT_TRUE(warnings.ok()) << warnings.status();
+  EXPECT_EQ(warnings->size(), 1u);
+}
+
+TEST(Termination, GroupedArgumentDoesNotCount) {
+  // The grouped position is constructed by the engine, not the rule; and
+  // grouping rules cannot be recursive anyway.
+  auto warnings = Warnings("g(K, <V>) :- e(K, V).\ne(1, 2).");
+  ASSERT_TRUE(warnings.ok()) << warnings.status();
+  EXPECT_TRUE(warnings->empty());
+}
+
+// --------------------------------------------- elaborate domination (§2.4) --
+
+class DeepDominationTest : public ::testing::Test {
+ protected:
+  const Term* Set(std::initializer_list<const Term*> xs) {
+    std::vector<const Term*> v(xs);
+    return factory_.MakeSet(v);
+  }
+  const Term* Int(int64_t v) { return factory_.MakeInt(v); }
+  const Term* F(const Term* a) {
+    const Term* args[] = {a};
+    return factory_.MakeFunc("f", args);
+  }
+
+  Interner interner_;
+  TermFactory factory_{&interner_};
+};
+
+TEST_F(DeepDominationTest, ReflexiveOnEverything) {
+  const Term* t = F(Set({Int(1), Int(2)}));
+  EXPECT_TRUE(ElementDominated(factory_, t, t));
+}
+
+TEST_F(DeepDominationTest, SetsCompareByDominatedMembers) {
+  // {1} <= {1, 2}; {1, 2} </= {1}.
+  EXPECT_TRUE(ElementDominated(factory_, Set({Int(1)}), Set({Int(1), Int(2)})));
+  EXPECT_FALSE(ElementDominated(factory_, Set({Int(1), Int(2)}), Set({Int(1)})));
+  // {} <= anything set-shaped.
+  EXPECT_TRUE(ElementDominated(factory_, Set({}), Set({Int(9)})));
+}
+
+TEST_F(DeepDominationTest, NestedSetsDominateRecursively) {
+  // {{1}} <= {{1, 2}}: the inner set is dominated, not equal -- the shallow
+  // §2.4 order would reject this, the elaborate one accepts it.
+  const Term* small = Set({Set({Int(1)})});
+  const Term* big = Set({Set({Int(1), Int(2)})});
+  EXPECT_TRUE(ElementDominated(factory_, small, big));
+  EXPECT_FALSE(ElementDominated(factory_, big, small));
+  EXPECT_FALSE(FactDominated(factory_, {small}, {big}))
+      << "shallow order requires subset, {{1}} is not a subset of {{1,2}}";
+  EXPECT_TRUE(FactDeepDominated(factory_, {small}, {big}));
+}
+
+TEST_F(DeepDominationTest, FunctionTermsComparePointwise) {
+  EXPECT_TRUE(ElementDominated(factory_, F(Set({Int(1)})), F(Set({Int(1), Int(2)}))));
+  EXPECT_FALSE(ElementDominated(factory_, F(Int(1)), F(Int(2))));
+  // Different functors are incomparable.
+  const Term* g_args[] = {Int(1)};
+  EXPECT_FALSE(
+      ElementDominated(factory_, F(Int(1)), factory_.MakeFunc("g", g_args)));
+}
+
+TEST_F(DeepDominationTest, MixedKindsOnlyEqual) {
+  EXPECT_FALSE(ElementDominated(factory_, Int(1), Set({Int(1)})));
+  EXPECT_FALSE(ElementDominated(factory_, Set({}), Int(0)));
+}
+
+}  // namespace
+}  // namespace ldl

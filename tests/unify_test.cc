@@ -1,0 +1,292 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "term/unify.h"
+
+namespace ldl {
+namespace {
+
+class UnifyTest : public ::testing::Test {
+ protected:
+  const Term* Var(const char* name) { return factory_.MakeVar(name); }
+  const Term* Atom(const char* name) { return factory_.MakeAtom(name); }
+  const Term* Int(int64_t v) { return factory_.MakeInt(v); }
+  Symbol Sym(const char* name) { return interner_.Intern(name); }
+  const Term* Set(std::initializer_list<const Term*> elems) {
+    std::vector<const Term*> v(elems);
+    return factory_.MakeSet(v);
+  }
+
+  // All solutions as strings "X=...;Y=..." (sorted) for easy assertions.
+  std::multiset<std::string> Solutions(const Term* pattern, const Term* ground) {
+    std::multiset<std::string> result;
+    Subst subst;
+    MatchTerm(factory_, pattern, ground, &subst, [&]() {
+      std::vector<std::string> bindings;
+      for (const auto& [var, value] : subst.trail()) {
+        bindings.push_back(std::string(interner_.Lookup(var)) + "=" +
+                           factory_.ToString(value));
+      }
+      std::sort(bindings.begin(), bindings.end());
+      std::string joined;
+      for (const auto& b : bindings) joined += b + ";";
+      result.insert(joined);
+      return true;
+    });
+    return result;
+  }
+
+  size_t SolutionCount(const Term* pattern, const Term* ground) {
+    return Solutions(pattern, ground).size();
+  }
+
+  Interner interner_;
+  TermFactory factory_{&interner_};
+};
+
+// ------------------------------------------------------ deterministic part --
+
+TEST_F(UnifyTest, VariableBindsToAnything) {
+  auto sols = Solutions(Var("X"), Set({Int(1)}));
+  ASSERT_EQ(sols.size(), 1u);
+  EXPECT_EQ(*sols.begin(), "X={1};");
+}
+
+TEST_F(UnifyTest, ConstantsMatchOnlyThemselves) {
+  EXPECT_EQ(SolutionCount(Int(1), Int(1)), 1u);
+  EXPECT_EQ(SolutionCount(Int(1), Int(2)), 0u);
+  EXPECT_EQ(SolutionCount(Atom("a"), Atom("a")), 1u);
+  EXPECT_EQ(SolutionCount(Atom("a"), Atom("b")), 0u);
+  EXPECT_EQ(SolutionCount(Atom("a"), Int(1)), 0u);
+}
+
+TEST_F(UnifyTest, FunctionStructureMustAgree) {
+  const Term* pat_args[] = {Var("X"), Atom("b")};
+  const Term* pattern = factory_.MakeFunc("f", pat_args);
+  const Term* g1_args[] = {Int(1), Atom("b")};
+  EXPECT_EQ(SolutionCount(pattern, factory_.MakeFunc("f", g1_args)), 1u);
+  const Term* g2_args[] = {Int(1), Atom("c")};
+  EXPECT_EQ(SolutionCount(pattern, factory_.MakeFunc("f", g2_args)), 0u);
+  EXPECT_EQ(SolutionCount(pattern, factory_.MakeFunc("g", g1_args)), 0u);
+}
+
+TEST_F(UnifyTest, RepeatedVariableMustMatchConsistently) {
+  const Term* pat_args[] = {Var("X"), Var("X")};
+  const Term* pattern = factory_.MakeFunc("f", pat_args);
+  const Term* same_args[] = {Int(1), Int(1)};
+  EXPECT_EQ(SolutionCount(pattern, factory_.MakeFunc("f", same_args)), 1u);
+  const Term* diff_args[] = {Int(1), Int(2)};
+  EXPECT_EQ(SolutionCount(pattern, factory_.MakeFunc("f", diff_args)), 0u);
+}
+
+// ------------------------------------------------------------ set matching --
+
+TEST_F(UnifyTest, SetPatternEnumeratesPermutations) {
+  // {X, Y} vs {1, 2}: two solutions.
+  const Term* pattern = Set({Var("X"), Var("Y")});
+  auto sols = Solutions(pattern, Set({Int(1), Int(2)}));
+  EXPECT_EQ(sols.size(), 2u);
+  EXPECT_TRUE(sols.count("X=1;Y=2;"));
+  EXPECT_TRUE(sols.count("X=2;Y=1;"));
+}
+
+TEST_F(UnifyTest, SetPatternCollapsesOnSingleton) {
+  // {X, Y} vs {1}: X = Y = 1 (duplicates collapse, paper §1 book_deal).
+  auto sols = Solutions(Set({Var("X"), Var("Y")}), Set({Int(1)}));
+  ASSERT_EQ(sols.size(), 1u);
+  EXPECT_EQ(*sols.begin(), "X=1;Y=1;");
+}
+
+TEST_F(UnifyTest, SetPatternRequiresExactCover) {
+  // {X} cannot match {1, 2}: one pattern element cannot cover two.
+  EXPECT_EQ(SolutionCount(Set({Var("X")}), Set({Int(1), Int(2)})), 0u);
+}
+
+TEST_F(UnifyTest, SetPatternWithConstant) {
+  // {1, X} vs {1, 2}: X must cover 2.
+  auto sols = Solutions(Set({Int(1), Var("X")}), Set({Int(1), Int(2)}));
+  ASSERT_EQ(sols.size(), 1u);
+  EXPECT_EQ(*sols.begin(), "X=2;");
+  // {1, X} vs {2, 3}: the constant 1 is not a member.
+  EXPECT_EQ(SolutionCount(Set({Int(1), Var("X")}), Set({Int(2), Int(3)})), 0u);
+}
+
+TEST_F(UnifyTest, EmptySetPattern) {
+  EXPECT_EQ(SolutionCount(Set({}), Set({})), 1u);
+  EXPECT_EQ(SolutionCount(Set({}), Set({Int(1)})), 0u);
+  EXPECT_EQ(SolutionCount(Set({Var("X")}), Set({})), 0u);
+}
+
+TEST_F(UnifyTest, SetMismatchesOtherKinds) {
+  EXPECT_EQ(SolutionCount(Set({Var("X")}), Atom("a")), 0u);
+  EXPECT_EQ(SolutionCount(Atom("a"), Set({Atom("a")})), 0u);
+}
+
+TEST_F(UnifyTest, NestedSetPatterns) {
+  // {{X}} vs {{1}}.
+  auto sols = Solutions(Set({Set({Var("X")})}), Set({Set({Int(1)})}));
+  ASSERT_EQ(sols.size(), 1u);
+  EXPECT_EQ(*sols.begin(), "X=1;");
+  // {{X}, Y} vs {{1}, {2}}: X from one inner set, Y the other (or Y covers
+  // both? no -- exact cover, Y must take the remaining element; but X's set
+  // may also be covered by Y).
+  auto sols2 =
+      Solutions(Set({Set({Var("X")}), Var("Y")}), Set({Set({Int(1)}), Set({Int(2)})}));
+  // Solutions: X=1,Y={2}; X=2,Y={1}; X=1,Y={1}? no: then {2} uncovered.
+  EXPECT_EQ(sols2.size(), 2u);
+  EXPECT_TRUE(sols2.count("X=1;Y={2};"));
+  EXPECT_TRUE(sols2.count("X=2;Y={1};"));
+}
+
+TEST_F(UnifyTest, ThreeElementPatternOverTwoElements) {
+  // {X, Y, Z} vs {1, 2}: assignments covering both elements: 2^3 total maps
+  // minus those missing 1 or 2 = 8 - 2 = 6.
+  const Term* pattern = Set({Var("X"), Var("Y"), Var("Z")});
+  EXPECT_EQ(SolutionCount(pattern, Set({Int(1), Int(2)})), 6u);
+}
+
+// ---------------------------------------------------------- scons matching --
+
+TEST_F(UnifyTest, SconsMatchesElementAndRest) {
+  // scons(X, S) vs {1}: X=1 with S={} or S={1}.
+  const Term* args[] = {Var("X"), Var("S")};
+  const Term* pattern = factory_.MakeFunc("scons", args);
+  auto sols = Solutions(pattern, Set({Int(1)}));
+  EXPECT_EQ(sols.size(), 2u);
+  EXPECT_TRUE(sols.count("S={};X=1;"));
+  EXPECT_TRUE(sols.count("S={1};X=1;"));
+}
+
+TEST_F(UnifyTest, SconsOnTwoElementSet) {
+  const Term* args[] = {Var("X"), Var("S")};
+  const Term* pattern = factory_.MakeFunc("scons", args);
+  auto sols = Solutions(pattern, Set({Int(1), Int(2)}));
+  // X=1: S={2} or {1,2}; X=2: S={1} or {1,2}.
+  EXPECT_EQ(sols.size(), 4u);
+  EXPECT_TRUE(sols.count("S={2};X=1;"));
+  EXPECT_TRUE(sols.count("S={1, 2};X=1;"));
+}
+
+TEST_F(UnifyTest, SconsNeverMatchesEmptySetOrNonSet) {
+  const Term* args[] = {Var("X"), Var("S")};
+  const Term* pattern = factory_.MakeFunc("scons", args);
+  EXPECT_EQ(SolutionCount(pattern, Set({})), 0u);
+  EXPECT_EQ(SolutionCount(pattern, Atom("a")), 0u);
+}
+
+TEST_F(UnifyTest, GroundSconsPatternEvaluates) {
+  // scons(1, {2}) as a pattern must match the ground set {1, 2}.
+  const Term* args[] = {Int(1), Set({Int(2)})};
+  const Term* pattern = factory_.MakeFunc("scons", args);
+  EXPECT_EQ(SolutionCount(pattern, Set({Int(1), Int(2)})), 1u);
+  EXPECT_EQ(SolutionCount(pattern, Set({Int(1)})), 0u);
+}
+
+// -------------------------------------------------------------- MatchArgs --
+
+TEST_F(UnifyTest, MatchArgsJoinsSharedVariables) {
+  const Term* patterns[] = {Var("X"), Var("X")};
+  const Term* ground_ok[] = {Int(1), Int(1)};
+  const Term* ground_bad[] = {Int(1), Int(2)};
+  Subst subst;
+  int count = 0;
+  MatchArgs(factory_, patterns, ground_ok, &subst, [&]() {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 1);
+  count = 0;
+  MatchArgs(factory_, patterns, ground_bad, &subst, [&]() {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 0);
+}
+
+TEST_F(UnifyTest, EarlyStopPropagates) {
+  const Term* pattern = Set({Var("X"), Var("Y")});
+  Subst subst;
+  int count = 0;
+  bool finished = MatchTerm(factory_, pattern, Set({Int(1), Int(2)}), &subst, [&]() {
+    ++count;
+    return false;  // stop after the first solution
+  });
+  EXPECT_FALSE(finished);
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(subst.empty());  // rolled back
+}
+
+// -------------------------------------------------------------- UnifyRigid --
+
+TEST_F(UnifyTest, RigidUnifyBindsBothDirections) {
+  Subst subst;
+  EXPECT_TRUE(UnifyRigid(factory_, Var("X"), Atom("a"), &subst));
+  EXPECT_EQ(subst.Lookup(Sym("X")), Atom("a"));
+  EXPECT_TRUE(UnifyRigid(factory_, Atom("b"), Var("Y"), &subst));
+  EXPECT_EQ(subst.Lookup(Sym("Y")), Atom("b"));
+}
+
+TEST_F(UnifyTest, RigidUnifyOccursCheck) {
+  Subst subst;
+  const Term* args[] = {Var("X")};
+  EXPECT_FALSE(UnifyRigid(factory_, Var("X"), factory_.MakeFunc("f", args), &subst));
+  EXPECT_TRUE(subst.empty());
+}
+
+TEST_F(UnifyTest, RigidUnifyRollsBackOnFailure) {
+  Subst subst;
+  const Term* pat1_args[] = {Var("X"), Atom("a")};
+  const Term* pat2_args[] = {Int(1), Atom("b")};
+  EXPECT_FALSE(UnifyRigid(factory_, factory_.MakeFunc("f", pat1_args),
+                          factory_.MakeFunc("f", pat2_args), &subst));
+  EXPECT_TRUE(subst.empty());
+}
+
+// ----------------------------------------------- parameterized cover sweep --
+
+// Property: the number of solutions of an all-variable k-element set pattern
+// against an n-element ground set equals the number of surjections [k] -> [n]
+// (assignments covering every ground element).
+class SetCoverSweep : public UnifyTest,
+                      public ::testing::WithParamInterface<std::pair<int, int>> {};
+
+size_t Surjections(int k, int n) {
+  // Inclusion-exclusion: sum_{i=0..n} (-1)^i C(n,i) (n-i)^k.
+  auto comb = [](int n_, int r_) {
+    double c = 1;
+    for (int i = 0; i < r_; ++i) c = c * (n_ - i) / (i + 1);
+    return static_cast<long long>(c + 0.5);
+  };
+  long long total = 0;
+  for (int i = 0; i <= n; ++i) {
+    long long term = comb(n, i);
+    long long power = 1;
+    for (int j = 0; j < k; ++j) power *= (n - i);
+    total += (i % 2 == 0 ? 1 : -1) * term * power;
+  }
+  return static_cast<size_t>(total);
+}
+
+TEST_P(SetCoverSweep, SolutionCountMatchesSurjections) {
+  auto [k, n] = GetParam();
+  std::vector<const Term*> pattern_elems;
+  for (int i = 0; i < k; ++i) {
+    pattern_elems.push_back(factory_.MakeVar(std::string(1, 'A' + i)));
+  }
+  std::vector<const Term*> ground_elems;
+  for (int i = 0; i < n; ++i) ground_elems.push_back(factory_.MakeInt(i));
+  const Term* pattern = factory_.MakeSet(pattern_elems);
+  const Term* ground = factory_.MakeSet(ground_elems);
+  EXPECT_EQ(SolutionCount(pattern, ground), Surjections(k, n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Covers, SetCoverSweep,
+                         ::testing::Values(std::pair{1, 1}, std::pair{2, 1},
+                                           std::pair{2, 2}, std::pair{3, 2},
+                                           std::pair{3, 3}, std::pair{4, 2},
+                                           std::pair{4, 3}, std::pair{2, 3},
+                                           std::pair{5, 4}));
+
+}  // namespace
+}  // namespace ldl

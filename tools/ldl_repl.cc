@@ -1,0 +1,267 @@
+// ldl_repl -- an interactive LDL1 shell.
+//
+//   $ ldl_repl [file.ldl ...]
+//
+// Lines ending in '.' are fed to the session as program text (facts, rules,
+// or "? goal." queries). Meta-commands:
+//
+//   :help                this text
+//   :quit                exit
+//   :strata              show the layering of the analyzed program
+//   :preds               list predicates with arities and fact counts
+//   :facts p/2           print the facts of a predicate
+//   :program             print the expanded (LDL1) program
+//   :warnings            §7 finiteness warnings
+//   :magic on|off        answer queries via Generalized Magic Sets
+//   :naive on|off        switch the fixpoint engine (default: semi-naive)
+//   :stats               stats of the last evaluation
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "base/str_util.h"
+#include "ldl/ldl.h"
+
+namespace {
+
+struct ReplState {
+  ldl::Session session;
+  bool use_magic = false;
+  bool use_supplementary = false;
+  bool naive = false;
+};
+
+void PrintHelp() {
+  std::printf(
+      "enter LDL1 clauses terminated by '.', e.g.\n"
+      "    parent(a, b).\n"
+      "    anc(X, Y) :- parent(X, Y).\n"
+      "    anc(X, Y) :- parent(X, Z), anc(Z, Y).\n"
+      "    ? anc(a, X).\n"
+      "meta: :help :quit :strata :preds :facts p/2 :program :warnings :why f(a)\n"
+      "      :magic on|off|sup  :naive on|off  :stats\n");
+}
+
+void RunQuery(ReplState& state, const std::string& goal) {
+  ldl::QueryOptions options;
+  options.use_magic = state.use_magic;
+  options.use_supplementary = state.use_supplementary;
+  options.eval.mode = state.naive ? ldl::EvalOptions::Mode::kNaive
+                                  : ldl::EvalOptions::Mode::kSemiNaive;
+  auto result = state.session.Query(goal, options);
+  if (!result.ok()) {
+    std::printf("error: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  for (const ldl::Tuple& tuple : result->tuples) {
+    std::printf("  %s\n", state.session.FormatTuple(tuple).c_str());
+  }
+  std::printf("%zu answer(s)%s\n", result->tuples.size(),
+              state.use_magic ? " [magic]" : "");
+}
+
+void ShowStrata(ReplState& state) {
+  ldl::Status status = state.session.Analyze();
+  if (!status.ok()) {
+    std::printf("error: %s\n", status.ToString().c_str());
+    return;
+  }
+  const ldl::Stratification& strat = state.session.stratification();
+  ldl::Catalog& catalog = state.session.catalog();
+  for (int layer = 0; layer < strat.layer_count(); ++layer) {
+    std::string preds;
+    for (ldl::PredId p = 0; p < catalog.size(); ++p) {
+      if (strat.layer_of_pred[p] == layer) {
+        if (!preds.empty()) preds += ", ";
+        preds += catalog.DebugName(p);
+      }
+    }
+    std::printf("  layer %d: %s (%zu rule(s))\n", layer, preds.c_str(),
+                strat.strata[layer].size());
+  }
+}
+
+void ShowPreds(ReplState& state) {
+  ldl::Status status = state.session.Evaluate();
+  if (!status.ok()) {
+    std::printf("error: %s\n", status.ToString().c_str());
+    return;
+  }
+  ldl::Catalog& catalog = state.session.catalog();
+  for (ldl::PredId p = 0; p < catalog.size(); ++p) {
+    size_t count = state.session.database().relation(p).size();
+    if (count == 0 && !catalog.info(p).has_rules) continue;
+    std::printf("  %-24s %6zu fact(s)%s\n", catalog.DebugName(p).c_str(), count,
+                catalog.info(p).has_rules ? "  [derived]" : "");
+  }
+}
+
+void ShowFacts(ReplState& state, const std::string& spec) {
+  auto slash = spec.rfind('/');
+  if (slash == std::string::npos) {
+    std::printf("usage: :facts name/arity\n");
+    return;
+  }
+  std::string name = spec.substr(0, slash);
+  uint32_t arity = static_cast<uint32_t>(atoi(spec.c_str() + slash + 1));
+  ldl::Status status = state.session.Evaluate();
+  if (!status.ok()) {
+    std::printf("error: %s\n", status.ToString().c_str());
+    return;
+  }
+  ldl::PredId pred = state.session.catalog().Find(name, arity);
+  if (pred == ldl::kInvalidPred) {
+    std::printf("unknown predicate %s\n", spec.c_str());
+    return;
+  }
+  auto tuples = state.session.database().relation(pred).Snapshot();
+  for (const std::string& line : FormatFacts(state.session, pred, tuples)) {
+    std::printf("  %s\n", line.c_str());
+  }
+  std::printf("%zu fact(s)\n", tuples.size());
+}
+
+void ShowWarnings(ReplState& state) {
+  auto warnings = state.session.TerminationWarnings();
+  if (!warnings.ok()) {
+    std::printf("error: %s\n", warnings.status().ToString().c_str());
+    return;
+  }
+  if (warnings->empty()) {
+    std::printf("no finiteness warnings\n");
+    return;
+  }
+  for (const ldl::TerminationWarning& warning : *warnings) {
+    std::printf("  warning: %s\n", warning.message.c_str());
+  }
+}
+
+void ShowProgram(ReplState& state) {
+  ldl::Status status = state.session.Analyze();
+  if (!status.ok()) {
+    std::printf("error: %s\n", status.ToString().c_str());
+    return;
+  }
+  ldl::AstPrinter printer(&state.session.interner());
+  std::printf("%s", printer.ToString(state.session.expanded_ast()).c_str());
+}
+
+void ShowStats(ReplState& state) {
+  const ldl::EvalStats& stats = state.session.last_eval_stats();
+  std::printf("  rounds=%zu firings=%zu solutions=%zu facts=%zu matched=%zu\n",
+              stats.iterations, stats.rule_firings, stats.solutions,
+              stats.facts_derived, stats.tuples_matched);
+}
+
+// Returns false on :quit.
+bool HandleLine(ReplState& state, const std::string& raw) {
+  std::string line(ldl::StripWhitespace(raw));
+  if (line.empty()) return true;
+  if (line[0] == ':') {
+    std::istringstream in(line.substr(1));
+    std::string command;
+    std::string argument;
+    in >> command >> argument;
+    if (command == "quit" || command == "q" || command == "exit") return false;
+    if (command == "help") {
+      PrintHelp();
+    } else if (command == "strata") {
+      ShowStrata(state);
+    } else if (command == "preds") {
+      ShowPreds(state);
+    } else if (command == "facts") {
+      ShowFacts(state, argument);
+    } else if (command == "program") {
+      ShowProgram(state);
+    } else if (command == "warnings") {
+      ShowWarnings(state);
+    } else if (command == "why") {
+      // :why anc(a, c) -- everything after the command is the fact.
+      std::string rest(ldl::StripWhitespace(line.substr(1 + command.size())));
+      if (!rest.empty() && rest.back() == '.') rest.pop_back();
+      auto tree = state.session.Explain(rest);
+      if (tree.ok()) {
+        std::printf("%s", tree->c_str());
+      } else {
+        std::printf("error: %s\n", tree.status().ToString().c_str());
+      }
+    } else if (command == "stats") {
+      ShowStats(state);
+    } else if (command == "magic") {
+      state.use_magic = argument != "off";
+      state.use_supplementary = argument == "sup";
+      std::printf("magic %s%s\n", state.use_magic ? "on" : "off",
+                  state.use_supplementary ? " (supplementary)" : "");
+    } else if (command == "naive") {
+      state.naive = argument != "off";
+      std::printf("engine: %s\n", state.naive ? "naive" : "semi-naive");
+    } else {
+      std::printf("unknown command :%s (try :help)\n", command.c_str());
+    }
+    return true;
+  }
+
+  // Program text. "? goal." lines become queries.
+  if (line[0] == '?') {
+    size_t start = line.find_first_not_of("?- \t");
+    std::string goal = line.substr(start);
+    if (!goal.empty() && goal.back() == '.') goal.pop_back();
+    RunQuery(state, goal);
+    return true;
+  }
+  ldl::Status status = state.session.Load(line);
+  if (!status.ok()) std::printf("error: %s\n", status.ToString().c_str());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ReplState state;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream file(argv[i]);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", argv[i]);
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    ldl::Status status = state.session.Load(buffer.str());
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s: %s\n", argv[i], status.ToString().c_str());
+      return 1;
+    }
+    std::printf("loaded %s\n", argv[i]);
+  }
+
+  bool interactive = isatty(0);
+  if (interactive) {
+    std::printf("ldl1 shell -- :help for commands, :quit to exit\n");
+  }
+  std::string pending;
+  std::string line;
+  while (true) {
+    if (interactive) std::printf(pending.empty() ? "ldl> " : "...> ");
+    if (!std::getline(std::cin, line)) break;
+    std::string trimmed(ldl::StripWhitespace(line));
+    if (trimmed.empty()) continue;
+    // Meta-commands and queries are single-line; clauses accumulate until a
+    // terminating '.'.
+    if (pending.empty() && (trimmed[0] == ':' || trimmed[0] == '?')) {
+      if (!HandleLine(state, trimmed)) break;
+      continue;
+    }
+    pending += trimmed;
+    pending += ' ';
+    if (trimmed.back() == '.') {
+      if (!HandleLine(state, pending)) break;
+      pending.clear();
+    }
+  }
+  return 0;
+}
