@@ -32,6 +32,10 @@ inline void RecordStats(benchmark::State& state, const ldl::EvalStats& stats) {
   state.counters["facts"] = static_cast<double>(stats.facts_derived);
   state.counters["solutions"] = static_cast<double>(stats.solutions);
   state.counters["rounds"] = static_cast<double>(stats.iterations);
+  state.counters["matched"] = static_cast<double>(stats.tuples_matched);
+  state.counters["probes"] = static_cast<double>(stats.index_probes);
+  state.counters["probe_hits"] = static_cast<double>(stats.probe_hits);
+  state.counters["plan_hits"] = static_cast<double>(stats.plan_cache_hits);
 }
 
 }  // namespace ldl_bench

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Runs every Google-benchmark binary in the build tree and collects the
+# results into one JSON array at BENCH_engine.json (repo root by default).
+#
+# Usage: bench/run_benches.sh [build_dir] [output_json]
+#   build_dir    defaults to ./build
+#   output_json  defaults to <repo_root>/BENCH_engine.json
+#
+# Pass a benchmark filter through BENCH_FILTER, e.g.
+#   BENCH_FILTER='TcSemiNaive|AncestorMagic' bench/run_benches.sh
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+output="${2:-${repo_root}/BENCH_engine.json}"
+filter="${BENCH_FILTER:-}"
+
+bench_dir="${build_dir}/bench"
+if [[ ! -d "${bench_dir}" ]]; then
+  echo "error: ${bench_dir} not found; configure and build first:" >&2
+  echo "  cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+tmp_dir="$(mktemp -d)"
+trap 'rm -rf "${tmp_dir}"' EXIT
+
+runs=()
+for binary in "${bench_dir}"/bench_*; do
+  [[ -x "${binary}" && -f "${binary}" ]] || continue
+  name="$(basename "${binary}")"
+  json="${tmp_dir}/${name}.json"
+  echo "== ${name}" >&2
+  args=(--benchmark_format=json --benchmark_out="${json}" \
+        --benchmark_out_format=json)
+  if [[ -n "${filter}" ]]; then
+    args+=("--benchmark_filter=${filter}")
+  fi
+  "${binary}" "${args[@]}" > /dev/null || {
+    echo "warning: ${name} exited nonzero; skipping" >&2
+    continue
+  }
+  # A filter that matches nothing leaves an empty report behind.
+  [[ -s "${json}" ]] || continue
+  runs+=("${json}")
+done
+
+if [[ ${#runs[@]} -eq 0 ]]; then
+  echo "error: no bench_* binaries under ${bench_dir}" >&2
+  exit 1
+fi
+
+# Concatenate the per-binary reports into one JSON array, tagging each entry
+# with the binary it came from.
+python3 - "${output}" "${runs[@]}" <<'PY'
+import json
+import os
+import sys
+
+output, *paths = sys.argv[1:]
+merged = []
+for path in paths:
+    with open(path) as f:
+        report = json.load(f)
+    report["binary"] = os.path.basename(path)[: -len(".json")]
+    merged.append(report)
+with open(output, "w") as f:
+    json.dump(merged, f, indent=2)
+    f.write("\n")
+print(f"wrote {output} ({len(merged)} benchmark binaries)")
+PY

@@ -31,7 +31,12 @@ Status Engine::ApplyRule(const RuleIr& rule, const std::vector<int>& order,
                          const std::vector<LiteralWindow>& windows, Database* db,
                          const EvalOptions& options, EvalStats* stats,
                          bool* derived) {
-  RuleEvaluator evaluator(factory_, &rule, order, options.builtin_limits);
+  std::shared_ptr<const JoinPlan> plan;
+  if (options.use_compiled_plans) {
+    plan = plan_cache_.Get(rule, order, &stats->plan_cache_hits);
+  }
+  RuleEvaluator evaluator(factory_, &rule, order, options.builtin_limits,
+                          std::move(plan), options.use_compiled_plans);
   ++stats->rule_firings;
 
   // Buffer productions: inserting while enumerating would invalidate row
@@ -40,8 +45,8 @@ Status Engine::ApplyRule(const RuleIr& rule, const std::vector<int>& order,
   Status inner;
   Status status = evaluator.ForEachSolution(
       *db, windows,
-      [&](const Subst& subst) {
-        InstantiationResult inst = InstantiateArgs(*factory_, rule.head_args, subst);
+      [&](const SolutionView& view) {
+        InstantiationResult inst = evaluator.InstantiateHead(view);
         if (inst.unbound) {
           inner = InternalError("head variable unbound in a body solution");
           return false;
@@ -72,7 +77,12 @@ Status Engine::ApplyGroupingRule(const RuleIr& rule, Database* db,
                                  bool* derived,
                                  std::vector<GroupResult>* results_out) {
   LDL_ASSIGN_OR_RETURN(std::vector<int> order, OrderBodyLiterals(*catalog_, rule));
-  RuleEvaluator evaluator(factory_, &rule, std::move(order), options.builtin_limits);
+  std::shared_ptr<const JoinPlan> plan;
+  if (options.use_compiled_plans) {
+    plan = plan_cache_.Get(rule, order, &stats->plan_cache_hits);
+  }
+  RuleEvaluator evaluator(factory_, &rule, std::move(order), options.builtin_limits,
+                          std::move(plan), options.use_compiled_plans);
   ++stats->rule_firings;
   LDL_ASSIGN_OR_RETURN(std::vector<GroupResult> groups,
                        ComputeGroups(*factory_, evaluator, *db, stats));
@@ -262,12 +272,18 @@ Status Engine::EvaluateSaturating(const ProgramIr& program, Database* db,
   std::vector<std::unordered_map<Tuple, Tuple, TupleHash>> emitted(
       grouping_rules.size());
 
-  // Orders for negation rules (computed once).
+  // Orders for negation and grouping rules (computed once, not per round).
   std::vector<std::vector<int>> negation_orders;
   for (int r : negation_rules) {
     LDL_ASSIGN_OR_RETURN(std::vector<int> order,
                          OrderBodyLiterals(*catalog_, program.rules[r]));
     negation_orders.push_back(std::move(order));
+  }
+  std::vector<std::vector<int>> grouping_orders;
+  for (int r : grouping_rules) {
+    LDL_ASSIGN_OR_RETURN(std::vector<int> order,
+                         OrderBodyLiterals(*catalog_, program.rules[r]));
+    grouping_orders.push_back(std::move(order));
   }
 
   for (size_t round = 0;; ++round) {
@@ -289,9 +305,13 @@ Status Engine::EvaluateSaturating(const ProgramIr& program, Database* db,
     // 2. Grouping rules over the saturated state, reconciled per key.
     for (size_t g = 0; g < grouping_rules.size(); ++g) {
       const RuleIr& rule = program.rules[grouping_rules[g]];
-      LDL_ASSIGN_OR_RETURN(std::vector<int> order, OrderBodyLiterals(*catalog_, rule));
-      RuleEvaluator evaluator(factory_, &rule, std::move(order),
-                              options.builtin_limits);
+      std::shared_ptr<const JoinPlan> plan;
+      if (options.use_compiled_plans) {
+        plan = plan_cache_.Get(rule, grouping_orders[g], &stats->plan_cache_hits);
+      }
+      RuleEvaluator evaluator(factory_, &rule, grouping_orders[g],
+                              options.builtin_limits, std::move(plan),
+                              options.use_compiled_plans);
       ++stats->rule_firings;
       LDL_ASSIGN_OR_RETURN(std::vector<GroupResult> groups,
                            ComputeGroups(*factory_, evaluator, *db, stats));
@@ -359,9 +379,9 @@ StatusOr<std::vector<Tuple>> Engine::Query(const LiteralIr& goal, const Database
   const Relation& relation = db.relation(goal.pred);
   std::vector<Tuple> results;
   Subst subst;
-  relation.ForEachRow(0, relation.row_count(), [&](size_t, const Tuple& tuple) {
+  relation.ForEachRow(0, relation.row_count(), [&](size_t, RowRef tuple) {
     MatchArgs(*factory_, goal.args, tuple, &subst, [&]() {
-      results.push_back(tuple);
+      results.emplace_back(tuple.begin(), tuple.end());
       return false;  // one match per fact suffices
     });
   });

@@ -17,6 +17,7 @@
 
 #include "base/status.h"
 #include "eval/grouping.h"
+#include "eval/plan.h"
 #include "eval/rule_eval.h"
 #include "program/ir.h"
 #include "program/stratify.h"
@@ -34,6 +35,9 @@ struct EvalOptions {
   size_t max_rounds = 1u << 20;
   size_t max_facts = 1u << 26;
   BuiltinLimits builtin_limits;
+  // Execute rule bodies through compiled join plans (eval/plan.h). Off runs
+  // the legacy substitution interpreter; kept for equivalence testing.
+  bool use_compiled_plans = true;
 };
 
 class Engine {
@@ -84,6 +88,10 @@ class Engine {
 
   TermFactory* factory_;
   Catalog* catalog_;
+  // Compiled plans survive across Fixpoint/EvaluateSaturating calls (the
+  // magic path re-evaluates per query); keyed structurally, so temporary
+  // rewritten programs hit the cache on identical rules.
+  PlanCache plan_cache_;
 };
 
 }  // namespace ldl

@@ -33,12 +33,12 @@ StatusOr<std::vector<GroupResult>> ComputeGroups(TermFactory& factory,
   Status inner_status;
   Status status = evaluator.ForEachSolution(
       db, {},
-      [&](const Subst& subst) {
+      [&](const SolutionView& view) {
         // Key: the Z-variable values.
         Tuple key;
         key.reserve(z_vars.size());
         for (Symbol var : z_vars) {
-          const Term* value = subst.Lookup(var);
+          const Term* value = view.Lookup(var);
           if (value == nullptr || !value->ground()) {
             inner_status = InternalError(
                 "grouping key variable unbound in a body solution");
@@ -46,23 +46,34 @@ StatusOr<std::vector<GroupResult>> ComputeGroups(TermFactory& factory,
           }
           key.push_back(value);
         }
-        // Y: the grouped value.
-        bool y_ground = true;
-        const Term* y = InstantiateGround(factory, group_var_term, subst, &y_ground);
-        if (y == nullptr) {
-          if (!y_ground) {
+        // Y: the grouped value. Plan-executor slots hold evaluated ground
+        // terms already; the legacy substitution may still need the pattern
+        // instantiated (scons evaluation, outside-U detection).
+        const Term* y;
+        if (view.subst() == nullptr) {
+          y = view.Lookup(rule.group_var);
+          if (y == nullptr) {
             inner_status =
                 InternalError("grouped variable unbound in a body solution");
             return false;
           }
-          return true;  // outside U: contributes no element
+        } else {
+          bool y_ground = true;
+          y = InstantiateGround(factory, group_var_term, *view.subst(), &y_ground);
+          if (y == nullptr) {
+            if (!y_ground) {
+              inner_status =
+                  InternalError("grouped variable unbound in a body solution");
+              return false;
+            }
+            return true;  // outside U: contributes no element
+          }
         }
 
         auto it = partitions.find(key);
         if (it == partitions.end()) {
           // Instantiate the head argument values for this partition.
-          InstantiationResult head =
-              InstantiateArgs(factory, rule.head_args, subst);
+          InstantiationResult head = evaluator.InstantiateHead(view);
           if (head.unbound) {
             inner_status = InternalError("head variable unbound under grouping");
             return false;

@@ -1,95 +1,149 @@
 #include "eval/relation.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace ldl {
 
-bool Relation::Insert(const Tuple& tuple) {
-  assert(tuple.size() == arity_);
-  auto [it, inserted] = lookup_.emplace(tuple, rows_.size());
-  if (!inserted) {
-    size_t row = it->second;
-    if (live_[row]) return false;
-    // Re-insert of a tombstoned fact: revive in place. The row keeps its old
-    // id, so delta windows opened after the deletion will not see it; the
-    // magic scheduler re-runs affected rules anyway.
-    live_[row] = true;
-    ++live_count_;
-    return true;
+size_t Relation::FindRow(RowRef tuple, uint64_t hash) const {
+  size_t mask = table_.size() - 1;
+  size_t idx = hash & mask;
+  while (table_[idx] != kEmptySlot) {
+    uint32_t row = table_[idx];
+    if (row_hash_[row] == hash &&
+        std::equal(tuple.begin(), tuple.end(), data_.begin() + row * arity_)) {
+      return row;
+    }
+    idx = (idx + 1) & mask;
   }
-  rows_.push_back(tuple);
+  return kNoRow;
+}
+
+void Relation::GrowTable() {
+  size_t capacity = table_.empty() ? 16 : table_.size() * 2;
+  table_.assign(capacity, kEmptySlot);
+  size_t mask = capacity - 1;
+  for (size_t row = 0; row < row_count_; ++row) {
+    size_t idx = row_hash_[row] & mask;
+    while (table_[idx] != kEmptySlot) idx = (idx + 1) & mask;
+    table_[idx] = static_cast<uint32_t>(row);
+  }
+}
+
+bool Relation::Insert(RowRef tuple) {
+  assert(tuple.size() == arity_);
+  // Grow at 7/8 load (entries are never removed, so load only rises).
+  if ((row_count_ + 1) * 8 >= table_.size() * 7) GrowTable();
+  uint64_t hash = HashRow(tuple);
+  size_t mask = table_.size() - 1;
+  size_t idx = hash & mask;
+  while (table_[idx] != kEmptySlot) {
+    uint32_t row = table_[idx];
+    if (row_hash_[row] == hash &&
+        std::equal(tuple.begin(), tuple.end(), data_.begin() + row * arity_)) {
+      if (live_[row]) return false;
+      // Re-insert of a tombstoned fact: revive in place. The row keeps its
+      // old id, so delta windows opened after the deletion will not see it;
+      // the magic scheduler re-runs affected rules anyway. Index entries for
+      // the row were never removed, so no index repair is needed either.
+      live_[row] = true;
+      ++live_count_;
+      return true;
+    }
+    idx = (idx + 1) & mask;
+  }
+  size_t row = row_count_++;
+  table_[idx] = static_cast<uint32_t>(row);
+  data_.insert(data_.end(), tuple.begin(), tuple.end());
+  row_hash_.push_back(hash);
   live_.push_back(true);
   ++live_count_;
-  size_t row = rows_.size() - 1;
-  for (uint32_t c = 0; c < arity_; ++c) {
-    if (!index_built_.empty() && index_built_[c]) {
-      column_index_[c].emplace(tuple[c], row);
-    }
+  for (CompositeIndex& index : indexes_) {
+    uint64_t h = 0x7e11ab1eULL;
+    for (uint32_t col : index.cols) h = HashCombine(h, tuple[col]->hash());
+    index.map[h].push_back(static_cast<uint32_t>(row));
   }
   return true;
 }
 
-bool Relation::Contains(const Tuple& tuple) const {
-  auto it = lookup_.find(tuple);
-  return it != lookup_.end() && live_[it->second];
+bool Relation::Contains(RowRef tuple) const {
+  if (table_.empty()) return false;
+  size_t row = FindRow(tuple, HashRow(tuple));
+  return row != kNoRow && live_[row];
 }
 
-bool Relation::Erase(const Tuple& tuple) {
-  auto it = lookup_.find(tuple);
-  if (it == lookup_.end() || !live_[it->second]) return false;
-  live_[it->second] = false;
+bool Relation::Erase(RowRef tuple) {
+  if (table_.empty()) return false;
+  size_t row = FindRow(tuple, HashRow(tuple));
+  if (row == kNoRow || !live_[row]) return false;
+  live_[row] = false;
   --live_count_;
   return true;
 }
 
-void Relation::EnsureIndex(uint32_t column) const {
-  if (index_built_.empty()) {
-    index_built_.assign(arity_, false);
-    column_index_.resize(arity_);
+const Relation::CompositeIndex& Relation::EnsureIndex(
+    std::span<const uint32_t> cols) const {
+  for (const CompositeIndex& index : indexes_) {
+    if (std::equal(index.cols.begin(), index.cols.end(), cols.begin(),
+                   cols.end())) {
+      return index;
+    }
   }
-  if (index_built_[column]) return;
-  index_built_[column] = true;
-  for (size_t row = 0; row < rows_.size(); ++row) {
-    column_index_[column].emplace(rows_[row][column], row);
+  CompositeIndex& index = indexes_.emplace_back();
+  index.cols.assign(cols.begin(), cols.end());
+  index.map.reserve(row_count_);
+  // Index tombstoned rows too: a later revival keeps the row id, and probes
+  // filter on live_ anyway.
+  for (size_t row = 0; row < row_count_; ++row) {
+    uint64_t h = 0x7e11ab1eULL;
+    for (uint32_t col : index.cols) {
+      h = HashCombine(h, data_[row * arity_ + col]->hash());
+    }
+    index.map[h].push_back(static_cast<uint32_t>(row));
   }
+  return index;
 }
 
 void Relation::Probe(uint32_t column, const Term* value, size_t from, size_t to,
                      std::vector<size_t>* out) const {
-  EnsureIndex(column);
   out->clear();
-  auto [begin, end] = column_index_[column].equal_range(value);
-  for (auto it = begin; it != end; ++it) {
-    size_t row = it->second;
-    if (row >= from && row < to && live_[row]) out->push_back(row);
-  }
+  ProbeRows({&column, 1}, {&value, 1}, from, to, [&](size_t row) {
+    out->push_back(row);
+    return true;
+  });
 }
 
 std::vector<Tuple> Relation::Snapshot() const {
   std::vector<Tuple> result;
   result.reserve(live_count_);
-  for (size_t i = 0; i < rows_.size(); ++i) {
-    if (live_[i]) result.push_back(rows_[i]);
+  for (size_t i = 0; i < row_count_; ++i) {
+    if (live_[i]) {
+      RowRef r = row(i);
+      result.emplace_back(r.begin(), r.end());
+    }
   }
   return result;
 }
 
 void Relation::Clear() {
-  rows_.clear();
+  data_.clear();
+  row_count_ = 0;
+  row_hash_.clear();
   live_.clear();
   live_count_ = 0;
-  lookup_.clear();
-  column_index_.clear();
-  index_built_.clear();
+  table_.clear();
+  indexes_.clear();
+}
+
+void Database::Grow() {
+  while (relations_.size() < catalog_->size()) {
+    relations_.emplace_back(
+        catalog_->info(static_cast<PredId>(relations_.size())).arity);
+  }
 }
 
 Relation& Database::relation(PredId pred) {
-  if (relations_.size() <= pred) {
-    relations_.reserve(catalog_->size());
-    while (relations_.size() < catalog_->size()) {
-      relations_.emplace_back(catalog_->info(static_cast<PredId>(relations_.size())).arity);
-    }
-  }
+  if (relations_.size() <= pred) Grow();
   return relations_[pred];
 }
 
@@ -108,7 +162,7 @@ void Database::CopyFrom(const Database& other, const std::vector<PredId>& preds)
     const Relation& source = other.relation(pred);
     Relation& target = relation(pred);
     source.ForEachRow(0, source.row_count(),
-                      [&](size_t, const Tuple& tuple) { target.Insert(tuple); });
+                      [&](size_t, RowRef tuple) { target.Insert(tuple); });
   }
 }
 

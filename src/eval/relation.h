@@ -1,11 +1,14 @@
-// Fact storage: tuples of interned terms with O(1) dedup, per-column hash
-// indexes (built lazily), stable row ids for semi-naive delta windows, and
-// tombstone deletion (needed by the magic-set scheduler's group
+// Fact storage: tuples of interned terms in a flat column-major-free array
+// with O(1) dedup via an open-addressing row table, lazily built composite
+// (multi-column) hash indexes, stable row ids for semi-naive delta windows,
+// and tombstone deletion (needed by the magic-set scheduler's group
 // reconciliation).
 #ifndef LDL1_EVAL_RELATION_H_
 #define LDL1_EVAL_RELATION_H_
 
 #include <cstdint>
+#include <deque>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -15,9 +18,11 @@
 
 namespace ldl {
 
-// A fact's argument vector. Terms are interned, so hashing/equality is on
-// pointers.
+// A fact's argument vector (owning). Terms are interned, so hashing and
+// equality are on pointers.
 using Tuple = std::vector<const Term*>;
+// A non-owning view of a stored fact.
+using RowRef = std::span<const Term* const>;
 
 struct TupleHash {
   size_t operator()(const Tuple& tuple) const {
@@ -35,32 +40,61 @@ class Relation {
   void set_arity(uint32_t arity) { arity_ = arity; }
 
   // Inserts a fact; returns false if it was already present.
-  bool Insert(const Tuple& tuple);
-  bool Contains(const Tuple& tuple) const;
+  bool Insert(RowRef tuple);
+  bool Contains(RowRef tuple) const;
   // Removes a fact (tombstones the row). Returns false if absent.
-  bool Erase(const Tuple& tuple);
+  bool Erase(RowRef tuple);
 
   // Number of live facts.
   size_t size() const { return live_count_; }
   bool empty() const { return live_count_ == 0; }
 
-  // Raw row storage; rows() indices are stable (deletions leave tombstones).
-  size_t row_count() const { return rows_.size(); }
+  // Raw row storage; row ids are stable (deletions leave tombstones).
+  size_t row_count() const { return row_count_; }
   bool IsLive(size_t row) const { return live_[row]; }
-  const Tuple& row(size_t i) const { return rows_[i]; }
+  RowRef row(size_t i) const { return {data_.data() + i * arity_, arity_}; }
 
   // Calls fn(row_index, tuple) for every live row with index in [from, to).
   template <typename Fn>
   void ForEachRow(size_t from, size_t to, Fn&& fn) const {
-    for (size_t i = from; i < to && i < rows_.size(); ++i) {
-      if (live_[i]) fn(i, rows_[i]);
+    for (size_t i = from; i < to && i < row_count_; ++i) {
+      if (live_[i]) fn(i, row(i));
+    }
+  }
+
+  // Calls fn(row_index) for every live row in [from, to) whose `cols` equal
+  // `values` component-wise; stops early when fn returns false. Builds a
+  // composite hash index over `cols` on first use and maintains it
+  // incrementally on Insert. Keys are combined term hashes, so candidate
+  // rows are verified against `values` before the callback fires.
+  template <typename Fn>
+  void ProbeRows(std::span<const uint32_t> cols,
+                 std::span<const Term* const> values, size_t from, size_t to,
+                 Fn&& fn) const {
+    const CompositeIndex& index = EnsureIndex(cols);
+    auto it = index.map.find(HashKey(values));
+    if (it == index.map.end()) return;
+    for (uint32_t row : it->second) {
+      if (row < from || row >= to || !live_[row]) continue;
+      const Term* const* tuple = data_.data() + row * arity_;
+      bool match = true;
+      for (size_t i = 0; i < cols.size(); ++i) {
+        if (tuple[cols[i]] != values[i]) {
+          match = false;
+          break;
+        }
+      }
+      if (match && !fn(row)) return;
     }
   }
 
   // Row ids of live facts whose `column` equals `value`, restricted to
-  // [from, to). Builds a hash index on the column on first use.
+  // [from, to). Convenience wrapper over ProbeRows for single-column probes.
   void Probe(uint32_t column, const Term* value, size_t from, size_t to,
              std::vector<size_t>* out) const;
+
+  // Number of indexes built so far (single-column and composite).
+  size_t index_count() const { return indexes_.size(); }
 
   // All live tuples (copy, for tests and result reporting).
   std::vector<Tuple> Snapshot() const;
@@ -68,16 +102,49 @@ class Relation {
   void Clear();
 
  private:
-  void EnsureIndex(uint32_t column) const;
+  struct CompositeIndex {
+    std::vector<uint32_t> cols;
+    // Combined key hash -> row ids. Rows are never removed (tombstoned rows
+    // keep their entries so revival needs no index repair); probes filter
+    // on live_.
+    std::unordered_map<uint64_t, std::vector<uint32_t>> map;
+  };
+
+  static constexpr uint32_t kEmptySlot = static_cast<uint32_t>(-1);
+  static constexpr size_t kNoRow = static_cast<size_t>(-1);
+
+  static uint64_t HashKey(std::span<const Term* const> values) {
+    uint64_t h = 0x7e11ab1eULL;
+    for (const Term* value : values) h = HashCombine(h, value->hash());
+    return h;
+  }
+
+  static uint64_t HashRow(RowRef tuple) {
+    uint64_t h = 0x12345;
+    for (const Term* t : tuple) h = HashCombine(h, t->hash());
+    return h;
+  }
+
+  // Open-addressing lookup in table_; kNoRow when absent. table_ must be
+  // non-empty.
+  size_t FindRow(RowRef tuple, uint64_t hash) const;
+  void GrowTable();
+
+  const CompositeIndex& EnsureIndex(std::span<const uint32_t> cols) const;
 
   uint32_t arity_;
-  std::vector<Tuple> rows_;
+  // Flat row storage: row i occupies data_[i * arity_, (i + 1) * arity_).
+  std::vector<const Term*> data_;
+  size_t row_count_ = 0;  // not derivable from data_ when arity_ == 0
+  std::vector<uint64_t> row_hash_;  // per-row tuple hash (for table probes)
   std::vector<bool> live_;
   size_t live_count_ = 0;
-  std::unordered_map<Tuple, size_t, TupleHash> lookup_;  // tuple -> row id
-  // Per-column value index; empty vector = not built yet.
-  mutable std::vector<std::unordered_multimap<const Term*, size_t>> column_index_;
-  mutable std::vector<bool> index_built_;
+  // Dedup table: power-of-two sized, linear probing, entries are row ids.
+  // Tombstoned rows stay in the table so re-insertion revives in place.
+  std::vector<uint32_t> table_;
+  // Built indexes; relations see at most a handful of distinct probe
+  // shapes, so linear lookup by column set beats map overhead.
+  mutable std::deque<CompositeIndex> indexes_;
 };
 
 // The database: one relation per predicate.
@@ -91,9 +158,12 @@ class Database {
   Relation& relation(PredId pred);
   const Relation& relation(PredId pred) const;
 
-  bool AddFact(PredId pred, const Tuple& tuple) {
-    return relation(pred).Insert(tuple);
-  }
+  bool AddFact(PredId pred, RowRef tuple) { return relation(pred).Insert(tuple); }
+
+  // Extends `relations_` to cover every predicate currently registered in
+  // the catalog. Called lazily by relation(); exposed for callers that want
+  // to pre-size after registering predicates.
+  void Grow();
 
   // Total number of facts across all predicates.
   size_t TotalFacts() const;
@@ -106,7 +176,9 @@ class Database {
 
  private:
   Catalog* catalog_;
-  mutable std::vector<Relation> relations_;
+  // Deque: growth for predicates registered after the first relation access
+  // must not invalidate Relation references the evaluator already holds.
+  mutable std::deque<Relation> relations_;
 };
 
 }  // namespace ldl

@@ -3,19 +3,25 @@
 //
 // Body literals are statically reordered so that built-ins run as soon as
 // their inputs are bound and negated literals run once fully ground
-// (negation-as-failure against completed lower strata). Positive literals
-// use per-column hash indexes when a probe argument is ground under the
-// current bindings.
+// (negation-as-failure against completed lower strata). By default the
+// (rule, order) pair is compiled into a JoinPlan (see eval/plan.h): simple
+// positive literals execute as probe-spec + match-program steps over a flat
+// slot array, probing composite hash indexes on all statically bound
+// columns; complex literals fall back to generic unification. The legacy
+// substitution interpreter is kept behind a flag for equivalence testing.
 #ifndef LDL1_EVAL_RULE_EVAL_H_
 #define LDL1_EVAL_RULE_EVAL_H_
 
 #include <cstddef>
 #include <functional>
 #include <limits>
+#include <memory>
 #include <vector>
 
 #include "base/status.h"
+#include "eval/bindings.h"
 #include "eval/builtins.h"
+#include "eval/plan.h"
 #include "eval/relation.h"
 #include "program/ir.h"
 #include "term/term_ops.h"
@@ -35,7 +41,9 @@ struct EvalStats {
   size_t solutions = 0;         // body solutions found
   size_t facts_derived = 0;     // new facts inserted
   size_t tuples_matched = 0;    // candidate tuples fed to the matcher
-  size_t index_probes = 0;
+  size_t index_probes = 0;      // index lookups issued
+  size_t probe_hits = 0;        // rows returned by index lookups
+  size_t plan_cache_hits = 0;   // compiled-plan cache hits
 
   void Add(const EvalStats& other) {
     iterations += other.iterations;
@@ -44,6 +52,8 @@ struct EvalStats {
     facts_derived += other.facts_derived;
     tuples_matched += other.tuples_matched;
     index_probes += other.index_probes;
+    probe_hits += other.probe_hits;
+    plan_cache_hits += other.plan_cache_hits;
   }
 };
 
@@ -58,29 +68,49 @@ StatusOr<std::vector<int>> OrderBodyLiterals(
 
 class RuleEvaluator {
  public:
-  // `order` must come from OrderBodyLiterals for the same rule.
+  // Yield for body solutions; return false to stop the enumeration.
+  using SolutionFn = std::function<bool(const SolutionView&)>;
+
+  // `order` must come from OrderBodyLiterals for the same rule. When `plan`
+  // is null and `use_plan` is set, the evaluator compiles its own plan;
+  // callers on the hot path pass a PlanCache-owned plan instead. With
+  // `use_plan` false the legacy substitution interpreter runs (kept for
+  // equivalence testing against the compiled executor).
   RuleEvaluator(TermFactory* factory, const RuleIr* rule, std::vector<int> order,
-                BuiltinLimits limits = {});
+                BuiltinLimits limits = {},
+                std::shared_ptr<const JoinPlan> plan = nullptr,
+                bool use_plan = true);
 
   // Enumerates body solutions against `db`. `windows` is indexed by body
   // literal position (not evaluation order); empty means "full relation" for
-  // every literal. `yield` returns false to stop the enumeration early.
+  // every literal.
   Status ForEachSolution(const Database& db, const std::vector<LiteralWindow>& windows,
-                         const std::function<bool(const Subst&)>& yield,
-                         EvalStats* stats);
+                         const SolutionFn& yield, EvalStats* stats);
+
+  // Builds the head fact for one solution. Uses the plan's precompiled slot
+  // reads when the head is simple; otherwise instantiates the head patterns
+  // through a substitution materialized from the view.
+  InstantiationResult InstantiateHead(const SolutionView& view) const;
 
   const RuleIr& rule() const { return *rule_; }
+  // Null on the legacy interpreter path.
+  const JoinPlan* plan() const { return plan_.get(); }
 
  private:
   Status EvalFrom(const Database& db, const std::vector<LiteralWindow>& windows,
-                  size_t depth, Subst* subst,
-                  const std::function<bool(const Subst&)>& yield, EvalStats* stats,
+                  size_t depth, Subst* subst, const SolutionFn& yield,
+                  EvalStats* stats, bool* keep_going);
+
+  Status ExecStep(const Database& db, const std::vector<LiteralWindow>& windows,
+                  size_t depth, const SolutionFn& yield, EvalStats* stats,
                   bool* keep_going);
 
   TermFactory* factory_;
   const RuleIr* rule_;
   std::vector<int> order_;
   BuiltinLimits limits_;
+  std::shared_ptr<const JoinPlan> plan_;  // null => legacy interpreter
+  std::vector<const Term*> slots_;        // plan executor bindings
 };
 
 }  // namespace ldl

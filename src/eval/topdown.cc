@@ -344,7 +344,7 @@ Status TopDownEngine::SolveBody(const RuleIr& rule, const std::vector<int>& orde
       }
     } else {
       const Relation& relation = edb_->relation(literal.pred);
-      relation.ForEachRow(0, relation.row_count(), [&](size_t, const Tuple& row) {
+      relation.ForEachRow(0, relation.row_count(), [&](size_t, RowRef row) {
         if (any_match) return;
         Subst probe;
         MatchArgs(*factory_, pattern, row, &probe, [&]() {
@@ -394,7 +394,7 @@ Status TopDownEngine::SolveBody(const RuleIr& rule, const std::vector<int>& orde
   std::vector<Tuple> rows;
   rows.reserve(relation.size());
   relation.ForEachRow(0, relation.row_count(),
-                      [&](size_t, const Tuple& row) { rows.push_back(row); });
+                      [&](size_t, RowRef row) { rows.emplace_back(row.begin(), row.end()); });
   return consume_rows(rows, rows.size());
 }
 
@@ -407,9 +407,9 @@ StatusOr<std::vector<Tuple>> TopDownEngine::Query(const LiteralIr& goal) {
   if (!IsIdb(goal.pred)) {
     const Relation& relation = edb_->relation(goal.pred);
     Subst subst;
-    relation.ForEachRow(0, relation.row_count(), [&](size_t, const Tuple& row) {
+    relation.ForEachRow(0, relation.row_count(), [&](size_t, RowRef row) {
       MatchArgs(*factory_, goal.args, row, &subst, [&]() {
-        results.push_back(row);
+        results.emplace_back(row.begin(), row.end());
         return false;
       });
     });

@@ -105,13 +105,14 @@ class Explainer {
     bool found = false;
     Status status = evaluator.ForEachSolution(
         model_, {},
-        [&](const Subst& subst) {
-          InstantiationResult inst =
-              InstantiateArgs(factory_, rule.head_args, subst);
+        [&](const SolutionView& view) {
+          InstantiationResult inst = evaluator.InstantiateHead(view);
           if (inst.unbound || inst.outside_universe || inst.tuple != fact) {
             return true;
           }
-          witness = subst.trail();
+          Subst bindings;
+          view.AppendBindings(&bindings);
+          witness = bindings.trail();
           found = true;
           return false;
         },
@@ -153,7 +154,9 @@ class Explainer {
       Status inner;
       Status status = premise_evaluator.ForEachSolution(
           model_, {},
-          [&](const Subst& subst) {
+          [&](const SolutionView& view) {
+            Subst subst;
+            view.AppendBindings(&subst);
             InstantiationResult inst =
                 InstantiateArgs(factory_, rule.head_args, subst);
             // Same partition iff the non-grouped head values agree.

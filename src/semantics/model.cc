@@ -21,8 +21,8 @@ StatusOr<bool> CheckPlainRule(TermFactory& factory, const Catalog& catalog,
   Status inner;
   Status status = evaluator.ForEachSolution(
       interpretation, {},
-      [&](const Subst& subst) {
-        InstantiationResult inst = InstantiateArgs(factory, rule.head_args, subst);
+      [&](const SolutionView& view) {
+        InstantiationResult inst = evaluator.InstantiateHead(view);
         if (inst.unbound) {
           inner = InternalError("unbound head variable while model checking");
           return false;
@@ -175,8 +175,8 @@ std::vector<LabeledFact> ModelDifference(const Database& m1, const Database& m2,
   for (PredId pred : preds) {
     const Relation& r1 = m1.relation(pred);
     const Relation& r2 = m2.relation(pred);
-    r1.ForEachRow(0, r1.row_count(), [&](size_t, const Tuple& tuple) {
-      if (!r2.Contains(tuple)) result.emplace_back(pred, tuple);
+    r1.ForEachRow(0, r1.row_count(), [&](size_t, RowRef tuple) {
+      if (!r2.Contains(tuple)) result.emplace_back(pred, Tuple(tuple.begin(), tuple.end()));
     });
   }
   return result;

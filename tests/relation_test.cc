@@ -38,7 +38,7 @@ TEST_F(RelationTest, EraseTombstones) {
   // Row storage keeps the slot (stable row ids for delta windows).
   EXPECT_EQ(r.row_count(), 2u);
   int seen = 0;
-  r.ForEachRow(0, r.row_count(), [&](size_t, const Tuple&) { ++seen; });
+  r.ForEachRow(0, r.row_count(), [&](size_t, RowRef) { ++seen; });
   EXPECT_EQ(seen, 1);
 }
 
@@ -55,7 +55,7 @@ TEST_F(RelationTest, WindowedIteration) {
   Relation r(1);
   for (int i = 0; i < 10; ++i) r.Insert(T({i}));
   std::vector<int64_t> seen;
-  r.ForEachRow(4, 7, [&](size_t, const Tuple& t) {
+  r.ForEachRow(4, 7, [&](size_t, RowRef t) {
     seen.push_back(t[0]->int_value());
   });
   EXPECT_EQ(seen, (std::vector<int64_t>{4, 5, 6}));
@@ -97,6 +97,81 @@ TEST_F(RelationTest, IndexStaysFreshAcrossInserts) {
   EXPECT_EQ(rows.size(), 1u);
 }
 
+std::vector<size_t> CompositeProbe(const Relation& r,
+                                   std::vector<uint32_t> cols,
+                                   const Tuple& values, size_t from, size_t to) {
+  std::vector<size_t> rows;
+  r.ProbeRows(cols, values, from, to, [&](size_t row) {
+    rows.push_back(row);
+    return true;
+  });
+  return rows;
+}
+
+TEST_F(RelationTest, CompositeProbeMatchesMultipleColumns) {
+  Relation r(3);
+  r.Insert(T({1, 2, 3}));
+  r.Insert(T({1, 5, 3}));
+  r.Insert(T({1, 2, 4}));
+  r.Insert(T({2, 2, 3}));
+  auto rows = CompositeProbe(r, {0, 2}, T({1, 3}), 0, r.row_count());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(r.row(rows[0])[1]->int_value() + r.row(rows[1])[1]->int_value(), 7);
+  EXPECT_EQ(r.index_count(), 1u);
+  // A different column set builds a second index.
+  rows = CompositeProbe(r, {1, 2}, T({2, 3}), 0, r.row_count());
+  EXPECT_EQ(rows.size(), 2u);
+  EXPECT_EQ(r.index_count(), 2u);
+}
+
+TEST_F(RelationTest, CompositeProbeTombstoneEraseAndRevive) {
+  Relation r(2);
+  r.Insert(T({1, 2}));
+  r.Insert(T({1, 3}));
+  auto rows = CompositeProbe(r, {0, 1}, T({1, 2}), 0, r.row_count());
+  ASSERT_EQ(rows.size(), 1u);
+  size_t original_row = rows[0];
+  // Erased rows are filtered out of probes but keep their index entries.
+  r.Erase(T({1, 2}));
+  EXPECT_TRUE(CompositeProbe(r, {0, 1}, T({1, 2}), 0, r.row_count()).empty());
+  // Revival reuses the row id; the probe sees it again without index repair.
+  EXPECT_TRUE(r.Insert(T({1, 2})));
+  rows = CompositeProbe(r, {0, 1}, T({1, 2}), 0, r.row_count());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], original_row);
+}
+
+TEST_F(RelationTest, CompositeProbeRespectsDeltaWindow) {
+  Relation r(2);
+  for (int i = 0; i < 6; ++i) r.Insert(T({1, i}));
+  r.Insert(T({2, 0}));
+  // Rows 2..4 form the delta window; only they may be returned.
+  auto rows = CompositeProbe(r, {0}, T({1}), 2, 5);
+  ASSERT_EQ(rows.size(), 3u);
+  for (size_t row : rows) {
+    EXPECT_GE(row, 2u);
+    EXPECT_LT(row, 5u);
+  }
+}
+
+TEST_F(RelationTest, CompositeIndexBuiltBeforeVsAfterInserts) {
+  // `before` builds its index on an empty relation and maintains it
+  // incrementally; `after` builds it over existing rows on first probe.
+  Relation before(2);
+  EXPECT_TRUE(CompositeProbe(before, {0, 1}, T({1, 1}), 0, 0).empty());
+  Relation after(2);
+  for (int i = 0; i < 8; ++i) {
+    Tuple t = T({i % 2, i});
+    before.Insert(t);
+    after.Insert(t);
+  }
+  auto from_before = CompositeProbe(before, {0, 1}, T({0, 4}), 0, 8);
+  auto from_after = CompositeProbe(after, {0, 1}, T({0, 4}), 0, 8);
+  EXPECT_EQ(from_before, from_after);
+  ASSERT_EQ(from_before.size(), 1u);
+  EXPECT_EQ(before.row(from_before[0])[1]->int_value(), 4);
+}
+
 TEST_F(RelationTest, SnapshotSkipsTombstones) {
   Relation r(1);
   r.Insert(T({1}));
@@ -129,6 +204,27 @@ TEST_F(RelationTest, DatabaseLazyRelations) {
   PredId r = catalog.GetOrCreate("r", 3);
   db.AddFact(r, T({1, 2, 3}));
   EXPECT_EQ(db.TotalFacts(), 3u);
+}
+
+TEST_F(RelationTest, DatabaseGrowsForLateRegisteredPredicates) {
+  Catalog catalog(&interner_);
+  PredId p = catalog.GetOrCreate("p", 1);
+  Database db(&catalog);
+  db.AddFact(p, T({1}));
+  // References handed out before growth must survive it (the evaluator holds
+  // Relation references across nested relation() calls).
+  const Relation& held = db.relation(p);
+  for (int i = 0; i < 64; ++i) {
+    PredId q = catalog.GetOrCreate(("q" + std::to_string(i)).c_str(), 1);
+    db.AddFact(q, T({i}));
+  }
+  EXPECT_EQ(&held, &db.relation(p));
+  EXPECT_TRUE(held.Contains(T({1})));
+  EXPECT_EQ(db.TotalFacts(), 65u);
+  // Explicit pre-sizing covers every registered predicate.
+  PredId last = catalog.GetOrCreate("late", 2);
+  db.Grow();
+  EXPECT_EQ(db.relation(last).arity(), 2u);
 }
 
 TEST_F(RelationTest, DatabaseCopyFrom) {

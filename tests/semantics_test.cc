@@ -210,7 +210,7 @@ TEST_F(SemanticsTest, ComputedModelIsAModel) {
   // Dropping a derived fact breaks modelhood.
   PredId t = catalog_.Find("t", 2);
   ASSERT_TRUE(db.relation(t).Erase(
-      {factory_.MakeInt(1), factory_.MakeInt(4)}));
+      Tuple{factory_.MakeInt(1), factory_.MakeInt(4)}));
   EXPECT_FALSE(CheckModel(db, &why));
 }
 

@@ -187,7 +187,7 @@ TEST(TopDown, RecursionDepthGuard) {
   PredId p = session.catalog().Find("p", 2);
   session.database().relation(p).ForEachRow(
       0, session.database().relation(p).row_count(),
-      [&](size_t, const Tuple& t) { edb.AddFact(p, t); });
+      [&](size_t, RowRef t) { edb.AddFact(p, t); });
   TopDownOptions options;
   options.max_call_depth = 4;
   TopDownEngine engine(&session.factory(), &session.catalog(), &session.program(),

@@ -156,6 +156,8 @@ void ShowStats(ReplState& state) {
   std::printf("  rounds=%zu firings=%zu solutions=%zu facts=%zu matched=%zu\n",
               stats.iterations, stats.rule_firings, stats.solutions,
               stats.facts_derived, stats.tuples_matched);
+  std::printf("  probes=%zu probe_hits=%zu plan_hits=%zu\n",
+              stats.index_probes, stats.probe_hits, stats.plan_cache_hits);
 }
 
 // Returns false on :quit.
