@@ -24,7 +24,8 @@ void RunBom(benchmark::State& state, bool magic) {
   ldl::BomWorkload workload = ldl::MakeBom(parts, /*seed=*/21);
   std::string goal = ldl::StrCat("result(", workload.root, ", C)");
   ldl::QueryOptions options;
-  options.use_magic = magic;
+  options.strategy =
+      magic ? ldl::QueryStrategy::kMagic : ldl::QueryStrategy::kModel;
   ldl::EvalStats last;
   for (auto _ : state) {
     auto session = ldl_bench::MakeSession(state, workload.facts, kProgram);

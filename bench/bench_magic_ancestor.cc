@@ -38,12 +38,36 @@ void BM_AncestorFull(benchmark::State& state) {
   ldl_bench::RecordStats(state, last);
 }
 
+// Thread sweep of the full evaluation: args are {chain length, worker
+// threads}. The materialized closure is the parallel engine's target
+// workload -- big deltas that shard across the pool.
+void BM_AncestorFullThreads(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  std::string facts = ldl::ParentChain(n, "p");
+  std::string goal = Goal(n);
+  ldl::QueryOptions options;
+  options.eval.num_threads = static_cast<int>(state.range(1));
+  ldl::EvalStats last;
+  for (auto _ : state) {
+    auto session = ldl_bench::MakeSession(state, facts, kRules);
+    if (session == nullptr) return;
+    auto result = session->Query(goal, options);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result->tuples.size());
+    last = result->stats;
+  }
+  ldl_bench::RecordStats(state, last);
+}
+
 void BM_AncestorMagic(benchmark::State& state) {
   size_t n = static_cast<size_t>(state.range(0));
   std::string facts = ldl::ParentChain(n, "p");
   std::string goal = Goal(n);
   ldl::QueryOptions options;
-  options.use_magic = true;
+  options.strategy = ldl::QueryStrategy::kMagic;
   ldl::EvalStats last;
   for (auto _ : state) {
     auto session = ldl_bench::MakeSession(state, facts, kRules);
@@ -67,7 +91,7 @@ void BM_AncestorTopDown(benchmark::State& state) {
   std::string facts = ldl::ParentChain(n, "p");
   std::string goal = Goal(n);
   ldl::QueryOptions options;
-  options.use_topdown = true;
+  options.strategy = ldl::QueryStrategy::kTopDown;
   ldl::EvalStats last;
   for (auto _ : state) {
     auto session = ldl_bench::MakeSession(state, facts, kRules);
@@ -89,8 +113,7 @@ void BM_AncestorSupplementary(benchmark::State& state) {
   std::string facts = ldl::ParentChain(n, "p");
   std::string goal = Goal(n);
   ldl::QueryOptions options;
-  options.use_magic = true;
-  options.use_supplementary = true;
+  options.strategy = ldl::QueryStrategy::kMagicSupplementary;
   ldl::EvalStats last;
   for (auto _ : state) {
     auto session = ldl_bench::MakeSession(state, facts, kRules);
@@ -111,7 +134,7 @@ void BM_AncestorTreeMagic(benchmark::State& state) {
   std::string facts = ldl::ParentRandomTree(n, /*seed=*/17, "p");
   std::string goal = ldl::StrCat("a(p", n / 2, ", X)");
   ldl::QueryOptions options;
-  options.use_magic = true;
+  options.strategy = ldl::QueryStrategy::kMagic;
   ldl::EvalStats last;
   for (auto _ : state) {
     auto session = ldl_bench::MakeSession(state, facts, kRules);
@@ -131,6 +154,9 @@ void BM_AncestorTreeMagic(benchmark::State& state) {
 // Full evaluation is quadratic in n; cap its sweep lower.
 BENCHMARK(BM_AncestorFull)->Arg(128)->Arg(256)->Arg(512)->Arg(1024)
     ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AncestorFullThreads)
+    ->Args({1024, 1})->Args({1024, 2})->Args({1024, 4})
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 BENCHMARK(BM_AncestorMagic)->Arg(128)->Arg(256)->Arg(512)->Arg(1024)->Arg(4096)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_AncestorSupplementary)->Arg(128)->Arg(512)->Arg(1024)

@@ -21,8 +21,9 @@ void RunYoung(benchmark::State& state, bool magic, bool supplementary = false) {
   ldl::SameGenerationWorkload workload = ldl::MakeSameGeneration(3, 2, depth);
   std::string goal = ldl::StrCat("young(", workload.a_leaf, ", S)");
   ldl::QueryOptions options;
-  options.use_magic = magic;
-  options.use_supplementary = supplementary;
+  options.strategy = supplementary ? ldl::QueryStrategy::kMagicSupplementary
+                     : magic        ? ldl::QueryStrategy::kMagic
+                                    : ldl::QueryStrategy::kModel;
   ldl::EvalStats last;
   for (auto _ : state) {
     auto session = ldl_bench::MakeSession(state, workload.facts, kRules);

@@ -48,6 +48,27 @@ void BM_TcNonLinearSemiNaive(benchmark::State& state) {
   RunClosure(state, ldl::EvalOptions::Mode::kSemiNaive, kNonLinearRules);
 }
 
+// Thread sweep over the linear-closure workload: args are {chain length,
+// worker threads}. threads=1 is exactly the serial engine path.
+void BM_TcSemiNaiveThreads(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  std::string facts = ldl::ParentChain(n, "e");
+  ldl::EvalOptions options;
+  options.num_threads = static_cast<int>(state.range(1));
+  ldl::EvalStats last;
+  for (auto _ : state) {
+    auto session = ldl_bench::MakeSession(state, facts, kLinearRules);
+    if (session == nullptr) return;
+    ldl::Status status = session->Evaluate(options);
+    if (!status.ok()) {
+      state.SkipWithError(status.ToString().c_str());
+      return;
+    }
+    last = session->last_eval_stats();
+  }
+  ldl_bench::RecordStats(state, last);
+}
+
 void BM_TcRandomGraph(benchmark::State& state) {
   size_t n = static_cast<size_t>(state.range(0));
   std::string facts = ldl::RandomGraph(n, 3 * n, /*seed=*/5, "e");
@@ -79,5 +100,8 @@ BENCHMARK(BM_TcNonLinearSemiNaive)->Arg(128)->Arg(256)
 BENCHMARK(BM_TcRandomGraph)
     ->Args({64, 0})->Args({64, 1})->Args({128, 0})->Args({128, 1})
     ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TcSemiNaiveThreads)
+    ->Args({512, 1})->Args({512, 2})->Args({512, 4})
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 BENCHMARK_MAIN();

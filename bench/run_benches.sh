@@ -2,7 +2,10 @@
 # Runs every Google-benchmark binary in the build tree and collects the
 # results into one JSON array at BENCH_engine.json (repo root by default).
 #
-# Usage: bench/run_benches.sh [build_dir] [output_json]
+# Usage: bench/run_benches.sh [--threads] [build_dir] [output_json]
+#   --threads    run only the worker-pool sweep benchmarks (names matching
+#                'Threads') and APPEND their reports to the output JSON
+#                instead of rewriting it
 #   build_dir    defaults to ./build
 #   output_json  defaults to <repo_root>/BENCH_engine.json
 #
@@ -11,9 +14,17 @@
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+append=0
+if [[ "${1:-}" == "--threads" ]]; then
+  append=1
+  shift
+fi
 build_dir="${1:-${repo_root}/build}"
 output="${2:-${repo_root}/BENCH_engine.json}"
 filter="${BENCH_FILTER:-}"
+if [[ ${append} -eq 1 ]]; then
+  filter="${filter:-Threads}"
+fi
 
 bench_dir="${build_dir}/bench"
 if [[ ! -d "${bench_dir}" ]]; then
@@ -51,14 +62,18 @@ if [[ ${#runs[@]} -eq 0 ]]; then
 fi
 
 # Concatenate the per-binary reports into one JSON array, tagging each entry
-# with the binary it came from.
-python3 - "${output}" "${runs[@]}" <<'PY'
+# with the binary it came from. In append mode, existing entries are kept and
+# the new reports are added after them.
+APPEND="${append}" python3 - "${output}" "${runs[@]}" <<'PY'
 import json
 import os
 import sys
 
 output, *paths = sys.argv[1:]
 merged = []
+if os.environ.get("APPEND") == "1" and os.path.exists(output):
+    with open(output) as f:
+        merged = json.load(f)
 for path in paths:
     with open(path) as f:
         report = json.load(f)

@@ -65,7 +65,7 @@ int RunGeneratedInstance() {
   // Query the root's cost through magic sets: only the part sets reachable
   // from the root are ever partitioned.
   ldl::QueryOptions magic;
-  magic.use_magic = true;
+  magic.strategy = ldl::QueryStrategy::kMagic;
   std::string goal = "result(" + workload.root + ", C)";
   auto result = session.Query(goal, magic);
   if (!result.ok()) {

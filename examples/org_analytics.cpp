@@ -93,9 +93,9 @@ int main() {
 
   ldl::QueryOptions full;
   ldl::QueryOptions magic;
-  magic.use_magic = true;
+  magic.strategy = ldl::QueryStrategy::kMagic;
   ldl::QueryOptions topdown;
-  topdown.use_topdown = true;
+  topdown.strategy = ldl::QueryStrategy::kTopDown;
 
   Show(session, "full evaluation", "unstaffable(P)", full);
   Show(session, "full evaluation", "org(e0, Team)", full);

@@ -69,7 +69,7 @@ int main() {
   // The same ancestor query through the Generalized Magic Sets rewriting
   // (§6): same answers, far fewer derivations on large databases.
   ldl::QueryOptions magic;
-  magic.use_magic = true;
+  magic.strategy = ldl::QueryStrategy::kMagic;
   auto result = session.Query("ancestor(bob, X)", magic);
   if (result.ok()) {
     std::printf("\nmagic ? ancestor(bob, X)  =>  %zu answers, %zu facts derived\n",

@@ -44,7 +44,7 @@ int main() {
 
   // Magic evaluation of the same goal.
   ldl::QueryOptions magic;
-  magic.use_magic = true;
+  magic.strategy = ldl::QueryStrategy::kMagic;
   auto fast = session.Query(goal, magic);
   if (!fast.ok()) {
     std::fprintf(stderr, "magic query failed: %s\n",

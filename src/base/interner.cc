@@ -1,6 +1,7 @@
 #include "base/interner.h"
 
 #include <cassert>
+#include <mutex>
 
 #include "base/str_util.h"
 
@@ -11,31 +12,47 @@ Interner::Interner() {
 }
 
 Symbol Interner::Intern(std::string_view text) {
-  auto it = index_.find(std::string(text));
-  if (it != index_.end()) return it->second;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = index_.find(std::string(text));
+    if (it != index_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto [inserted, ok] =
       index_.emplace(std::string(text), static_cast<Symbol>(strings_.size()));
-  (void)ok;
-  strings_.push_back(&inserted->first);
+  if (ok) strings_.push_back(&inserted->first);
   return inserted->second;
 }
 
 std::string_view Interner::Lookup(Symbol symbol) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   assert(symbol < strings_.size());
   return *strings_[symbol];
 }
 
 bool Interner::Find(std::string_view text, Symbol* symbol) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = index_.find(std::string(text));
   if (it == index_.end()) return false;
   *symbol = it->second;
   return true;
 }
 
+size_t Interner::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return strings_.size();
+}
+
 Symbol Interner::Fresh(std::string_view prefix) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   for (;;) {
     std::string candidate = StrCat(prefix, "$", std::to_string(fresh_counter_++));
-    if (index_.find(candidate) == index_.end()) return Intern(candidate);
+    if (index_.find(candidate) != index_.end()) continue;
+    auto [inserted, ok] =
+        index_.emplace(std::move(candidate), static_cast<Symbol>(strings_.size()));
+    (void)ok;
+    strings_.push_back(&inserted->first);
+    return inserted->second;
   }
 }
 

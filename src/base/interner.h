@@ -3,10 +3,18 @@
 // Predicate names, function symbols, atom constants and variable names are all
 // interned once at parse time; the rest of the system deals only in Symbol
 // ids, making comparisons and hashing O(1).
+//
+// Thread-safety: the interner is internally synchronized (writers take an
+// exclusive lock, Lookup/Find take a shared lock) so the parallel evaluator's
+// workers may resolve symbol text -- e.g. for the total term order or
+// arithmetic functor checks -- while the main thread stays quiescent, and so
+// a stray Intern from a worker cannot corrupt the table. Returned views stay
+// valid for the interner's lifetime (ids point at node-stable strings).
 #ifndef LDL1_BASE_INTERNER_H_
 #define LDL1_BASE_INTERNER_H_
 
 #include <cstdint>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -34,7 +42,7 @@ class Interner {
   // Returns true and sets *symbol if `text` is already interned.
   bool Find(std::string_view text, Symbol* symbol) const;
 
-  size_t size() const { return strings_.size(); }
+  size_t size() const;
 
   // Returns a symbol guaranteed not to collide with any user-visible name,
   // of the form "<prefix>$<n>". Used by the rewrite passes to mint fresh
@@ -42,6 +50,7 @@ class Interner {
   Symbol Fresh(std::string_view prefix);
 
  private:
+  mutable std::shared_mutex mu_;
   std::unordered_map<std::string, Symbol> index_;
   std::vector<const std::string*> strings_;  // id -> text (stable pointers)
   uint64_t fresh_counter_ = 0;

@@ -1,0 +1,75 @@
+#include "base/worker_pool.h"
+
+namespace ldl {
+
+WorkerPool::WorkerPool(int thread_count)
+    : thread_count_(thread_count < 1 ? 1 : thread_count) {
+  workers_.reserve(thread_count_ - 1);
+  for (int i = 0; i < thread_count_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void WorkerPool::DrainTasks(const std::function<void(size_t)>& fn,
+                            size_t task_count) {
+  for (;;) {
+    size_t task = next_task_.fetch_add(1, std::memory_order_relaxed);
+    if (task >= task_count) return;
+    fn(task);
+  }
+}
+
+void WorkerPool::Run(size_t task_count, const std::function<void(size_t)>& fn) {
+  if (task_count == 0) return;
+  if (workers_.empty()) {
+    for (size_t task = 0; task < task_count; ++task) fn(task);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    task_count_ = task_count;
+    next_task_.store(0, std::memory_order_relaxed);
+    busy_workers_ = static_cast<int>(workers_.size());
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  DrainTasks(fn, task_count);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return busy_workers_ == 0; });
+  job_ = nullptr;
+}
+
+void WorkerPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(size_t)>* fn;
+    size_t task_count;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      fn = job_;
+      task_count = task_count_;
+    }
+    DrainTasks(*fn, task_count);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--busy_workers_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+}  // namespace ldl

@@ -1,0 +1,62 @@
+// A persistent pool of worker threads with a parallel-for primitive.
+//
+// The bottom-up engine evaluates many independent rule×delta-window tasks per
+// fixpoint round, with a merge barrier between rounds. Rounds can be very
+// short (microseconds on small deltas), so the pool keeps its threads alive
+// across rounds -- spawning per round would dwarf the work. Workers sleep on
+// a condition variable between rounds; tasks within a round are claimed
+// dynamically off an atomic counter so skewed task sizes still balance.
+#ifndef LDL1_BASE_WORKER_POOL_H_
+#define LDL1_BASE_WORKER_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ldl {
+
+class WorkerPool {
+ public:
+  // A pool of `thread_count` execution lanes: `thread_count - 1` spawned
+  // workers plus the thread that calls Run. thread_count must be >= 1.
+  explicit WorkerPool(int thread_count);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int thread_count() const { return thread_count_; }
+
+  // Runs fn(task_index) for every index in [0, task_count), distributing
+  // tasks across the pool; the calling thread participates. Returns once
+  // every task has finished (a full barrier). `fn` must not throw and must
+  // not re-enter Run on the same pool.
+  void Run(size_t task_count, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+  // Claims and runs tasks until the current round is exhausted.
+  void DrainTasks(const std::function<void(size_t)>& fn, size_t task_count);
+
+  const int thread_count_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable start_cv_;  // workers wait here between rounds
+  std::condition_variable done_cv_;   // Run waits here for the round to end
+  uint64_t generation_ = 0;           // bumped once per Run
+  bool shutdown_ = false;
+  const std::function<void(size_t)>* job_ = nullptr;
+  size_t task_count_ = 0;
+  int busy_workers_ = 0;  // spawned workers still inside the current round
+
+  std::atomic<size_t> next_task_{0};
+};
+
+}  // namespace ldl
+
+#endif  // LDL1_BASE_WORKER_POOL_H_

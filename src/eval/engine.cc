@@ -1,6 +1,8 @@
 #include "eval/engine.h"
 
+#include <algorithm>
 #include <unordered_map>
+#include <utility>
 
 #include "base/str_util.h"
 #include "eval/bindings.h"
@@ -9,6 +11,10 @@
 namespace ldl {
 
 namespace {
+
+// Delta windows below this row count are not worth sharding: the per-task
+// dispatch overhead would exceed the join work.
+constexpr size_t kMinShardRows = 64;
 
 // Body literal occurrences whose predicate is in `idb` (candidates for
 // semi-naive delta positioning).
@@ -96,6 +102,72 @@ Status Engine::ApplyGroupingRule(const RuleIr& rule, Database* db,
   return Status::OK();
 }
 
+WorkerPool* Engine::EnsurePool(int num_threads) {
+  if (pool_ == nullptr || pool_->thread_count() != num_threads) {
+    pool_ = std::make_unique<WorkerPool>(num_threads);
+  }
+  return pool_.get();
+}
+
+Status Engine::RunTasksParallel(const std::vector<RuleTask>& tasks, Database* db,
+                                const EvalOptions& options, EvalStats* stats,
+                                bool* derived) {
+  if (tasks.empty()) return Status::OK();
+  // Pre-size the relation deque so const relation() lookups from workers
+  // never mutate it; the round itself only reads the database.
+  db->Grow();
+  const Database& snapshot = *db;
+  std::vector<std::vector<Tuple>> produced(tasks.size());
+  std::vector<EvalStats> task_stats(tasks.size());
+  std::vector<Status> task_status(tasks.size(), Status::OK());
+  EnsurePool(options.num_threads)->Run(tasks.size(), [&](size_t i) {
+    const RuleTask& task = tasks[i];
+    EvalStats& local = task_stats[i];
+    // Plans were prefetched on the scheduling thread (PlanCache is not
+    // thread-safe); the evaluator itself is task-local.
+    RuleEvaluator evaluator(factory_, task.rule, *task.order,
+                            options.builtin_limits, task.plan,
+                            options.use_compiled_plans);
+    ++local.rule_firings;
+    Status inner;
+    Status status = evaluator.ForEachSolution(
+        snapshot, task.windows,
+        [&](const SolutionView& view) {
+          InstantiationResult inst = evaluator.InstantiateHead(view);
+          if (inst.unbound) {
+            inner = InternalError("head variable unbound in a body solution");
+            return false;
+          }
+          if (!inst.outside_universe) {
+            produced[i].push_back(std::move(inst.tuple));
+          }
+          return true;
+        },
+        &local);
+    task_status[i] = status.ok() ? inner : status;
+  });
+  // Merge barrier: single-threaded, in task order, so insertion order --
+  // hence row ids, delta windows, and the final model -- is deterministic
+  // and independent of worker scheduling.
+  stats->parallel_tasks += tasks.size();
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    LDL_RETURN_IF_ERROR(task_status[i]);
+    stats->Add(task_stats[i]);
+    for (const Tuple& tuple : produced[i]) {
+      if (db->AddFact(tasks[i].rule->head_pred, tuple)) {
+        *derived = true;
+        ++stats->facts_derived;
+      }
+    }
+  }
+  if (db->TotalFacts() > options.max_facts) {
+    return ResourceExhaustedError(
+        StrCat("database exceeded max_facts = ", options.max_facts,
+               " (non-terminating program?)"));
+  }
+  return Status::OK();
+}
+
 Status Engine::Fixpoint(const ProgramIr& program, const std::vector<int>& rule_indices,
                         Database* db, const EvalOptions& options, EvalStats* stats,
                         bool* derived_any) {
@@ -103,11 +175,15 @@ Status Engine::Fixpoint(const ProgramIr& program, const std::vector<int>& rule_i
   std::vector<bool> idb(catalog_->size(), false);
   for (int r : rule_indices) idb[program.rules[r].head_pred] = true;
 
+  const bool parallel = options.num_threads > 1;
+
   struct Compiled {
     const RuleIr* rule;
     std::vector<int> default_order;
+    std::shared_ptr<const JoinPlan> default_plan;  // prefetched when parallel
     // (occurrence, order) pairs for semi-naive delta variants.
     std::vector<std::pair<int, std::vector<int>>> delta_variants;
+    std::vector<std::shared_ptr<const JoinPlan>> delta_plans;  // parallel only
   };
   std::vector<Compiled> compiled;
   compiled.reserve(rule_indices.size());
@@ -123,6 +199,16 @@ Status Engine::Fixpoint(const ProgramIr& program, const std::vector<int>& rule_i
         c.delta_variants.emplace_back(occurrence, std::move(order));
       }
     }
+    if (parallel && options.use_compiled_plans) {
+      // PlanCache is not thread-safe; resolve every plan a worker could need
+      // up front on this thread.
+      c.default_plan =
+          plan_cache_.Get(rule, c.default_order, &stats->plan_cache_hits);
+      for (const auto& [occurrence, order] : c.delta_variants) {
+        c.delta_plans.push_back(
+            plan_cache_.Get(rule, order, &stats->plan_cache_hits));
+      }
+    }
     compiled.push_back(std::move(c));
   }
 
@@ -133,10 +219,25 @@ Status Engine::Fixpoint(const ProgramIr& program, const std::vector<int>& rule_i
       if (idb[p]) low[p] = db->relation(p).row_count();
     }
   }
+  // Full-application task list (round 0 and every naive round).
+  auto full_round_tasks = [&compiled]() {
+    std::vector<RuleTask> tasks;
+    tasks.reserve(compiled.size());
+    for (const Compiled& c : compiled) {
+      tasks.push_back({c.rule, &c.default_order, c.default_plan, {}});
+    }
+    return tasks;
+  };
+
   bool derived = false;
-  for (const Compiled& c : compiled) {
-    LDL_RETURN_IF_ERROR(ApplyRule(*c.rule, c.default_order, {}, db, options, stats,
-                                  &derived));
+  if (parallel) {
+    LDL_RETURN_IF_ERROR(
+        RunTasksParallel(full_round_tasks(), db, options, stats, &derived));
+  } else {
+    for (const Compiled& c : compiled) {
+      LDL_RETURN_IF_ERROR(ApplyRule(*c.rule, c.default_order, {}, db, options,
+                                    stats, &derived));
+    }
   }
   *derived_any = *derived_any || derived;
   ++stats->iterations;
@@ -147,9 +248,14 @@ Status Engine::Fixpoint(const ProgramIr& program, const std::vector<int>& rule_i
         return ResourceExhaustedError("fixpoint exceeded max_rounds");
       }
       derived = false;
-      for (const Compiled& c : compiled) {
+      if (parallel) {
         LDL_RETURN_IF_ERROR(
-            ApplyRule(*c.rule, c.default_order, {}, db, options, stats, &derived));
+            RunTasksParallel(full_round_tasks(), db, options, stats, &derived));
+      } else {
+        for (const Compiled& c : compiled) {
+          LDL_RETURN_IF_ERROR(ApplyRule(*c.rule, c.default_order, {}, db,
+                                        options, stats, &derived));
+        }
       }
       *derived_any = *derived_any || derived;
       ++stats->iterations;
@@ -174,14 +280,50 @@ Status Engine::Fixpoint(const ProgramIr& program, const std::vector<int>& rule_i
     if (!any_delta) break;
 
     derived = false;
-    for (const Compiled& c : compiled) {
-      for (const auto& [occurrence, order] : c.delta_variants) {
-        PredId delta_pred = c.rule->body[occurrence].pred;
-        if (high[delta_pred] <= low[delta_pred]) continue;
-        std::vector<LiteralWindow> windows(c.rule->body.size());
-        windows[occurrence] = {low[delta_pred], high[delta_pred]};
-        LDL_RETURN_IF_ERROR(
-            ApplyRule(*c.rule, order, windows, db, options, stats, &derived));
+    if (parallel) {
+      // Build this round's task list: one task per live delta variant, with
+      // large delta windows sharded by row range so one hot predicate still
+      // spreads across the pool.
+      std::vector<RuleTask> tasks;
+      for (const Compiled& c : compiled) {
+        for (size_t v = 0; v < c.delta_variants.size(); ++v) {
+          const auto& [occurrence, order] = c.delta_variants[v];
+          PredId delta_pred = c.rule->body[occurrence].pred;
+          size_t from = low[delta_pred];
+          size_t to = high[delta_pred];
+          if (to <= from) continue;
+          std::shared_ptr<const JoinPlan> plan =
+              c.delta_plans.empty() ? nullptr : c.delta_plans[v];
+          size_t rows = to - from;
+          size_t shards = 1;
+          if (rows >= kMinShardRows) {
+            shards = std::min<size_t>(
+                static_cast<size_t>(options.num_threads) * 2,
+                (rows + kMinShardRows - 1) / kMinShardRows);
+          }
+          if (shards > 1) stats->delta_shards += shards;
+          size_t chunk = (rows + shards - 1) / shards;
+          for (size_t s = 0; s < shards; ++s) {
+            size_t shard_from = from + s * chunk;
+            size_t shard_to = std::min(to, shard_from + chunk);
+            if (shard_from >= shard_to) break;
+            std::vector<LiteralWindow> windows(c.rule->body.size());
+            windows[occurrence] = {shard_from, shard_to};
+            tasks.push_back({c.rule, &order, plan, std::move(windows)});
+          }
+        }
+      }
+      LDL_RETURN_IF_ERROR(RunTasksParallel(tasks, db, options, stats, &derived));
+    } else {
+      for (const Compiled& c : compiled) {
+        for (const auto& [occurrence, order] : c.delta_variants) {
+          PredId delta_pred = c.rule->body[occurrence].pred;
+          if (high[delta_pred] <= low[delta_pred]) continue;
+          std::vector<LiteralWindow> windows(c.rule->body.size());
+          windows[occurrence] = {low[delta_pred], high[delta_pred]};
+          LDL_RETURN_IF_ERROR(
+              ApplyRule(*c.rule, order, windows, db, options, stats, &derived));
+        }
       }
     }
     for (PredId p = 0; p < catalog_->size(); ++p) {
@@ -223,10 +365,62 @@ Status Engine::EvaluateStratum(const ProgramIr& program, const std::vector<int>&
   }
 
   // Lemma 3.2.3: grouping rules fire once, over the stratum's input model
-  // (their bodies depend only on strictly lower layers).
-  for (int r : grouping_rules) {
-    LDL_RETURN_IF_ERROR(
-        ApplyGroupingRule(program.rules[r], db, options, stats, &derived));
+  // (their bodies depend only on strictly lower layers). With several
+  // grouping rules and a pool available, their group computations -- which
+  // only read the input model -- run concurrently; inserts happen at the
+  // barrier in rule order, exactly as the serial loop would.
+  if (options.num_threads > 1 && grouping_rules.size() > 1) {
+    struct GroupTask {
+      const RuleIr* rule;
+      std::vector<int> order;
+      std::shared_ptr<const JoinPlan> plan;
+    };
+    std::vector<GroupTask> tasks;
+    tasks.reserve(grouping_rules.size());
+    for (int r : grouping_rules) {
+      const RuleIr& rule = program.rules[r];
+      GroupTask task{&rule, {}, nullptr};
+      LDL_ASSIGN_OR_RETURN(task.order, OrderBodyLiterals(*catalog_, rule));
+      if (options.use_compiled_plans) {
+        task.plan = plan_cache_.Get(rule, task.order, &stats->plan_cache_hits);
+      }
+      tasks.push_back(std::move(task));
+    }
+    db->Grow();
+    const Database& snapshot = *db;
+    std::vector<std::vector<GroupResult>> groups(tasks.size());
+    std::vector<EvalStats> task_stats(tasks.size());
+    std::vector<Status> task_status(tasks.size(), Status::OK());
+    EnsurePool(options.num_threads)->Run(tasks.size(), [&](size_t i) {
+      const GroupTask& task = tasks[i];
+      RuleEvaluator evaluator(factory_, task.rule, task.order,
+                              options.builtin_limits, task.plan,
+                              options.use_compiled_plans);
+      ++task_stats[i].rule_firings;
+      StatusOr<std::vector<GroupResult>> result =
+          ComputeGroups(*factory_, evaluator, snapshot, &task_stats[i]);
+      if (result.ok()) {
+        groups[i] = std::move(result).value();
+      } else {
+        task_status[i] = result.status();
+      }
+    });
+    stats->parallel_tasks += tasks.size();
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      LDL_RETURN_IF_ERROR(task_status[i]);
+      stats->Add(task_stats[i]);
+      for (const GroupResult& group : groups[i]) {
+        if (db->AddFact(tasks[i].rule->head_pred, group.fact)) {
+          derived = true;
+          ++stats->facts_derived;
+        }
+      }
+    }
+  } else {
+    for (int r : grouping_rules) {
+      LDL_RETURN_IF_ERROR(
+          ApplyGroupingRule(program.rules[r], db, options, stats, &derived));
+    }
   }
   if (normal_rules.empty()) return Status::OK();
   return Fixpoint(program, normal_rules, db, options, stats, &derived);

@@ -10,12 +10,22 @@
 //     repeats until global fixpoint. Grouped facts are reconciled per
 //     partition key; a group that would shrink or change retroactively
 //     indicates a non-layered source program and raises kInternal.
+//
+// Parallel execution: with EvalOptions::num_threads > 1 each fixpoint round
+// partitions its rule×delta-window variants (sharding large delta windows by
+// row range) into tasks on a persistent worker pool. Workers evaluate
+// compiled plans against the immutable pre-round database, staging derived
+// tuples and stats per task; a single merge barrier then dedups/inserts in
+// task order and folds the stats, so the computed model is identical to the
+// serial one. num_threads == 1 runs exactly the historical serial path.
 #ifndef LDL1_EVAL_ENGINE_H_
 #define LDL1_EVAL_ENGINE_H_
 
+#include <memory>
 #include <vector>
 
 #include "base/status.h"
+#include "base/worker_pool.h"
 #include "eval/grouping.h"
 #include "eval/plan.h"
 #include "eval/rule_eval.h"
@@ -38,6 +48,10 @@ struct EvalOptions {
   // Execute rule bodies through compiled join plans (eval/plan.h). Off runs
   // the legacy substitution interpreter; kept for equivalence testing.
   bool use_compiled_plans = true;
+  // Worker-pool width for intra-stratum parallel evaluation. 1 (the
+  // default) is the serial path; > 1 evaluates each round's rule×window
+  // variants concurrently with a deterministic merge barrier.
+  int num_threads = 1;
 };
 
 class Engine {
@@ -66,6 +80,16 @@ class Engine {
   Catalog* catalog() const { return catalog_; }
 
  private:
+  // One schedulable unit of a parallel round: a rule under a fixed literal
+  // order (plan pre-fetched on the scheduling thread), restricted to
+  // per-literal windows -- possibly a row-range shard of a delta window.
+  struct RuleTask {
+    const RuleIr* rule;
+    const std::vector<int>* order;
+    std::shared_ptr<const JoinPlan> plan;
+    std::vector<LiteralWindow> windows;
+  };
+
   Status EvaluateStratum(const ProgramIr& program, const std::vector<int>& rules,
                          Database* db, const EvalOptions& options, EvalStats* stats);
 
@@ -86,12 +110,25 @@ class Engine {
                   Database* db, const EvalOptions& options, EvalStats* stats,
                   bool* derived_any);
 
+  // Evaluates `tasks` on the worker pool against the (read-only) current
+  // database state, then inserts the staged tuples and folds the per-task
+  // stats in task order -- the merge barrier. Sets *derived on any new fact.
+  Status RunTasksParallel(const std::vector<RuleTask>& tasks, Database* db,
+                          const EvalOptions& options, EvalStats* stats,
+                          bool* derived);
+
+  // Returns the persistent pool, (re)creating it when the width changes.
+  WorkerPool* EnsurePool(int num_threads);
+
   TermFactory* factory_;
   Catalog* catalog_;
   // Compiled plans survive across Fixpoint/EvaluateSaturating calls (the
   // magic path re-evaluates per query); keyed structurally, so temporary
   // rewritten programs hit the cache on identical rules.
   PlanCache plan_cache_;
+  // Lazily created worker pool for num_threads > 1; persists across rounds
+  // and evaluations so round barriers cost a wakeup, not a thread spawn.
+  std::unique_ptr<WorkerPool> pool_;
 };
 
 }  // namespace ldl

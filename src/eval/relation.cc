@@ -58,10 +58,13 @@ bool Relation::Insert(RowRef tuple) {
   row_hash_.push_back(hash);
   live_.push_back(true);
   ++live_count_;
-  for (CompositeIndex& index : indexes_) {
+  // Maintain built indexes. Insert only runs in single-writer phases (the
+  // merge barrier or serial evaluation), so mutating the maps is safe.
+  for (CompositeIndex* index = index_head_.load(std::memory_order_acquire);
+       index != nullptr; index = index->next) {
     uint64_t h = 0x7e11ab1eULL;
-    for (uint32_t col : index.cols) h = HashCombine(h, tuple[col]->hash());
-    index.map[h].push_back(static_cast<uint32_t>(row));
+    for (uint32_t col : index->cols) h = HashCombine(h, tuple[col]->hash());
+    index->map[h].push_back(static_cast<uint32_t>(row));
   }
   return true;
 }
@@ -83,25 +86,49 @@ bool Relation::Erase(RowRef tuple) {
 
 const Relation::CompositeIndex& Relation::EnsureIndex(
     std::span<const uint32_t> cols) const {
-  for (const CompositeIndex& index : indexes_) {
-    if (std::equal(index.cols.begin(), index.cols.end(), cols.begin(),
+  // Fast path: lock-free walk of the published list.
+  for (const CompositeIndex* index = index_head_.load(std::memory_order_acquire);
+       index != nullptr; index = index->next) {
+    if (std::equal(index->cols.begin(), index->cols.end(), cols.begin(),
                    cols.end())) {
-      return index;
+      return *index;
     }
   }
-  CompositeIndex& index = indexes_.emplace_back();
-  index.cols.assign(cols.begin(), cols.end());
-  index.map.reserve(row_count_);
+  // Miss: build under the lock, re-checking for a racing builder. The node
+  // is fully constructed before the release store publishes it, so readers
+  // that observe the new head see a complete index.
+  std::lock_guard<std::mutex> lock(index_mu_);
+  CompositeIndex* head = index_head_.load(std::memory_order_relaxed);
+  for (CompositeIndex* index = head; index != nullptr; index = index->next) {
+    if (std::equal(index->cols.begin(), index->cols.end(), cols.begin(),
+                   cols.end())) {
+      return *index;
+    }
+  }
+  auto* index = new CompositeIndex;
+  index->cols.assign(cols.begin(), cols.end());
+  index->map.reserve(row_count_);
   // Index tombstoned rows too: a later revival keeps the row id, and probes
   // filter on live_ anyway.
   for (size_t row = 0; row < row_count_; ++row) {
     uint64_t h = 0x7e11ab1eULL;
-    for (uint32_t col : index.cols) {
+    for (uint32_t col : index->cols) {
       h = HashCombine(h, data_[row * arity_ + col]->hash());
     }
-    index.map[h].push_back(static_cast<uint32_t>(row));
+    index->map[h].push_back(static_cast<uint32_t>(row));
   }
-  return index;
+  index->next = head;
+  index_head_.store(index, std::memory_order_release);
+  return *index;
+}
+
+void Relation::FreeIndexes() {
+  CompositeIndex* index = index_head_.exchange(nullptr, std::memory_order_acquire);
+  while (index != nullptr) {
+    CompositeIndex* next = index->next;
+    delete index;
+    index = next;
+  }
 }
 
 void Relation::Probe(uint32_t column, const Term* value, size_t from, size_t to,
@@ -132,7 +159,7 @@ void Relation::Clear() {
   live_.clear();
   live_count_ = 0;
   table_.clear();
-  indexes_.clear();
+  FreeIndexes();
 }
 
 void Database::Grow() {

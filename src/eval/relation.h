@@ -3,11 +3,20 @@
 // (multi-column) hash indexes, stable row ids for semi-naive delta windows,
 // and tombstone deletion (needed by the magic-set scheduler's group
 // reconciliation).
+//
+// Concurrency contract: during a parallel fixpoint round the relation is
+// read-only -- workers probe and scan, and all Inserts happen at the merge
+// barrier on one thread. The only mutation a *read* can trigger is building
+// a missing lazy index, so indexes live in an append-only linked list with
+// an atomic head: readers walk the list lock-free, builders serialize on a
+// mutex and publish fully-constructed nodes with a release store.
 #ifndef LDL1_EVAL_RELATION_H_
 #define LDL1_EVAL_RELATION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
+#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -35,6 +44,10 @@ struct TupleHash {
 class Relation {
  public:
   explicit Relation(uint32_t arity = 0) : arity_(arity) {}
+  ~Relation() { FreeIndexes(); }
+
+  Relation(const Relation&) = delete;
+  Relation& operator=(const Relation&) = delete;
 
   uint32_t arity() const { return arity_; }
   void set_arity(uint32_t arity) { arity_ = arity; }
@@ -94,7 +107,14 @@ class Relation {
              std::vector<size_t>* out) const;
 
   // Number of indexes built so far (single-column and composite).
-  size_t index_count() const { return indexes_.size(); }
+  size_t index_count() const {
+    size_t count = 0;
+    for (const CompositeIndex* index = index_head_.load(std::memory_order_acquire);
+         index != nullptr; index = index->next) {
+      ++count;
+    }
+    return count;
+  }
 
   // All live tuples (copy, for tests and result reporting).
   std::vector<Tuple> Snapshot() const;
@@ -108,6 +128,9 @@ class Relation {
     // keep their entries so revival needs no index repair); probes filter
     // on live_.
     std::unordered_map<uint64_t, std::vector<uint32_t>> map;
+    // Next-older index; the list is append-at-head and never unlinked
+    // outside Clear()/the destructor, so readers can walk it lock-free.
+    CompositeIndex* next = nullptr;
   };
 
   static constexpr uint32_t kEmptySlot = static_cast<uint32_t>(-1);
@@ -130,7 +153,10 @@ class Relation {
   size_t FindRow(RowRef tuple, uint64_t hash) const;
   void GrowTable();
 
+  // Returns the index over `cols`, building and publishing it on first use.
+  // Safe to call from concurrent readers; builders serialize on index_mu_.
   const CompositeIndex& EnsureIndex(std::span<const uint32_t> cols) const;
+  void FreeIndexes();
 
   uint32_t arity_;
   // Flat row storage: row i occupies data_[i * arity_, (i + 1) * arity_).
@@ -143,8 +169,9 @@ class Relation {
   // Tombstoned rows stay in the table so re-insertion revives in place.
   std::vector<uint32_t> table_;
   // Built indexes; relations see at most a handful of distinct probe
-  // shapes, so linear lookup by column set beats map overhead.
-  mutable std::deque<CompositeIndex> indexes_;
+  // shapes, so a linear walk of the list by column set beats map overhead.
+  mutable std::atomic<CompositeIndex*> index_head_{nullptr};
+  mutable std::mutex index_mu_;  // serializes index construction
 };
 
 // The database: one relation per predicate.

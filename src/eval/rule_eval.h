@@ -35,25 +35,40 @@ struct LiteralWindow {
   size_t to = std::numeric_limits<size_t>::max();
 };
 
+// The one authoritative list of evaluation counters. The struct fields,
+// EvalStats::Add, and every printer (REPL :stats, bench counters) are all
+// generated from this X-macro, so adding a counter here is the whole job --
+// nothing can silently drop it from stat folding, which parallel evaluation
+// (per-worker stats merged at the round barrier) depends on being complete.
+#define LDL_EVAL_STATS_FIELDS(X)                                      \
+  X(iterations)      /* fixpoint rounds */                            \
+  X(rule_firings)    /* rule (variant) applications */                \
+  X(solutions)       /* body solutions found */                       \
+  X(facts_derived)   /* new facts inserted */                         \
+  X(tuples_matched)  /* candidate tuples fed to the matcher */        \
+  X(index_probes)    /* index lookups issued */                       \
+  X(probe_hits)      /* rows returned by index lookups */             \
+  X(plan_cache_hits) /* compiled-plan cache hits */                   \
+  X(parallel_tasks)  /* tasks dispatched to the worker pool */        \
+  X(delta_shards)    /* delta windows split into row-range shards */
+
 struct EvalStats {
-  size_t iterations = 0;        // fixpoint rounds
-  size_t rule_firings = 0;      // rule (variant) applications
-  size_t solutions = 0;         // body solutions found
-  size_t facts_derived = 0;     // new facts inserted
-  size_t tuples_matched = 0;    // candidate tuples fed to the matcher
-  size_t index_probes = 0;      // index lookups issued
-  size_t probe_hits = 0;        // rows returned by index lookups
-  size_t plan_cache_hits = 0;   // compiled-plan cache hits
+#define LDL_EVAL_STATS_DECLARE(name) size_t name = 0;
+  LDL_EVAL_STATS_FIELDS(LDL_EVAL_STATS_DECLARE)
+#undef LDL_EVAL_STATS_DECLARE
 
   void Add(const EvalStats& other) {
-    iterations += other.iterations;
-    rule_firings += other.rule_firings;
-    solutions += other.solutions;
-    facts_derived += other.facts_derived;
-    tuples_matched += other.tuples_matched;
-    index_probes += other.index_probes;
-    probe_hits += other.probe_hits;
-    plan_cache_hits += other.plan_cache_hits;
+#define LDL_EVAL_STATS_ADD(name) name += other.name;
+    LDL_EVAL_STATS_FIELDS(LDL_EVAL_STATS_ADD)
+#undef LDL_EVAL_STATS_ADD
+  }
+
+  // Visits ("name", value) for every counter, in declaration order.
+  template <typename Fn>
+  void ForEachField(Fn&& fn) const {
+#define LDL_EVAL_STATS_VISIT(name) fn(#name, name);
+    LDL_EVAL_STATS_FIELDS(LDL_EVAL_STATS_VISIT)
+#undef LDL_EVAL_STATS_VISIT
   }
 };
 

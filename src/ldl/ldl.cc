@@ -10,6 +10,32 @@
 
 namespace ldl {
 
+const char* ToString(QueryStrategy strategy) {
+  switch (strategy) {
+    case QueryStrategy::kModel:
+      return "model";
+    case QueryStrategy::kMagic:
+      return "magic";
+    case QueryStrategy::kMagicSupplementary:
+      return "magic-sup";
+    case QueryStrategy::kTopDown:
+      return "topdown";
+  }
+  return "?";
+}
+
+StatusOr<QueryStrategy> ParseQueryStrategy(std::string_view name) {
+  if (name == "model") return QueryStrategy::kModel;
+  if (name == "magic") return QueryStrategy::kMagic;
+  if (name == "magic-sup" || name == "magic-supplementary" || name == "sup") {
+    return QueryStrategy::kMagicSupplementary;
+  }
+  if (name == "topdown" || name == "top-down") return QueryStrategy::kTopDown;
+  return InvalidArgumentError(
+      StrCat("unknown query strategy '", name,
+             "' (expected model, magic, magic-sup, or topdown)"));
+}
+
 std::vector<std::string> FormatFacts(const Session& session, PredId pred,
                                      const std::vector<Tuple>& tuples) {
   std::vector<std::string> out;
@@ -131,8 +157,9 @@ StatusOr<QueryResult> Session::Query(std::string_view goal_text,
   LDL_RETURN_IF_ERROR(EnsureAnalyzed());
   LDL_ASSIGN_OR_RETURN(LiteralIr goal, ParseGoal(goal_text));
 
+  const bool goal_has_rules = catalog_.info(goal.pred).has_rules;
   QueryResult result;
-  if (options.use_topdown && catalog_.info(goal.pred).has_rules) {
+  if (options.strategy == QueryStrategy::kTopDown && goal_has_rules) {
     // Memoized top-down evaluation against a fresh EDB.
     Database edb(&catalog_);
     for (const auto& [pred, tuple] : edb_facts_) edb.AddFact(pred, tuple);
@@ -146,7 +173,10 @@ StatusOr<QueryResult> Session::Query(std::string_view goal_text,
     result.stats.iterations = topdown.stats().restarts;
     return result;
   }
-  if (!options.use_magic || !catalog_.info(goal.pred).has_rules) {
+  const bool magic_strategy =
+      options.strategy == QueryStrategy::kMagic ||
+      options.strategy == QueryStrategy::kMagicSupplementary;
+  if (!magic_strategy || !goal_has_rules) {
     LDL_RETURN_IF_ERROR(EnsureEvaluated(options.eval));
     LDL_ASSIGN_OR_RETURN(result.tuples, engine_.Query(goal, *db_));
     result.stats = last_eval_stats_;
@@ -156,7 +186,8 @@ StatusOr<QueryResult> Session::Query(std::string_view goal_text,
   // Magic path: rewrite for this goal and evaluate in a scratch database
   // seeded with the EDB.
   MagicOptions magic_options;
-  magic_options.supplementary = options.use_supplementary;
+  magic_options.supplementary =
+      options.strategy == QueryStrategy::kMagicSupplementary;
   LDL_ASSIGN_OR_RETURN(MagicProgram magic,
                        MagicRewrite(program_, &catalog_, goal, magic_options));
   Database magic_db(&catalog_);

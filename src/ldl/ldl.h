@@ -13,9 +13,10 @@
 // Load() accepts full LDL1.5 (sets, grouping, negation, complex head/body
 // terms); Analyze() macro-expands to LDL1, lowers, checks well-formedness
 // and admissibility, and stratifies. Evaluate() materializes the standard
-// minimal model bottom-up (Theorem 1). Query() matches a goal against the
-// model, or -- with QueryOptions::use_magic -- compiles and runs the
-// Generalized Magic Sets rewriting (§6) against a fresh database.
+// minimal model bottom-up (Theorem 1). Query() answers a goal using the
+// selected QueryStrategy: against the materialized model, via the
+// Generalized Magic Sets rewriting (§6) in a fresh database, or through the
+// memoized top-down baseline.
 #ifndef LDL1_LDL_LDL_H_
 #define LDL1_LDL_LDL_H_
 
@@ -38,24 +39,72 @@
 
 namespace ldl {
 
+// How Session::Query answers a goal.
+enum class QueryStrategy {
+  // Match the goal against the materialized minimal model (evaluating it
+  // bottom-up first if needed).
+  kModel,
+  // Compile the Generalized Magic Sets rewriting (§6) for the goal's
+  // binding pattern and evaluate it in a scratch database seeded with the
+  // EDB.
+  kMagic,
+  // kMagic, with supplementary predicates (shared prefix joins).
+  kMagicSupplementary,
+  // The memoized top-down engine (QSQ-style) -- the baseline §6's magic
+  // sets mimic.
+  kTopDown,
+};
+
+// "model", "magic", "magic-sup", "topdown".
+const char* ToString(QueryStrategy strategy);
+// Inverse of ToString; kInvalidArgument on unknown names.
+StatusOr<QueryStrategy> ParseQueryStrategy(std::string_view name);
+
 struct QueryOptions {
-  // Evaluate via the Generalized Magic Sets rewriting instead of querying
-  // the materialized model. Implies evaluation of the rewritten program in
-  // a scratch database seeded with the EDB.
-  bool use_magic = false;
-  // With use_magic: use supplementary predicates (shared prefix joins).
-  bool use_supplementary = false;
-  // Answer via the memoized top-down engine (QSQ-style) instead of
-  // bottom-up evaluation -- the baseline §6's magic sets mimic. Mutually
-  // exclusive with use_magic (top-down wins if both are set).
-  bool use_topdown = false;
+  QueryStrategy strategy = QueryStrategy::kModel;
   EvalOptions eval;
+
+  // Deprecated pre-QueryStrategy configuration surface. The setters map the
+  // historical three-bool space onto `strategy` with the historical
+  // precedence (top-down over magic over model), independent of call order.
+  // Calling any setter overwrites a directly assigned `strategy`.
+  [[deprecated("set QueryOptions::strategy instead")]]
+  void set_use_magic(bool on) {
+    magic_hint_ = on;
+    RecomputeStrategy();
+  }
+  [[deprecated("use QueryStrategy::kMagicSupplementary instead")]]
+  void set_use_supplementary(bool on) {
+    supplementary_hint_ = on;
+    RecomputeStrategy();
+  }
+  [[deprecated("use QueryStrategy::kTopDown instead")]]
+  void set_use_topdown(bool on) {
+    topdown_hint_ = on;
+    RecomputeStrategy();
+  }
+
+ private:
+  void RecomputeStrategy() {
+    if (topdown_hint_) {
+      strategy = QueryStrategy::kTopDown;
+    } else if (magic_hint_) {
+      strategy = supplementary_hint_ ? QueryStrategy::kMagicSupplementary
+                                     : QueryStrategy::kMagic;
+    } else {
+      strategy = QueryStrategy::kModel;
+    }
+  }
+
+  bool magic_hint_ = false;
+  bool supplementary_hint_ = false;
+  bool topdown_hint_ = false;
 };
 
 struct QueryResult {
   std::vector<Tuple> tuples;
-  // Stats of the evaluation that answered the query (magic evaluation when
-  // use_magic, otherwise the stats of the last full Evaluate()).
+  // Stats of the evaluation that answered the query (the magic/top-down
+  // run under those strategies, otherwise the last full Evaluate()).
   EvalStats stats;
 };
 
@@ -86,8 +135,8 @@ class Session {
   Status EvaluateInto(const Stratification& stratification, Database* db,
                       const EvalOptions& options = {});
 
-  // Answers `goal_text` (e.g. "young(john, S)"). Without use_magic the
-  // session model must be (or will be) materialized via Evaluate().
+  // Answers `goal_text` (e.g. "young(john, S)"). Under kModel the session
+  // model must be (or will be) materialized via Evaluate().
   StatusOr<QueryResult> Query(std::string_view goal_text,
                               const QueryOptions& options = {});
 
@@ -112,12 +161,18 @@ class Session {
     wellformed_options_ = options;
   }
 
-  // Introspection.
+  // Introspection. Const overloads let read-only callers (printers,
+  // analyses, tests) take a `const Session&`.
   Interner& interner() { return interner_; }
+  const Interner& interner() const { return interner_; }
   TermFactory& factory() { return factory_; }
+  const TermFactory& factory() const { return factory_; }
   Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
   Database& database() { return *db_; }
+  const Database& database() const { return *db_; }
   Engine& engine() { return engine_; }
+  const Engine& engine() const { return engine_; }
   const ProgramIr& program() const { return program_; }
   const ProgramAst& ast() const { return ast_; }
   const ProgramAst& expanded_ast() const { return expanded_ast_; }

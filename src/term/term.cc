@@ -77,19 +77,43 @@ TermFactory::TermFactory(Interner* interner) : interner_(interner) {
   empty_list_ = MakeAtom("[]");
 }
 
-const Term* TermFactory::Intern(const Term& candidate) {
-  auto it = table_.find(&candidate);
-  if (it != table_.end()) return *it;
-  void* mem = arena_.Allocate(sizeof(Term), alignof(Term));
+const Term* TermFactory::Intern(const Term& candidate,
+                                std::span<const Term* const> args) {
+  Stripe& stripe = StripeFor(candidate.hash_);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  // Find-or-insert must be one critical section: two workers racing to
+  // create the same term must agree on a single canonical pointer, or
+  // pointer-equality (and with it Relation dedup and the plan matcher)
+  // breaks.
+  auto it = stripe.table.find(&candidate);
+  if (it != stripe.table.end()) return *it;
+  void* mem = stripe.arena.Allocate(sizeof(Term), alignof(Term));
   Term* owned = new (mem) Term(candidate);
-  table_.insert(owned);
+  if (!args.empty()) {
+    const Term** copy = stripe.arena.NewArray<const Term*>(args.size());
+    std::copy(args.begin(), args.end(), copy);
+    owned->args_ = copy;
+  }
+  stripe.table.insert(owned);
   return owned;
 }
 
-const Term* const* TermFactory::CopyArgs(std::span<const Term* const> args) {
-  const Term** copy = arena_.NewArray<const Term*>(args.size());
-  std::copy(args.begin(), args.end(), copy);
-  return copy;
+size_t TermFactory::interned_count() const {
+  size_t total = 0;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    total += stripe.table.size();
+  }
+  return total;
+}
+
+size_t TermFactory::arena_bytes() const {
+  size_t total = 0;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    total += stripe.arena.bytes_allocated();
+  }
+  return total;
 }
 
 const Term* TermFactory::MakeInt(int64_t value) {
@@ -171,10 +195,7 @@ const Term* TermFactory::MakeFunc(Symbol name, std::span<const Term* const> args
   probe.int_value_ = 0;
   probe.args_ = args.data();
   probe.hash_ = ComputeHash(probe);
-  auto it = table_.find(&probe);
-  if (it != table_.end()) return *it;
-  probe.args_ = CopyArgs(args);
-  return Intern(probe);
+  return Intern(probe, args);
 }
 
 const Term* TermFactory::MakeFunc(std::string_view name,
@@ -203,10 +224,7 @@ const Term* TermFactory::MakeSet(std::span<const Term* const> elements) {
   probe.int_value_ = 0;
   probe.args_ = canonical.data();
   probe.hash_ = ComputeHash(probe);
-  auto it = table_.find(&probe);
-  if (it != table_.end()) return *it;
-  probe.args_ = CopyArgs(canonical);
-  return Intern(probe);
+  return Intern(probe, canonical);
 }
 
 const Term* TermFactory::SetInsert(const Term* element, const Term* set) {

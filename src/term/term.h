@@ -14,12 +14,21 @@
 //
 // Variables are included as a term kind so that rule patterns can be
 // represented uniformly; ground terms (members of U proper) are flagged.
-// Terms are allocated from an arena owned by the factory and are never
+// Terms are allocated from arenas owned by the factory and are never
 // individually freed ("manual memory for terms").
+//
+// Concurrency: interning is striped. The hash table is sharded into
+// kStripeCount independent stripes, each with its own mutex, hash set and
+// arena; a term lands in the stripe selected by its structural hash. The
+// find-or-insert is atomic per stripe, so pointer-equality canonicalization
+// holds even when the parallel evaluator's workers intern concurrently --
+// two workers racing to create f(a, b) always receive the same pointer.
+// Terms are immutable once published, so readers never take a lock.
 #ifndef LDL1_TERM_TERM_H_
 #define LDL1_TERM_TERM_H_
 
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_set>
@@ -101,7 +110,9 @@ class Term {
 class TermFactory;
 int CompareTerms(const TermFactory& factory, const Term* a, const Term* b);
 
-// Creates and interns terms. Not thread-safe; one factory per engine.
+// Creates and interns terms. Thread-safe via striped (lock-sharded) hash
+// interning: concurrent Make* calls from parallel-evaluation workers are
+// safe and return canonical pointers. One factory per engine.
 class TermFactory {
  public:
   explicit TermFactory(Interner* interner);
@@ -146,8 +157,13 @@ class TermFactory {
   void AppendTo(const Term* t, std::string* out) const;
 
   Interner* interner() const { return interner_; }
-  size_t interned_count() const { return table_.size(); }
-  size_t arena_bytes() const { return arena_.bytes_allocated(); }
+  // Totals across all stripes; each stripe is locked briefly, so the result
+  // is a consistent-enough snapshot for stats and tests.
+  size_t interned_count() const;
+  size_t arena_bytes() const;
+
+  // Number of lock stripes the intern table is sharded into.
+  static constexpr size_t kStripeCount = 16;
 
   // The reserved scons function symbol (paper §2.1).
   Symbol scons_symbol() const { return scons_symbol_; }
@@ -162,14 +178,28 @@ class TermFactory {
     bool operator()(const Term* a, const Term* b) const;
   };
 
-  // Interns `candidate` (stack-allocated probe); copies to the arena on miss.
-  const Term* Intern(const Term& candidate);
-  const Term* const* CopyArgs(std::span<const Term* const> args);
+  // One lock shard of the intern table. Each stripe owns the arena its
+  // terms (and their argument arrays) are copied into, so allocation and
+  // publication happen under one lock acquisition.
+  struct Stripe {
+    mutable std::mutex mu;
+    std::unordered_set<const Term*, TermHash, TermStructuralEq> table;
+    Arena arena;
+  };
+
+  Stripe& StripeFor(uint64_t hash) {
+    // Top bits select the stripe; the hash table consumes the low bits.
+    return stripes_[(hash >> 60) & (kStripeCount - 1)];
+  }
+
+  // Atomically finds-or-inserts `candidate` (stack-allocated probe) in its
+  // stripe. On a miss the probe and `args` (when non-empty) are copied into
+  // the stripe's arena before the new term is published.
+  const Term* Intern(const Term& candidate, std::span<const Term* const> args = {});
   static uint64_t ComputeHash(const Term& t);
 
   Interner* interner_;
-  Arena arena_;
-  std::unordered_set<const Term*, TermHash, TermStructuralEq> table_;
+  Stripe stripes_[kStripeCount];
   const Term* empty_set_;
   Symbol cons_symbol_;
   Symbol scons_symbol_;

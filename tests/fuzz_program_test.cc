@@ -154,11 +154,11 @@ TEST_P(FuzzSweep, EnginesAgreeAndModelHolds) {
 
   // 3. magic answers match stratified answers on bound goals.
   QueryOptions magic;
-  magic.use_magic = true;
+  magic.strategy = ldl::QueryStrategy::kMagic;
   QueryOptions supplementary = magic;
-  supplementary.use_supplementary = true;
+  supplementary.strategy = ldl::QueryStrategy::kMagicSupplementary;
   QueryOptions topdown;
-  topdown.use_topdown = true;
+  topdown.strategy = ldl::QueryStrategy::kTopDown;
   for (size_t i = 0; i < kDerived; ++i) {
     PredId pred = session.catalog().Find(StrCat("d", i), generator.arities()[i]);
     if (pred == kInvalidPred || !session.catalog().info(pred).has_rules) continue;

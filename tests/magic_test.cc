@@ -171,7 +171,7 @@ TEST(Magic, AnswersMatchFullEvaluationOnBoundQuery) {
   auto full = session.Query("a(p0, X)");
   ASSERT_TRUE(full.ok()) << full.status();
   QueryOptions magic_options;
-  magic_options.use_magic = true;
+  magic_options.strategy = ldl::QueryStrategy::kMagic;
   auto magic = session.Query("a(p0, X)", magic_options);
   ASSERT_TRUE(magic.ok()) << magic.status();
   EXPECT_EQ(full->tuples.size(), 30u);
@@ -186,7 +186,7 @@ TEST(Magic, TouchesFewerTuplesThanFullEvaluation) {
                         "a(X, Y) :- p(X, Z), a(Z, Y).")
                   .ok());
   QueryOptions magic_options;
-  magic_options.use_magic = true;
+  magic_options.strategy = ldl::QueryStrategy::kMagic;
   auto magic = session.Query("a(p110, X)", magic_options);
   ASSERT_TRUE(magic.ok()) << magic.status();
   EXPECT_EQ(magic->tuples.size(), 10u);
@@ -204,7 +204,7 @@ TEST(Magic, YoungRunningExampleEndToEnd) {
   ASSERT_TRUE(session.Load(kYoungRules).ok());
 
   QueryOptions magic_options;
-  magic_options.use_magic = true;
+  magic_options.strategy = ldl::QueryStrategy::kMagic;
   std::string goal = StrCat("young(", workload.a_leaf, ", S)");
   auto magic = session.Query(goal, magic_options);
   ASSERT_TRUE(magic.ok()) << magic.status();
@@ -250,7 +250,7 @@ TEST_P(MagicEquivalenceSweep, MagicEqualsStratified) {
     auto full = session.Query(goal);
     ASSERT_TRUE(full.ok()) << goal << ": " << full.status();
     QueryOptions magic_options;
-    magic_options.use_magic = true;
+    magic_options.strategy = ldl::QueryStrategy::kMagic;
     auto magic = session.Query(goal, magic_options);
     ASSERT_TRUE(magic.ok()) << goal << ": " << magic.status();
 
@@ -290,7 +290,7 @@ TEST(Adorn, MultipleAdornmentsForOnePredicate) {
   EXPECT_NE(session.catalog().Find("anc__fb", 2), kInvalidPred);
 
   QueryOptions magic;
-  magic.use_magic = true;
+  magic.strategy = ldl::QueryStrategy::kMagic;
   auto full = session.Query("rel(p5, X)");
   auto fast = session.Query("rel(p5, X)", magic);
   ASSERT_TRUE(full.ok());
@@ -309,9 +309,9 @@ TEST(SupplementaryMagic, AnswersMatchPlainMagic) {
 
   for (const char* goal : {"a(x0, X)", "sg(x3, X)", "young(x3, S)"}) {
     QueryOptions plain;
-    plain.use_magic = true;
+    plain.strategy = ldl::QueryStrategy::kMagic;
     QueryOptions supplementary = plain;
-    supplementary.use_supplementary = true;
+    supplementary.strategy = ldl::QueryStrategy::kMagicSupplementary;
     auto a = session.Query(goal, plain);
     auto b = session.Query(goal, supplementary);
     ASSERT_TRUE(a.ok()) << goal << ": " << a.status();
@@ -362,9 +362,9 @@ TEST(SupplementaryMagic, BomPartitionRuleWorks) {
       "tc(S, C) :- partition(S, S1, S2), tc(S1, C1), tc(S2, C2), +(C1, C2, C).\n"
       "result(X, C) :- tc({X}, C).").ok());
   QueryOptions plain;
-  plain.use_magic = true;
+  plain.strategy = ldl::QueryStrategy::kMagic;
   QueryOptions supplementary = plain;
-  supplementary.use_supplementary = true;
+  supplementary.strategy = ldl::QueryStrategy::kMagicSupplementary;
   std::string goal = StrCat("result(", workload.root, ", C)");
   auto a = session.Query(goal, plain);
   auto b = session.Query(goal, supplementary);

@@ -80,7 +80,7 @@ TEST(Session, MagicFallsBackForExtensionalGoals) {
   Session session;
   ASSERT_TRUE(session.Load("p(a, b).").ok());
   QueryOptions options;
-  options.use_magic = true;
+  options.strategy = ldl::QueryStrategy::kMagic;
   auto result = session.Query("p(a, X)", options);
   ASSERT_TRUE(result.ok()) << result.status();
   EXPECT_EQ(result->tuples.size(), 1u);
@@ -95,7 +95,7 @@ TEST(Session, MagicQueryDoesNotPolluteSessionDatabase) {
   ASSERT_TRUE(session.Evaluate().ok());
   size_t facts = session.database().TotalFacts();
   QueryOptions options;
-  options.use_magic = true;
+  options.strategy = ldl::QueryStrategy::kMagic;
   ASSERT_TRUE(session.Query("anc(a, X)", options).ok());
   EXPECT_EQ(session.database().TotalFacts(), facts);
 }
@@ -115,6 +115,41 @@ TEST(Session, SconsFactsEvaluate) {
   auto result = session.Query("p({1, 2})");
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->tuples.size(), 1u);
+}
+
+TEST(Session, ConstIntrospectionAccessors) {
+  Session session;
+  ASSERT_TRUE(session.Load("p(a). q(X) :- p(X).").ok());
+  ASSERT_TRUE(session.Evaluate().ok());
+  const Session& view = session;
+  PredId p = view.catalog().Find("p", 1);
+  ASSERT_NE(p, kInvalidPred);
+  EXPECT_EQ(view.database().relation(p).size(), 1u);
+  EXPECT_FALSE(view.program().rules.empty());
+  EXPECT_GT(view.interner().size(), 0u);
+  EXPECT_EQ(view.factory().interner(), &view.interner());
+  EXPECT_EQ(view.engine().catalog(), &view.catalog());
+}
+
+TEST(Session, DeprecatedQueryOptionSettersMapOntoStrategy) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  QueryOptions options;
+  EXPECT_EQ(options.strategy, QueryStrategy::kModel);
+  // Supplementary before magic must still land on kMagicSupplementary.
+  options.set_use_supplementary(true);
+  options.set_use_magic(true);
+  EXPECT_EQ(options.strategy, QueryStrategy::kMagicSupplementary);
+  options.set_use_supplementary(false);
+  EXPECT_EQ(options.strategy, QueryStrategy::kMagic);
+  // Historical precedence: top-down wins over magic while set.
+  options.set_use_topdown(true);
+  EXPECT_EQ(options.strategy, QueryStrategy::kTopDown);
+  options.set_use_topdown(false);
+  EXPECT_EQ(options.strategy, QueryStrategy::kMagic);
+  options.set_use_magic(false);
+  EXPECT_EQ(options.strategy, QueryStrategy::kModel);
+#pragma GCC diagnostic pop
 }
 
 TEST(Session, LastEvalStatsPopulated) {

@@ -24,7 +24,7 @@ void ExpectAgreement(Session& session, const std::string& goal) {
   auto full = session.Query(goal);
   ASSERT_TRUE(full.ok()) << goal << ": " << full.status();
   QueryOptions topdown;
-  topdown.use_topdown = true;
+  topdown.strategy = ldl::QueryStrategy::kTopDown;
   auto td = session.Query(goal, topdown);
   ASSERT_TRUE(td.ok()) << goal << ": " << td.status();
   EXPECT_EQ(Render(session, full->tuples), Render(session, td->tuples)) << goal;
@@ -62,7 +62,7 @@ TEST(TopDown, BoundQueryTouchesLessThanFullEvaluation) {
                         "a(X, Y) :- p(X, Z), a(Z, Y).")
                   .ok());
   QueryOptions topdown;
-  topdown.use_topdown = true;
+  topdown.strategy = ldl::QueryStrategy::kTopDown;
   auto result = session.Query("a(p190, X)", topdown);
   ASSERT_TRUE(result.ok()) << result.status();
   EXPECT_EQ(result->tuples.size(), 10u);
@@ -151,9 +151,9 @@ TEST(TopDown, BomCostQuery) {
                   .ok());
   // Compare against magic (full evaluation is exponential in parts).
   QueryOptions magic;
-  magic.use_magic = true;
+  magic.strategy = ldl::QueryStrategy::kMagic;
   QueryOptions topdown;
-  topdown.use_topdown = true;
+  topdown.strategy = ldl::QueryStrategy::kTopDown;
   std::string goal = StrCat("result(", workload.root, ", C)");
   auto a = session.Query(goal, magic);
   auto b = session.Query(goal, topdown);
@@ -166,7 +166,7 @@ TEST(TopDown, EdbGoalsPassThrough) {
   Session session;
   ASSERT_TRUE(session.Load("p(a, b). p(a, c).").ok());
   QueryOptions topdown;
-  topdown.use_topdown = true;
+  topdown.strategy = ldl::QueryStrategy::kTopDown;
   auto result = session.Query("p(a, X)", topdown);
   ASSERT_TRUE(result.ok()) << result.status();
   EXPECT_EQ(result->tuples.size(), 2u);

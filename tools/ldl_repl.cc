@@ -12,8 +12,10 @@
 //   :facts p/2           print the facts of a predicate
 //   :program             print the expanded (LDL1) program
 //   :warnings            §7 finiteness warnings
-//   :magic on|off        answer queries via Generalized Magic Sets
+//   :strategy [name]     query strategy: model, magic, magic-sup, topdown
+//   :magic on|off|sup    shorthand for :strategy magic / model / magic-sup
 //   :naive on|off        switch the fixpoint engine (default: semi-naive)
+//   :threads N           worker threads for bottom-up evaluation
 //   :stats               stats of the last evaluation
 #include <unistd.h>
 
@@ -31,9 +33,9 @@ namespace {
 
 struct ReplState {
   ldl::Session session;
-  bool use_magic = false;
-  bool use_supplementary = false;
+  ldl::QueryStrategy strategy = ldl::QueryStrategy::kModel;
   bool naive = false;
+  int threads = 1;
 };
 
 void PrintHelp() {
@@ -44,15 +46,16 @@ void PrintHelp() {
       "    anc(X, Y) :- parent(X, Z), anc(Z, Y).\n"
       "    ? anc(a, X).\n"
       "meta: :help :quit :strata :preds :facts p/2 :program :warnings :why f(a)\n"
-      "      :magic on|off|sup  :naive on|off  :stats\n");
+      "      :strategy model|magic|magic-sup|topdown  :magic on|off|sup\n"
+      "      :naive on|off  :threads N  :stats\n");
 }
 
 void RunQuery(ReplState& state, const std::string& goal) {
   ldl::QueryOptions options;
-  options.use_magic = state.use_magic;
-  options.use_supplementary = state.use_supplementary;
+  options.strategy = state.strategy;
   options.eval.mode = state.naive ? ldl::EvalOptions::Mode::kNaive
                                   : ldl::EvalOptions::Mode::kSemiNaive;
+  options.eval.num_threads = state.threads;
   auto result = state.session.Query(goal, options);
   if (!result.ok()) {
     std::printf("error: %s\n", result.status().ToString().c_str());
@@ -61,8 +64,11 @@ void RunQuery(ReplState& state, const std::string& goal) {
   for (const ldl::Tuple& tuple : result->tuples) {
     std::printf("  %s\n", state.session.FormatTuple(tuple).c_str());
   }
-  std::printf("%zu answer(s)%s\n", result->tuples.size(),
-              state.use_magic ? " [magic]" : "");
+  std::string suffix;
+  if (state.strategy != ldl::QueryStrategy::kModel) {
+    suffix = std::string(" [") + ldl::ToString(state.strategy) + "]";
+  }
+  std::printf("%zu answer(s)%s\n", result->tuples.size(), suffix.c_str());
 }
 
 void ShowStrata(ReplState& state) {
@@ -152,12 +158,18 @@ void ShowProgram(ReplState& state) {
 }
 
 void ShowStats(ReplState& state) {
+  // Generated from the EvalStats X-macro: every counter prints, including
+  // ones added later.
   const ldl::EvalStats& stats = state.session.last_eval_stats();
-  std::printf("  rounds=%zu firings=%zu solutions=%zu facts=%zu matched=%zu\n",
-              stats.iterations, stats.rule_firings, stats.solutions,
-              stats.facts_derived, stats.tuples_matched);
-  std::printf("  probes=%zu probe_hits=%zu plan_hits=%zu\n",
-              stats.index_probes, stats.probe_hits, stats.plan_cache_hits);
+  int on_line = 0;
+  stats.ForEachField([&](const char* name, size_t value) {
+    std::printf("%s%s=%zu", on_line == 0 ? "  " : " ", name, value);
+    if (++on_line == 5) {
+      std::printf("\n");
+      on_line = 0;
+    }
+  });
+  if (on_line != 0) std::printf("\n");
 }
 
 // Returns false on :quit.
@@ -194,11 +206,37 @@ bool HandleLine(ReplState& state, const std::string& raw) {
       }
     } else if (command == "stats") {
       ShowStats(state);
+    } else if (command == "strategy") {
+      if (argument.empty()) {
+        std::printf("strategy: %s\n", ldl::ToString(state.strategy));
+      } else {
+        auto strategy = ldl::ParseQueryStrategy(argument);
+        if (!strategy.ok()) {
+          std::printf("error: %s\n", strategy.status().ToString().c_str());
+        } else {
+          state.strategy = *strategy;
+          std::printf("strategy: %s\n", ldl::ToString(state.strategy));
+        }
+      }
     } else if (command == "magic") {
-      state.use_magic = argument != "off";
-      state.use_supplementary = argument == "sup";
-      std::printf("magic %s%s\n", state.use_magic ? "on" : "off",
-                  state.use_supplementary ? " (supplementary)" : "");
+      // Back-compat shorthand for :strategy.
+      state.strategy = argument == "off" ? ldl::QueryStrategy::kModel
+                       : argument == "sup"
+                           ? ldl::QueryStrategy::kMagicSupplementary
+                           : ldl::QueryStrategy::kMagic;
+      bool magic = state.strategy != ldl::QueryStrategy::kModel;
+      std::printf("magic %s%s\n", magic ? "on" : "off",
+                  state.strategy == ldl::QueryStrategy::kMagicSupplementary
+                      ? " (supplementary)"
+                      : "");
+    } else if (command == "threads") {
+      int threads = atoi(argument.c_str());
+      if (threads < 1) {
+        std::printf("usage: :threads N (N >= 1)\n");
+      } else {
+        state.threads = threads;
+        std::printf("threads: %d\n", state.threads);
+      }
     } else if (command == "naive") {
       state.naive = argument != "off";
       std::printf("engine: %s\n", state.naive ? "naive" : "semi-naive");
