@@ -26,7 +26,9 @@ void RunBom(benchmark::State& state, bool magic) {
   ldl::QueryOptions options;
   options.strategy =
       magic ? ldl::QueryStrategy::kMagic : ldl::QueryStrategy::kModel;
+  options.eval.profile = ldl_bench::ProfileRequested();
   ldl::EvalStats last;
+  ldl::EvalProfile last_profile;
   for (auto _ : state) {
     auto session = ldl_bench::MakeSession(state, workload.facts, kProgram);
     if (session == nullptr) return;
@@ -40,9 +42,12 @@ void RunBom(benchmark::State& state, bool magic) {
       return;
     }
     last = result->stats;
+    if (options.eval.profile) last_profile = result->profile;
   }
   state.counters["leaves"] = static_cast<double>(workload.leaf_count);
   ldl_bench::RecordStats(state, last);
+  ldl_bench::MaybeDumpProfile(
+      ldl::StrCat(magic ? "BomMagic/" : "BomFull/", parts), last_profile);
 }
 
 void BM_BomFull(benchmark::State& state) { RunBom(state, false); }

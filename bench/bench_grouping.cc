@@ -15,19 +15,26 @@ void BM_GroupBySupplier(benchmark::State& state) {
   std::string facts =
       ldl::SupplierParts(suppliers, parts_per, /*part_pool=*/parts_per * 4,
                          /*seed=*/11);
+  ldl::EvalOptions options;
+  options.profile = ldl_bench::ProfileRequested();
   ldl::EvalStats last;
+  ldl::EvalProfile last_profile;
   for (auto _ : state) {
     auto session = ldl_bench::MakeSession(state, facts, kRules);
     if (session == nullptr) return;
-    ldl::Status status = session->Evaluate();
+    ldl::Status status = session->Evaluate(options);
     if (!status.ok()) {
       state.SkipWithError(status.ToString().c_str());
       return;
     }
     last = session->last_eval_stats();
+    if (options.profile) last_profile = session->last_eval_profile();
   }
   state.SetItemsProcessed(state.iterations() * suppliers * parts_per);
   ldl_bench::RecordStats(state, last);
+  ldl_bench::MaybeDumpProfile("GroupBySupplier/" + std::to_string(suppliers) +
+                                  "/" + std::to_string(parts_per),
+                              last_profile);
 }
 
 // Grouping plus downstream set predicates: cardinality filter and member
@@ -39,18 +46,24 @@ void BM_GroupAndReexpand(benchmark::State& state) {
       "sp(S, <P>) :- supplies(S, P).\n"
       "big(S) :- sp(S, Ps), card(Ps, N), N >= 8.\n"
       "pair(S, P) :- sp(S, Ps), member(P, Ps).\n";
+  ldl::EvalOptions options;
+  options.profile = ldl_bench::ProfileRequested();
   ldl::EvalStats last;
+  ldl::EvalProfile last_profile;
   for (auto _ : state) {
     auto session = ldl_bench::MakeSession(state, facts, rules);
     if (session == nullptr) return;
-    ldl::Status status = session->Evaluate();
+    ldl::Status status = session->Evaluate(options);
     if (!status.ok()) {
       state.SkipWithError(status.ToString().c_str());
       return;
     }
     last = session->last_eval_stats();
+    if (options.profile) last_profile = session->last_eval_profile();
   }
   ldl_bench::RecordStats(state, last);
+  ldl_bench::MaybeDumpProfile("GroupAndReexpand/" + std::to_string(suppliers),
+                              last_profile);
 }
 
 }  // namespace

@@ -23,19 +23,24 @@ void BM_AncestorFull(benchmark::State& state) {
   size_t n = static_cast<size_t>(state.range(0));
   std::string facts = ldl::ParentChain(n, "p");
   std::string goal = Goal(n);
+  ldl::QueryOptions options;
+  options.eval.profile = ldl_bench::ProfileRequested();
   ldl::EvalStats last;
+  ldl::EvalProfile last_profile;
   for (auto _ : state) {
     auto session = ldl_bench::MakeSession(state, facts, kRules);
     if (session == nullptr) return;
-    auto result = session->Query(goal);
+    auto result = session->Query(goal, options);
     if (!result.ok()) {
       state.SkipWithError(result.status().ToString().c_str());
       return;
     }
     benchmark::DoNotOptimize(result->tuples.size());
     last = result->stats;
+    if (options.eval.profile) last_profile = result->profile;
   }
   ldl_bench::RecordStats(state, last);
+  ldl_bench::MaybeDumpProfile(ldl::StrCat("AncestorFull/", n), last_profile);
 }
 
 // Thread sweep of the full evaluation: args are {chain length, worker
@@ -47,7 +52,9 @@ void BM_AncestorFullThreads(benchmark::State& state) {
   std::string goal = Goal(n);
   ldl::QueryOptions options;
   options.eval.num_threads = static_cast<int>(state.range(1));
+  options.eval.profile = ldl_bench::ProfileRequested();
   ldl::EvalStats last;
+  ldl::EvalProfile last_profile;
   for (auto _ : state) {
     auto session = ldl_bench::MakeSession(state, facts, kRules);
     if (session == nullptr) return;
@@ -58,8 +65,12 @@ void BM_AncestorFullThreads(benchmark::State& state) {
     }
     benchmark::DoNotOptimize(result->tuples.size());
     last = result->stats;
+    if (options.eval.profile) last_profile = result->profile;
   }
   ldl_bench::RecordStats(state, last);
+  ldl_bench::MaybeDumpProfile(
+      ldl::StrCat("AncestorFullThreads/", n, "/", state.range(1)),
+      last_profile);
 }
 
 void BM_AncestorMagic(benchmark::State& state) {
@@ -68,7 +79,9 @@ void BM_AncestorMagic(benchmark::State& state) {
   std::string goal = Goal(n);
   ldl::QueryOptions options;
   options.strategy = ldl::QueryStrategy::kMagic;
+  options.eval.profile = ldl_bench::ProfileRequested();
   ldl::EvalStats last;
+  ldl::EvalProfile last_profile;
   for (auto _ : state) {
     auto session = ldl_bench::MakeSession(state, facts, kRules);
     if (session == nullptr) return;
@@ -79,8 +92,10 @@ void BM_AncestorMagic(benchmark::State& state) {
     }
     benchmark::DoNotOptimize(result->tuples.size());
     last = result->stats;
+    if (options.eval.profile) last_profile = result->profile;
   }
   ldl_bench::RecordStats(state, last);
+  ldl_bench::MaybeDumpProfile(ldl::StrCat("AncestorMagic/", n), last_profile);
 }
 
 // Random-tree variant: the relevant subgraph is the subtree below the
@@ -92,7 +107,9 @@ void BM_AncestorTopDown(benchmark::State& state) {
   std::string goal = Goal(n);
   ldl::QueryOptions options;
   options.strategy = ldl::QueryStrategy::kTopDown;
+  options.eval.profile = ldl_bench::ProfileRequested();
   ldl::EvalStats last;
+  ldl::EvalProfile last_profile;
   for (auto _ : state) {
     auto session = ldl_bench::MakeSession(state, facts, kRules);
     if (session == nullptr) return;
@@ -103,8 +120,10 @@ void BM_AncestorTopDown(benchmark::State& state) {
     }
     benchmark::DoNotOptimize(result->tuples.size());
     last = result->stats;
+    if (options.eval.profile) last_profile = result->profile;
   }
   ldl_bench::RecordStats(state, last);
+  ldl_bench::MaybeDumpProfile(ldl::StrCat("AncestorTopDown/", n), last_profile);
 }
 
 // Supplementary-magic ablation: same answers, shared prefix joins.
@@ -114,7 +133,9 @@ void BM_AncestorSupplementary(benchmark::State& state) {
   std::string goal = Goal(n);
   ldl::QueryOptions options;
   options.strategy = ldl::QueryStrategy::kMagicSupplementary;
+  options.eval.profile = ldl_bench::ProfileRequested();
   ldl::EvalStats last;
+  ldl::EvalProfile last_profile;
   for (auto _ : state) {
     auto session = ldl_bench::MakeSession(state, facts, kRules);
     if (session == nullptr) return;
@@ -125,8 +146,11 @@ void BM_AncestorSupplementary(benchmark::State& state) {
     }
     benchmark::DoNotOptimize(result->tuples.size());
     last = result->stats;
+    if (options.eval.profile) last_profile = result->profile;
   }
   ldl_bench::RecordStats(state, last);
+  ldl_bench::MaybeDumpProfile(ldl::StrCat("AncestorSupplementary/", n),
+                              last_profile);
 }
 
 void BM_AncestorTreeMagic(benchmark::State& state) {
@@ -135,7 +159,9 @@ void BM_AncestorTreeMagic(benchmark::State& state) {
   std::string goal = ldl::StrCat("a(p", n / 2, ", X)");
   ldl::QueryOptions options;
   options.strategy = ldl::QueryStrategy::kMagic;
+  options.eval.profile = ldl_bench::ProfileRequested();
   ldl::EvalStats last;
+  ldl::EvalProfile last_profile;
   for (auto _ : state) {
     auto session = ldl_bench::MakeSession(state, facts, kRules);
     if (session == nullptr) return;
@@ -145,8 +171,11 @@ void BM_AncestorTreeMagic(benchmark::State& state) {
       return;
     }
     last = result->stats;
+    if (options.eval.profile) last_profile = result->profile;
   }
   ldl_bench::RecordStats(state, last);
+  ldl_bench::MaybeDumpProfile(ldl::StrCat("AncestorTreeMagic/", n),
+                              last_profile);
 }
 
 }  // namespace

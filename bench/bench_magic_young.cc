@@ -24,7 +24,9 @@ void RunYoung(benchmark::State& state, bool magic, bool supplementary = false) {
   options.strategy = supplementary ? ldl::QueryStrategy::kMagicSupplementary
                      : magic        ? ldl::QueryStrategy::kMagic
                                     : ldl::QueryStrategy::kModel;
+  options.eval.profile = ldl_bench::ProfileRequested();
   ldl::EvalStats last;
+  ldl::EvalProfile last_profile;
   for (auto _ : state) {
     auto session = ldl_bench::MakeSession(state, workload.facts, kRules);
     if (session == nullptr) return;
@@ -38,9 +40,16 @@ void RunYoung(benchmark::State& state, bool magic, bool supplementary = false) {
       return;
     }
     last = result->stats;
+    if (options.eval.profile) last_profile = result->profile;
   }
   state.counters["people"] = static_cast<double>(workload.person_count);
   ldl_bench::RecordStats(state, last);
+  ldl_bench::MaybeDumpProfile(
+      ldl::StrCat(supplementary ? "YoungSupplementary/"
+                  : magic       ? "YoungMagic/"
+                                : "YoungFull/",
+                  depth),
+      last_profile);
 }
 
 void BM_YoungFull(benchmark::State& state) { RunYoung(state, false); }

@@ -19,12 +19,14 @@ constexpr const char* kNonLinearRules =
     "t(X, Y) :- t(X, Z), t(Z, Y).\n";
 
 void RunClosure(benchmark::State& state, ldl::EvalOptions::Mode mode,
-                const char* rules) {
+                const char* rules, const char* name) {
   size_t n = static_cast<size_t>(state.range(0));
   std::string facts = ldl::ParentChain(n, "e");
   ldl::EvalOptions options;
   options.mode = mode;
+  options.profile = ldl_bench::ProfileRequested();
   ldl::EvalStats last;
+  ldl::EvalProfile last_profile;
   for (auto _ : state) {
     auto session = ldl_bench::MakeSession(state, facts, rules);
     if (session == nullptr) return;
@@ -34,18 +36,22 @@ void RunClosure(benchmark::State& state, ldl::EvalOptions::Mode mode,
       return;
     }
     last = session->last_eval_stats();
+    if (options.profile) last_profile = session->last_eval_profile();
   }
   ldl_bench::RecordStats(state, last);
+  ldl_bench::MaybeDumpProfile(name + ("/" + std::to_string(n)), last_profile);
 }
 
 void BM_TcNaive(benchmark::State& state) {
-  RunClosure(state, ldl::EvalOptions::Mode::kNaive, kLinearRules);
+  RunClosure(state, ldl::EvalOptions::Mode::kNaive, kLinearRules, "TcNaive");
 }
 void BM_TcSemiNaive(benchmark::State& state) {
-  RunClosure(state, ldl::EvalOptions::Mode::kSemiNaive, kLinearRules);
+  RunClosure(state, ldl::EvalOptions::Mode::kSemiNaive, kLinearRules,
+             "TcSemiNaive");
 }
 void BM_TcNonLinearSemiNaive(benchmark::State& state) {
-  RunClosure(state, ldl::EvalOptions::Mode::kSemiNaive, kNonLinearRules);
+  RunClosure(state, ldl::EvalOptions::Mode::kSemiNaive, kNonLinearRules,
+             "TcNonLinearSemiNaive");
 }
 
 // Thread sweep over the linear-closure workload: args are {chain length,
@@ -55,7 +61,9 @@ void BM_TcSemiNaiveThreads(benchmark::State& state) {
   std::string facts = ldl::ParentChain(n, "e");
   ldl::EvalOptions options;
   options.num_threads = static_cast<int>(state.range(1));
+  options.profile = ldl_bench::ProfileRequested();
   ldl::EvalStats last;
+  ldl::EvalProfile last_profile;
   for (auto _ : state) {
     auto session = ldl_bench::MakeSession(state, facts, kLinearRules);
     if (session == nullptr) return;
@@ -65,8 +73,12 @@ void BM_TcSemiNaiveThreads(benchmark::State& state) {
       return;
     }
     last = session->last_eval_stats();
+    if (options.profile) last_profile = session->last_eval_profile();
   }
   ldl_bench::RecordStats(state, last);
+  ldl_bench::MaybeDumpProfile("TcSemiNaiveThreads/" + std::to_string(n) + "/" +
+                                  std::to_string(state.range(1)),
+                              last_profile);
 }
 
 void BM_TcRandomGraph(benchmark::State& state) {
@@ -75,7 +87,9 @@ void BM_TcRandomGraph(benchmark::State& state) {
   ldl::EvalOptions options;
   options.mode = state.range(1) == 0 ? ldl::EvalOptions::Mode::kNaive
                                      : ldl::EvalOptions::Mode::kSemiNaive;
+  options.profile = ldl_bench::ProfileRequested();
   ldl::EvalStats last;
+  ldl::EvalProfile last_profile;
   for (auto _ : state) {
     auto session = ldl_bench::MakeSession(state, facts, kLinearRules);
     if (session == nullptr) return;
@@ -85,8 +99,12 @@ void BM_TcRandomGraph(benchmark::State& state) {
       return;
     }
     last = session->last_eval_stats();
+    if (options.profile) last_profile = session->last_eval_profile();
   }
   ldl_bench::RecordStats(state, last);
+  ldl_bench::MaybeDumpProfile("TcRandomGraph/" + std::to_string(n) + "/" +
+                                  std::to_string(state.range(1)),
+                              last_profile);
 }
 
 }  // namespace

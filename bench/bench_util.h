@@ -5,12 +5,35 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <string>
 
 #include "ldl/ldl.h"
 
 namespace ldl_bench {
+
+// Profiling hook for `run_benches.sh --profile`: when LDL_BENCH_PROFILE_DIR
+// names a directory, the evaluation benches flip EvalOptions::profile on and
+// dump the last iteration's per-rule profile to <dir>/<name>.profile.json.
+// With the variable unset (every normal timing run) both helpers are no-ops,
+// so profiling cost never leaks into the recorded series.
+inline const char* ProfileDir() { return std::getenv("LDL_BENCH_PROFILE_DIR"); }
+
+inline bool ProfileRequested() { return ProfileDir() != nullptr; }
+
+inline void MaybeDumpProfile(const std::string& name,
+                             const ldl::EvalProfile& profile) {
+  const char* dir = ProfileDir();
+  if (dir == nullptr) return;
+  std::string file = name;
+  for (char& c : file) {
+    if (c == '/' || c == ' ') c = '_';
+  }
+  std::ofstream out(std::string(dir) + "/" + file + ".profile.json");
+  out << profile.ToJson() << '\n';
+}
 
 // Builds a fresh session with `facts` and `rules` loaded; aborts the
 // benchmark on error.

@@ -2,12 +2,18 @@
 # Runs every Google-benchmark binary in the build tree and collects the
 # results into one JSON array at BENCH_engine.json (repo root by default).
 #
-# Usage: bench/run_benches.sh [--threads] [build_dir] [output_json]
+# Usage: bench/run_benches.sh [--threads | --profile] [build_dir] [output_json]
 #   --threads    run only the worker-pool sweep benchmarks (names matching
 #                'Threads') and APPEND their reports to the output JSON
 #                instead of rewriting it
+#   --profile    re-run the evaluation benches with per-rule profiling on
+#                (LDL_BENCH_PROFILE_DIR) and collect the EvalProfile JSON each
+#                benchmark dumps into BENCH_profile.json, keyed by benchmark
+#                name; wall times in the profiles include the profiling
+#                overhead, so the timing series of record stays BENCH_engine.json
 #   build_dir    defaults to ./build
 #   output_json  defaults to <repo_root>/BENCH_engine.json
+#                (<repo_root>/BENCH_profile.json under --profile)
 #
 # Pass a benchmark filter through BENCH_FILTER, e.g.
 #   BENCH_FILTER='TcSemiNaive|AncestorMagic' bench/run_benches.sh
@@ -15,12 +21,20 @@ set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 append=0
+profile=0
 if [[ "${1:-}" == "--threads" ]]; then
   append=1
   shift
+elif [[ "${1:-}" == "--profile" ]]; then
+  profile=1
+  shift
 fi
 build_dir="${1:-${repo_root}/build}"
-output="${2:-${repo_root}/BENCH_engine.json}"
+default_output="${repo_root}/BENCH_engine.json"
+if [[ ${profile} -eq 1 ]]; then
+  default_output="${repo_root}/BENCH_profile.json"
+fi
+output="${2:-${default_output}}"
 filter="${BENCH_FILTER:-}"
 if [[ ${append} -eq 1 ]]; then
   filter="${filter:-Threads}"
@@ -36,6 +50,13 @@ fi
 tmp_dir="$(mktemp -d)"
 trap 'rm -rf "${tmp_dir}"' EXIT
 
+if [[ ${profile} -eq 1 ]]; then
+  # Each evaluation benchmark writes <name>.profile.json here (bench_util.h);
+  # one short iteration per benchmark is enough for a profile.
+  export LDL_BENCH_PROFILE_DIR="${tmp_dir}/profiles"
+  mkdir -p "${LDL_BENCH_PROFILE_DIR}"
+fi
+
 runs=()
 for binary in "${bench_dir}"/bench_*; do
   [[ -x "${binary}" && -f "${binary}" ]] || continue
@@ -44,6 +65,9 @@ for binary in "${bench_dir}"/bench_*; do
   echo "== ${name}" >&2
   args=(--benchmark_format=json --benchmark_out="${json}" \
         --benchmark_out_format=json)
+  if [[ ${profile} -eq 1 ]]; then
+    args+=(--benchmark_min_time=0.01)
+  fi
   if [[ -n "${filter}" ]]; then
     args+=("--benchmark_filter=${filter}")
   fi
@@ -59,6 +83,31 @@ done
 if [[ ${#runs[@]} -eq 0 ]]; then
   echo "error: no bench_* binaries under ${bench_dir}" >&2
   exit 1
+fi
+
+if [[ ${profile} -eq 1 ]]; then
+  # Merge the per-benchmark EvalProfile dumps into one object keyed by
+  # benchmark name ('/' in names became '_' in the file names).
+  python3 - "${output}" "${LDL_BENCH_PROFILE_DIR}" <<'PY'
+import json
+import os
+import sys
+
+output, profile_dir = sys.argv[1:]
+merged = {}
+for entry in sorted(os.listdir(profile_dir)):
+    if not entry.endswith(".profile.json"):
+        continue
+    with open(os.path.join(profile_dir, entry)) as f:
+        merged[entry[: -len(".profile.json")]] = json.load(f)
+if not merged:
+    sys.exit("error: no benchmark wrote a profile; rebuild the bench binaries")
+with open(output, "w") as f:
+    json.dump(merged, f, indent=2)
+    f.write("\n")
+print(f"wrote {output} ({len(merged)} benchmark profiles)")
+PY
+  exit 0
 fi
 
 # Concatenate the per-binary reports into one JSON array, tagging each entry

@@ -1,6 +1,7 @@
 #include "eval/builtins.h"
 
 #include <cassert>
+#include <cstdint>
 
 #include "base/str_util.h"
 #include "parser/parser.h"
@@ -26,6 +27,39 @@ bool IsArithFunctor(const TermFactory& factory, Symbol symbol) {
 
 }  // namespace
 
+// Raw signed arithmetic here was undefined behavior on boundary inputs
+// ("1 + 9223372036854775807", "-9223372036854775808 / -1"); the
+// __builtin_*_overflow intrinsics evaluate the full result without UB.
+std::optional<int64_t> CheckedAdd(int64_t a, int64_t b) {
+  int64_t result;
+  if (__builtin_add_overflow(a, b, &result)) return std::nullopt;
+  return result;
+}
+
+std::optional<int64_t> CheckedSub(int64_t a, int64_t b) {
+  int64_t result;
+  if (__builtin_sub_overflow(a, b, &result)) return std::nullopt;
+  return result;
+}
+
+std::optional<int64_t> CheckedMul(int64_t a, int64_t b) {
+  int64_t result;
+  if (__builtin_mul_overflow(a, b, &result)) return std::nullopt;
+  return result;
+}
+
+std::optional<int64_t> CheckedDiv(int64_t a, int64_t b) {
+  if (b == 0) return std::nullopt;
+  if (a == INT64_MIN && b == -1) return std::nullopt;  // -INT64_MIN overflows
+  return a / b;
+}
+
+std::optional<int64_t> CheckedMod(int64_t a, int64_t b) {
+  if (b == 0) return std::nullopt;
+  if (a == INT64_MIN && b == -1) return std::nullopt;  // UB though result is 0
+  return a % b;
+}
+
 std::optional<int64_t> EvalArith(const TermFactory& factory, const Term* t) {
   if (t->is_int()) return t->int_value();
   if (!t->is_func() || t->size() != 2) return std::nullopt;
@@ -33,13 +67,10 @@ std::optional<int64_t> EvalArith(const TermFactory& factory, const Term* t) {
   std::optional<int64_t> lhs = EvalArith(factory, t->arg(0));
   std::optional<int64_t> rhs = EvalArith(factory, t->arg(1));
   if (!lhs || !rhs) return std::nullopt;
-  if (name == kAddFunctor) return *lhs + *rhs;
-  if (name == kSubFunctor) return *lhs - *rhs;
-  if (name == kMulFunctor) return *lhs * *rhs;
-  if (name == kDivFunctor) {
-    if (*rhs == 0) return std::nullopt;
-    return *lhs / *rhs;
-  }
+  if (name == kAddFunctor) return CheckedAdd(*lhs, *rhs);
+  if (name == kSubFunctor) return CheckedSub(*lhs, *rhs);
+  if (name == kMulFunctor) return CheckedMul(*lhs, *rhs);
+  if (name == kDivFunctor) return CheckedDiv(*lhs, *rhs);
   return std::nullopt;
 }
 
@@ -457,19 +488,24 @@ class BuiltinEvaluator {
     if ((a->ground() && !va) || (b->ground() && !vb) || (c->ground() && !vc)) {
       return Status::OK();
     }
+    // A result outside int64 means no representable solution: the built-in
+    // is simply not satisfied, like division by zero.
     if (va && vb) {
-      int64_t result = minus ? *va - *vb : *va + *vb;
-      *keep_going = MatchArg(2, factory_.MakeInt(result));
+      std::optional<int64_t> result =
+          minus ? CheckedSub(*va, *vb) : CheckedAdd(*va, *vb);
+      if (result) *keep_going = MatchArg(2, factory_.MakeInt(*result));
       return Status::OK();
     }
     if (va && vc) {
-      int64_t result = minus ? *va - *vc : *vc - *va;
-      *keep_going = MatchArg(1, factory_.MakeInt(result));
+      std::optional<int64_t> result =
+          minus ? CheckedSub(*va, *vc) : CheckedSub(*vc, *va);
+      if (result) *keep_going = MatchArg(1, factory_.MakeInt(*result));
       return Status::OK();
     }
     if (vb && vc) {
-      int64_t result = minus ? *vc + *vb : *vc - *vb;
-      *keep_going = MatchArg(0, factory_.MakeInt(result));
+      std::optional<int64_t> result =
+          minus ? CheckedAdd(*vc, *vb) : CheckedSub(*vc, *vb);
+      if (result) *keep_going = MatchArg(0, factory_.MakeInt(*result));
       return Status::OK();
     }
     return NotReadyError();
@@ -491,7 +527,8 @@ class BuiltinEvaluator {
       return Status::OK();
     }
     if (va && vb) {
-      *keep_going = MatchArg(2, factory_.MakeInt(*va * *vb));
+      std::optional<int64_t> product = CheckedMul(*va, *vb);
+      if (product) *keep_going = MatchArg(2, factory_.MakeInt(*product));
       return Status::OK();
     }
     auto solve = [&](int64_t known, size_t free_index) {
@@ -504,11 +541,15 @@ class BuiltinEvaluator {
         }
         return false;
       }
-      if (*vc % known != 0) {
+      // Checked: INT64_MIN with known == -1 has no representable quotient
+      // (and the raw % / / would be UB), so the predicate is unsatisfied.
+      std::optional<int64_t> remainder = CheckedMod(*vc, known);
+      std::optional<int64_t> quotient = CheckedDiv(*vc, known);
+      if (!remainder || !quotient || *remainder != 0) {
         *keep_going = true;  // no solution
         return true;
       }
-      *keep_going = MatchArg(free_index, factory_.MakeInt(*vc / known));
+      *keep_going = MatchArg(free_index, factory_.MakeInt(*quotient));
       return true;
     };
     if (va && vc) {
@@ -528,10 +569,12 @@ class BuiltinEvaluator {
     if (a == nullptr || b == nullptr) return Status::OK();
     if (!a->ground() || !b->ground()) return NotReadyError();
     if (!a->is_int() || !b->is_int()) return Status::OK();
-    if (b->int_value() == 0) return Status::OK();  // undefined: false
-    int64_t result = mod ? a->int_value() % b->int_value()
-                         : a->int_value() / b->int_value();
-    *keep_going = MatchArg(2, factory_.MakeInt(result));
+    // Checked ops make division by zero and the INT64_MIN / -1 overflow
+    // corner "undefined: false" instead of UB.
+    std::optional<int64_t> result = mod ? CheckedMod(a->int_value(), b->int_value())
+                                        : CheckedDiv(a->int_value(), b->int_value());
+    if (!result) return Status::OK();
+    *keep_going = MatchArg(2, factory_.MakeInt(*result));
     return Status::OK();
   }
 

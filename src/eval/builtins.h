@@ -37,9 +37,20 @@ Status EvalBuiltin(TermFactory& factory, const LiteralIr& literal, Subst* subst,
                    const MatchCont& yield, bool* keep_going,
                    const BuiltinLimits& limits = {});
 
+// Overflow-checked int64 arithmetic. nullopt when the mathematical result
+// does not fit in int64 (and for division/modulo by zero, including the
+// INT64_MIN / -1 corner, whose quotient exceeds INT64_MAX). Built-ins
+// treat an overflowed operation like any other value outside the integer
+// domain: the predicate is simply not satisfied.
+std::optional<int64_t> CheckedAdd(int64_t a, int64_t b);
+std::optional<int64_t> CheckedSub(int64_t a, int64_t b);
+std::optional<int64_t> CheckedMul(int64_t a, int64_t b);
+std::optional<int64_t> CheckedDiv(int64_t a, int64_t b);
+std::optional<int64_t> CheckedMod(int64_t a, int64_t b);
+
 // Evaluates a ground arithmetic expression term: integers and $add/$sub/
 // $mul/$div applications. nullopt for anything else (including division by
-// zero).
+// zero and results that overflow int64).
 std::optional<int64_t> EvalArith(const TermFactory& factory, const Term* t);
 
 // If `t` is a ground arithmetic expression, returns the integer term it

@@ -31,19 +31,47 @@ std::vector<int> RecursiveOccurrences(const RuleIr& rule,
   return result;
 }
 
+// Folds the counters a RuleEvaluator run collected into the rule's profile
+// entry (the EvalStats fields that have a per-rule meaning).
+void AttributeStats(RuleProfileEntry* entry, const EvalStats& run) {
+  RuleProfile& counters = entry->counters;
+  counters.solutions += run.solutions;
+  counters.facts_derived += run.facts_derived;
+  counters.tuples_matched += run.tuples_matched;
+  counters.index_probes += run.index_probes;
+  counters.probe_hits += run.probe_hits;
+}
+
 }  // namespace
+
+RuleProfileEntry* Engine::ProfileEntry(EvalProfile* profile, const RuleIr& rule,
+                                       int rule_index, int stratum) {
+  if (profile == nullptr) return nullptr;
+  RuleProfileEntry& entry = profile->EntryFor(rule_index, stratum);
+  if (entry.label.empty()) {
+    entry.label = FormatRuleLabel(*factory_, *catalog_, rule);
+  }
+  return &entry;
+}
 
 Status Engine::ApplyRule(const RuleIr& rule, const std::vector<int>& order,
                          const std::vector<LiteralWindow>& windows, Database* db,
                          const EvalOptions& options, EvalStats* stats,
-                         bool* derived) {
+                         bool* derived, RuleProfileEntry* entry) {
+  // When profiling, counters collect into a rule-local EvalStats first so
+  // this application's share can be attributed before folding into the
+  // evaluation totals.
+  EvalStats local_stats;
+  EvalStats* s = entry != nullptr ? &local_stats : stats;
+  ScopedWallTimer timer(entry != nullptr ? &entry->counters.wall_ns : nullptr);
+
   std::shared_ptr<const JoinPlan> plan;
   if (options.use_compiled_plans) {
-    plan = plan_cache_.Get(rule, order, &stats->plan_cache_hits);
+    plan = plan_cache_.Get(rule, order, &s->plan_cache_hits);
   }
   RuleEvaluator evaluator(factory_, &rule, order, options.builtin_limits,
                           std::move(plan), options.use_compiled_plans);
-  ++stats->rule_firings;
+  ++s->rule_firings;
 
   // Buffer productions: inserting while enumerating would invalidate row
   // references for self-recursive rules.
@@ -60,15 +88,20 @@ Status Engine::ApplyRule(const RuleIr& rule, const std::vector<int>& order,
         if (!inst.outside_universe) produced.push_back(std::move(inst.tuple));
         return true;
       },
-      stats);
+      s);
   LDL_RETURN_IF_ERROR(status);
   LDL_RETURN_IF_ERROR(inner);
 
   for (Tuple& tuple : produced) {
     if (db->AddFact(rule.head_pred, tuple)) {
       *derived = true;
-      ++stats->facts_derived;
+      ++s->facts_derived;
     }
+  }
+  if (entry != nullptr) {
+    ++entry->counters.firings;
+    AttributeStats(entry, local_stats);
+    stats->Add(local_stats);
   }
   if (db->TotalFacts() > options.max_facts) {
     return ResourceExhaustedError(
@@ -81,22 +114,32 @@ Status Engine::ApplyRule(const RuleIr& rule, const std::vector<int>& order,
 Status Engine::ApplyGroupingRule(const RuleIr& rule, Database* db,
                                  const EvalOptions& options, EvalStats* stats,
                                  bool* derived,
-                                 std::vector<GroupResult>* results_out) {
+                                 std::vector<GroupResult>* results_out,
+                                 RuleProfileEntry* entry) {
+  EvalStats local_stats;
+  EvalStats* s = entry != nullptr ? &local_stats : stats;
+  ScopedWallTimer timer(entry != nullptr ? &entry->counters.wall_ns : nullptr);
+
   LDL_ASSIGN_OR_RETURN(std::vector<int> order, OrderBodyLiterals(*catalog_, rule));
   std::shared_ptr<const JoinPlan> plan;
   if (options.use_compiled_plans) {
-    plan = plan_cache_.Get(rule, order, &stats->plan_cache_hits);
+    plan = plan_cache_.Get(rule, order, &s->plan_cache_hits);
   }
   RuleEvaluator evaluator(factory_, &rule, std::move(order), options.builtin_limits,
                           std::move(plan), options.use_compiled_plans);
-  ++stats->rule_firings;
+  ++s->rule_firings;
   LDL_ASSIGN_OR_RETURN(std::vector<GroupResult> groups,
-                       ComputeGroups(*factory_, evaluator, *db, stats));
+                       ComputeGroups(*factory_, evaluator, *db, s));
   for (const GroupResult& group : groups) {
     if (db->AddFact(rule.head_pred, group.fact)) {
       *derived = true;
-      ++stats->facts_derived;
+      ++s->facts_derived;
     }
+  }
+  if (entry != nullptr) {
+    ++entry->counters.firings;
+    AttributeStats(entry, local_stats);
+    stats->Add(local_stats);
   }
   if (results_out != nullptr) *results_out = std::move(groups);
   return Status::OK();
@@ -120,9 +163,15 @@ Status Engine::RunTasksParallel(const std::vector<RuleTask>& tasks, Database* db
   std::vector<std::vector<Tuple>> produced(tasks.size());
   std::vector<EvalStats> task_stats(tasks.size());
   std::vector<Status> task_status(tasks.size(), Status::OK());
+  // Per-task wall time, measured on the worker that ran the task (merged
+  // into the rule's profile at the barrier below). Unused when profiling is
+  // off -- the sink stays null and the timer never reads the clock.
+  std::vector<uint64_t> task_wall(tasks.size(), 0);
   EnsurePool(options.num_threads)->Run(tasks.size(), [&](size_t i) {
     const RuleTask& task = tasks[i];
     EvalStats& local = task_stats[i];
+    ScopedWallTimer timer(task.profile_entry != nullptr ? &task_wall[i]
+                                                        : nullptr);
     // Plans were prefetched on the scheduling thread (PlanCache is not
     // thread-safe); the evaluator itself is task-local.
     RuleEvaluator evaluator(factory_, task.rule, *task.order,
@@ -148,16 +197,31 @@ Status Engine::RunTasksParallel(const std::vector<RuleTask>& tasks, Database* db
   });
   // Merge barrier: single-threaded, in task order, so insertion order --
   // hence row ids, delta windows, and the final model -- is deterministic
-  // and independent of worker scheduling.
+  // and independent of worker scheduling. Profile attribution also happens
+  // here (never on workers), so no entry is written concurrently.
   stats->parallel_tasks += tasks.size();
   for (size_t i = 0; i < tasks.size(); ++i) {
     LDL_RETURN_IF_ERROR(task_status[i]);
     stats->Add(task_stats[i]);
+    size_t inserted = 0;
     for (const Tuple& tuple : produced[i]) {
       if (db->AddFact(tasks[i].rule->head_pred, tuple)) {
         *derived = true;
         ++stats->facts_derived;
+        ++inserted;
       }
+    }
+    if (RuleProfileEntry* entry = tasks[i].profile_entry; entry != nullptr) {
+      RuleProfile& counters = entry->counters;
+      if (tasks[i].counts_firing) ++counters.firings;
+      counters.delta_rows += tasks[i].delta_rows;
+      counters.wall_ns += task_wall[i];
+      ++counters.parallel_tasks;
+      counters.facts_derived += inserted;
+      AttributeStats(entry, task_stats[i]);
+      // AttributeStats folds the task's facts_derived too, but workers only
+      // stage tuples -- their facts_derived is always zero; the real count
+      // is `inserted`, added above.
     }
   }
   if (db->TotalFacts() > options.max_facts) {
@@ -169,8 +233,8 @@ Status Engine::RunTasksParallel(const std::vector<RuleTask>& tasks, Database* db
 }
 
 Status Engine::Fixpoint(const ProgramIr& program, const std::vector<int>& rule_indices,
-                        Database* db, const EvalOptions& options, EvalStats* stats,
-                        bool* derived_any) {
+                        int stratum_index, Database* db, const EvalOptions& options,
+                        EvalStats* stats, bool* derived_any, EvalProfile* profile) {
   // IDB predicates of this fixpoint: heads of the participating rules.
   std::vector<bool> idb(catalog_->size(), false);
   for (int r : rule_indices) idb[program.rules[r].head_pred] = true;
@@ -184,6 +248,9 @@ Status Engine::Fixpoint(const ProgramIr& program, const std::vector<int>& rule_i
     // (occurrence, order) pairs for semi-naive delta variants.
     std::vector<std::pair<int, std::vector<int>>> delta_variants;
     std::vector<std::shared_ptr<const JoinPlan>> delta_plans;  // parallel only
+    // Profile entry (null when profiling is off); cached across rounds, so
+    // the profile's rule table must not reallocate (ReserveRules).
+    RuleProfileEntry* entry = nullptr;
   };
   std::vector<Compiled> compiled;
   compiled.reserve(rule_indices.size());
@@ -191,6 +258,7 @@ Status Engine::Fixpoint(const ProgramIr& program, const std::vector<int>& rule_i
     const RuleIr& rule = program.rules[r];
     Compiled c;
     c.rule = &rule;
+    c.entry = ProfileEntry(profile, rule, r, stratum_index);
     LDL_ASSIGN_OR_RETURN(c.default_order, OrderBodyLiterals(*catalog_, rule));
     if (options.mode == EvalOptions::Mode::kSemiNaive) {
       for (int occurrence : RecursiveOccurrences(rule, idb)) {
@@ -224,9 +292,33 @@ Status Engine::Fixpoint(const ProgramIr& program, const std::vector<int>& rule_i
     std::vector<RuleTask> tasks;
     tasks.reserve(compiled.size());
     for (const Compiled& c : compiled) {
-      tasks.push_back({c.rule, &c.default_order, c.default_plan, {}});
+      tasks.push_back({c.rule, &c.default_order, c.default_plan, {}, c.entry,
+                       /*counts_firing=*/true, /*delta_rows=*/0});
     }
     return tasks;
+  };
+  // Serial counterpart of a parallel full round: every rule applied against
+  // explicit [0, row_count) round-start windows, so rule N never sees rule
+  // N-1's (or its own) same-round inserts. This is exactly the snapshot the
+  // parallel path reads, which keeps firing and round counts -- hence
+  // profiles -- identical across pool widths.
+  auto serial_full_round = [&](bool* derived) -> Status {
+    std::vector<size_t> snap(catalog_->size());
+    for (PredId p = 0; p < catalog_->size(); ++p) {
+      snap[p] = db->relation(p).row_count();
+    }
+    for (const Compiled& c : compiled) {
+      std::vector<LiteralWindow> windows(c.rule->body.size());
+      for (size_t i = 0; i < c.rule->body.size(); ++i) {
+        const LiteralIr& literal = c.rule->body[i];
+        if (!literal.is_builtin() && !literal.negated) {
+          windows[i] = {0, snap[literal.pred]};
+        }
+      }
+      LDL_RETURN_IF_ERROR(ApplyRule(*c.rule, c.default_order, windows, db,
+                                    options, stats, derived, c.entry));
+    }
+    return Status::OK();
   };
 
   bool derived = false;
@@ -234,10 +326,7 @@ Status Engine::Fixpoint(const ProgramIr& program, const std::vector<int>& rule_i
     LDL_RETURN_IF_ERROR(
         RunTasksParallel(full_round_tasks(), db, options, stats, &derived));
   } else {
-    for (const Compiled& c : compiled) {
-      LDL_RETURN_IF_ERROR(ApplyRule(*c.rule, c.default_order, {}, db, options,
-                                    stats, &derived));
-    }
+    LDL_RETURN_IF_ERROR(serial_full_round(&derived));
   }
   *derived_any = *derived_any || derived;
   ++stats->iterations;
@@ -252,10 +341,7 @@ Status Engine::Fixpoint(const ProgramIr& program, const std::vector<int>& rule_i
         LDL_RETURN_IF_ERROR(
             RunTasksParallel(full_round_tasks(), db, options, stats, &derived));
       } else {
-        for (const Compiled& c : compiled) {
-          LDL_RETURN_IF_ERROR(ApplyRule(*c.rule, c.default_order, {}, db,
-                                        options, stats, &derived));
-        }
+        LDL_RETURN_IF_ERROR(serial_full_round(&derived));
       }
       *derived_any = *derived_any || derived;
       ++stats->iterations;
@@ -309,20 +395,42 @@ Status Engine::Fixpoint(const ProgramIr& program, const std::vector<int>& rule_i
             if (shard_from >= shard_to) break;
             std::vector<LiteralWindow> windows(c.rule->body.size());
             windows[occurrence] = {shard_from, shard_to};
-            tasks.push_back({c.rule, &order, plan, std::move(windows)});
+            // Only the variant's first shard counts as a firing; delta_rows
+            // is per shard and sums to the variant's window, so both stay
+            // independent of the shard split.
+            tasks.push_back({c.rule, &order, plan, std::move(windows), c.entry,
+                             /*counts_firing=*/s == 0,
+                             /*delta_rows=*/shard_to - shard_from});
           }
         }
       }
       LDL_RETURN_IF_ERROR(RunTasksParallel(tasks, db, options, stats, &derived));
     } else {
+      // Round-start snapshot for the non-delta occurrences: the parallel
+      // path reads an immutable pre-round database, so the serial windows
+      // pin every positive literal to [0, row_count-at-round-start) (the
+      // delta occurrence to its [low, high) slice) to match.
+      std::vector<size_t> snap(catalog_->size());
+      for (PredId p = 0; p < catalog_->size(); ++p) {
+        snap[p] = db->relation(p).row_count();
+      }
       for (const Compiled& c : compiled) {
         for (const auto& [occurrence, order] : c.delta_variants) {
           PredId delta_pred = c.rule->body[occurrence].pred;
           if (high[delta_pred] <= low[delta_pred]) continue;
           std::vector<LiteralWindow> windows(c.rule->body.size());
+          for (size_t i = 0; i < c.rule->body.size(); ++i) {
+            const LiteralIr& literal = c.rule->body[i];
+            if (!literal.is_builtin() && !literal.negated) {
+              windows[i] = {0, snap[literal.pred]};
+            }
+          }
           windows[occurrence] = {low[delta_pred], high[delta_pred]};
-          LDL_RETURN_IF_ERROR(
-              ApplyRule(*c.rule, order, windows, db, options, stats, &derived));
+          if (c.entry != nullptr) {
+            c.entry->counters.delta_rows += high[delta_pred] - low[delta_pred];
+          }
+          LDL_RETURN_IF_ERROR(ApplyRule(*c.rule, order, windows, db, options,
+                                        stats, &derived, c.entry));
         }
       }
     }
@@ -342,8 +450,17 @@ Status Engine::Fixpoint(const ProgramIr& program, const std::vector<int>& rule_i
 }
 
 Status Engine::EvaluateStratum(const ProgramIr& program, const std::vector<int>& rules,
-                               Database* db, const EvalOptions& options,
-                               EvalStats* stats) {
+                               int stratum_index, Database* db,
+                               const EvalOptions& options, EvalStats* stats,
+                               EvalProfile* profile) {
+  // Stratum rollup: wall time over the whole stratum, plus the deltas the
+  // stratum contributes to the round/fact/task totals.
+  uint64_t stratum_wall = 0;
+  ScopedWallTimer stratum_timer(profile != nullptr ? &stratum_wall : nullptr);
+  const uint64_t rounds_before = stats->iterations;
+  const uint64_t facts_before = stats->facts_derived;
+  const uint64_t tasks_before = stats->parallel_tasks;
+
   std::vector<int> grouping_rules;
   std::vector<int> normal_rules;
   bool derived = false;
@@ -354,8 +471,11 @@ Status Engine::EvaluateStratum(const ProgramIr& program, const std::vector<int>&
       if (inst.unbound) {
         return NotWellFormedError("fact with unbound variables");
       }
+      RuleProfileEntry* entry = ProfileEntry(profile, rule, r, stratum_index);
+      if (entry != nullptr) ++entry->counters.firings;
       if (!inst.outside_universe && db->AddFact(rule.head_pred, inst.tuple)) {
         ++stats->facts_derived;
+        if (entry != nullptr) ++entry->counters.facts_derived;
       }
     } else if (rule.is_grouping()) {
       grouping_rules.push_back(r);
@@ -374,12 +494,14 @@ Status Engine::EvaluateStratum(const ProgramIr& program, const std::vector<int>&
       const RuleIr* rule;
       std::vector<int> order;
       std::shared_ptr<const JoinPlan> plan;
+      RuleProfileEntry* entry;
     };
     std::vector<GroupTask> tasks;
     tasks.reserve(grouping_rules.size());
     for (int r : grouping_rules) {
       const RuleIr& rule = program.rules[r];
-      GroupTask task{&rule, {}, nullptr};
+      GroupTask task{&rule, {}, nullptr,
+                     ProfileEntry(profile, rule, r, stratum_index)};
       LDL_ASSIGN_OR_RETURN(task.order, OrderBodyLiterals(*catalog_, rule));
       if (options.use_compiled_plans) {
         task.plan = plan_cache_.Get(rule, task.order, &stats->plan_cache_hits);
@@ -391,8 +513,10 @@ Status Engine::EvaluateStratum(const ProgramIr& program, const std::vector<int>&
     std::vector<std::vector<GroupResult>> groups(tasks.size());
     std::vector<EvalStats> task_stats(tasks.size());
     std::vector<Status> task_status(tasks.size(), Status::OK());
+    std::vector<uint64_t> task_wall(tasks.size(), 0);
     EnsurePool(options.num_threads)->Run(tasks.size(), [&](size_t i) {
       const GroupTask& task = tasks[i];
+      ScopedWallTimer timer(task.entry != nullptr ? &task_wall[i] : nullptr);
       RuleEvaluator evaluator(factory_, task.rule, task.order,
                               options.builtin_limits, task.plan,
                               options.use_compiled_plans);
@@ -409,38 +533,80 @@ Status Engine::EvaluateStratum(const ProgramIr& program, const std::vector<int>&
     for (size_t i = 0; i < tasks.size(); ++i) {
       LDL_RETURN_IF_ERROR(task_status[i]);
       stats->Add(task_stats[i]);
+      size_t inserted = 0;
       for (const GroupResult& group : groups[i]) {
         if (db->AddFact(tasks[i].rule->head_pred, group.fact)) {
           derived = true;
           ++stats->facts_derived;
+          ++inserted;
         }
+      }
+      if (RuleProfileEntry* entry = tasks[i].entry; entry != nullptr) {
+        ++entry->counters.firings;
+        entry->counters.wall_ns += task_wall[i];
+        ++entry->counters.parallel_tasks;
+        entry->counters.facts_derived += inserted;
+        AttributeStats(entry, task_stats[i]);
       }
     }
   } else {
     for (int r : grouping_rules) {
-      LDL_RETURN_IF_ERROR(
-          ApplyGroupingRule(program.rules[r], db, options, stats, &derived));
+      LDL_RETURN_IF_ERROR(ApplyGroupingRule(
+          program.rules[r], db, options, stats, &derived, nullptr,
+          ProfileEntry(profile, program.rules[r], r, stratum_index)));
     }
   }
-  if (normal_rules.empty()) return Status::OK();
-  return Fixpoint(program, normal_rules, db, options, stats, &derived);
+  if (!normal_rules.empty()) {
+    LDL_RETURN_IF_ERROR(Fixpoint(program, normal_rules, stratum_index, db,
+                                 options, stats, &derived, profile));
+  }
+  if (profile != nullptr) {
+    stratum_timer.Stop();
+    StratumProfile rollup;
+    rollup.stratum = stratum_index;
+    rollup.wall_ns = stratum_wall;
+    rollup.rounds = stats->iterations - rounds_before;
+    rollup.facts_derived = stats->facts_derived - facts_before;
+    rollup.parallel_tasks = stats->parallel_tasks - tasks_before;
+    profile->strata().push_back(rollup);
+  }
+  return Status::OK();
 }
 
 Status Engine::EvaluateProgram(const ProgramIr& program,
                                const Stratification& stratification, Database* db,
-                               const EvalOptions& options, EvalStats* stats) {
+                               const EvalOptions& options, EvalStats* stats,
+                               EvalProfile* profile) {
   EvalStats local_stats;
   if (stats == nullptr) stats = &local_stats;
-  for (const std::vector<int>& stratum : stratification.strata) {
-    LDL_RETURN_IF_ERROR(EvaluateStratum(program, stratum, db, options, stats));
+  if (!options.profile) profile = nullptr;
+  if (profile != nullptr) profile->ReserveRules(program.rules.size());
+  uint64_t total_wall = 0;
+  ScopedWallTimer total_timer(profile != nullptr ? &total_wall : nullptr);
+  for (size_t s = 0; s < stratification.strata.size(); ++s) {
+    LDL_RETURN_IF_ERROR(EvaluateStratum(program, stratification.strata[s],
+                                        static_cast<int>(s), db, options, stats,
+                                        profile));
+  }
+  if (profile != nullptr) {
+    total_timer.Stop();
+    profile->add_total_wall_ns(total_wall);
   }
   return Status::OK();
 }
 
 Status Engine::EvaluateSaturating(const ProgramIr& program, Database* db,
-                                  const EvalOptions& options, EvalStats* stats) {
+                                  const EvalOptions& options, EvalStats* stats,
+                                  EvalProfile* profile) {
   EvalStats local_stats;
   if (stats == nullptr) stats = &local_stats;
+  if (!options.profile) profile = nullptr;
+  if (profile != nullptr) profile->ReserveRules(program.rules.size());
+  uint64_t total_wall = 0;
+  ScopedWallTimer total_timer(profile != nullptr ? &total_wall : nullptr);
+  const uint64_t rounds_before = stats->iterations;
+  const uint64_t facts_before = stats->facts_derived;
+  const uint64_t tasks_before = stats->parallel_tasks;
 
   std::vector<int> positive_rules;
   std::vector<int> grouping_rules;
@@ -450,8 +616,12 @@ Status Engine::EvaluateSaturating(const ProgramIr& program, Database* db,
     if (rule.is_fact()) {
       InstantiationResult inst = InstantiateArgs(*factory_, rule.head_args, Subst());
       if (inst.unbound) return NotWellFormedError("fact with unbound variables");
+      RuleProfileEntry* entry =
+          ProfileEntry(profile, rule, static_cast<int>(r), /*stratum=*/-1);
+      if (entry != nullptr) ++entry->counters.firings;
       if (!inst.outside_universe && db->AddFact(rule.head_pred, inst.tuple)) {
         ++stats->facts_derived;
+        if (entry != nullptr) ++entry->counters.facts_derived;
       }
     } else if (rule.is_grouping()) {
       grouping_rules.push_back(static_cast<int>(r));
@@ -491,30 +661,36 @@ Status Engine::EvaluateSaturating(const ProgramIr& program, Database* db,
     //    body below may consult (§6's "fully evaluate per magic tuple").
     if (!positive_rules.empty()) {
       bool derived = false;
-      LDL_RETURN_IF_ERROR(
-          Fixpoint(program, positive_rules, db, options, stats, &derived));
+      LDL_RETURN_IF_ERROR(Fixpoint(program, positive_rules, /*stratum_index=*/-1,
+                                   db, options, stats, &derived, profile));
       changed = changed || derived;
     }
 
     // 2. Grouping rules over the saturated state, reconciled per key.
     for (size_t g = 0; g < grouping_rules.size(); ++g) {
       const RuleIr& rule = program.rules[grouping_rules[g]];
+      RuleProfileEntry* entry =
+          ProfileEntry(profile, rule, grouping_rules[g], /*stratum=*/-1);
+      EvalStats group_local;
+      EvalStats* gs = entry != nullptr ? &group_local : stats;
+      ScopedWallTimer timer(entry != nullptr ? &entry->counters.wall_ns
+                                             : nullptr);
       std::shared_ptr<const JoinPlan> plan;
       if (options.use_compiled_plans) {
-        plan = plan_cache_.Get(rule, grouping_orders[g], &stats->plan_cache_hits);
+        plan = plan_cache_.Get(rule, grouping_orders[g], &gs->plan_cache_hits);
       }
       RuleEvaluator evaluator(factory_, &rule, grouping_orders[g],
                               options.builtin_limits, std::move(plan),
                               options.use_compiled_plans);
-      ++stats->rule_firings;
+      ++gs->rule_firings;
       LDL_ASSIGN_OR_RETURN(std::vector<GroupResult> groups,
-                           ComputeGroups(*factory_, evaluator, *db, stats));
+                           ComputeGroups(*factory_, evaluator, *db, gs));
       for (GroupResult& group : groups) {
         auto it = emitted[g].find(group.key);
         if (it == emitted[g].end()) {
           if (db->AddFact(rule.head_pred, group.fact)) {
             changed = true;
-            ++stats->facts_derived;
+            ++gs->facts_derived;
           }
           emitted[g].emplace(std::move(group.key), std::move(group.fact));
           continue;
@@ -546,9 +722,14 @@ Status Engine::EvaluateSaturating(const ProgramIr& program, Database* db,
           if (claimed_elsewhere) break;
         }
         if (!claimed_elsewhere) db->relation(rule.head_pred).Erase(it->second);
-        if (db->AddFact(rule.head_pred, group.fact)) ++stats->facts_derived;
+        if (db->AddFact(rule.head_pred, group.fact)) ++gs->facts_derived;
         it->second = std::move(group.fact);
         changed = true;
+      }
+      if (entry != nullptr) {
+        ++entry->counters.firings;
+        AttributeStats(entry, group_local);
+        stats->Add(group_local);
       }
     }
 
@@ -556,12 +737,25 @@ Status Engine::EvaluateSaturating(const ProgramIr& program, Database* db,
     for (size_t i = 0; i < negation_rules.size(); ++i) {
       const RuleIr& rule = program.rules[negation_rules[i]];
       bool derived = false;
-      LDL_RETURN_IF_ERROR(ApplyRule(rule, negation_orders[i], {}, db, options,
-                                    stats, &derived));
+      LDL_RETURN_IF_ERROR(ApplyRule(
+          rule, negation_orders[i], {}, db, options, stats, &derived,
+          ProfileEntry(profile, rule, negation_rules[i], /*stratum=*/-1)));
       changed = changed || derived;
     }
 
     if (!changed) break;
+  }
+  if (profile != nullptr) {
+    total_timer.Stop();
+    profile->add_total_wall_ns(total_wall);
+    // The saturation loop is unlayered; report it as one pseudo-stratum -1.
+    StratumProfile rollup;
+    rollup.stratum = -1;
+    rollup.wall_ns = total_wall;
+    rollup.rounds = stats->iterations - rounds_before;
+    rollup.facts_derived = stats->facts_derived - facts_before;
+    rollup.parallel_tasks = stats->parallel_tasks - tasks_before;
+    profile->strata().push_back(rollup);
   }
   return Status::OK();
 }

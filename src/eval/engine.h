@@ -28,6 +28,7 @@
 #include "base/worker_pool.h"
 #include "eval/grouping.h"
 #include "eval/plan.h"
+#include "eval/profile.h"
 #include "eval/rule_eval.h"
 #include "program/ir.h"
 #include "program/stratify.h"
@@ -52,6 +53,10 @@ struct EvalOptions {
   // default) is the serial path; > 1 evaluates each round's rule×window
   // variants concurrently with a deterministic merge barrier.
   int num_threads = 1;
+  // Collect a per-rule / per-stratum EvalProfile (eval/profile.h) into the
+  // EvalProfile* the caller passes alongside stats. Off, the engine never
+  // reads the clock; the hot-path cost is one null test per application.
+  bool profile = false;
 };
 
 class Engine {
@@ -63,14 +68,19 @@ class Engine {
   Engine& operator=(const Engine&) = delete;
 
   // Stratified bottom-up evaluation of an admissible program (Theorem 1).
+  // With options.profile set and `profile` non-null, per-rule/per-stratum
+  // execution profiles are collected into *profile (not cleared first).
   Status EvaluateProgram(const ProgramIr& program,
                          const Stratification& stratification, Database* db,
-                         const EvalOptions& options = {}, EvalStats* stats = nullptr);
+                         const EvalOptions& options = {}, EvalStats* stats = nullptr,
+                         EvalProfile* profile = nullptr);
 
   // Saturation evaluation for magic-rewritten (non-layered) programs (§6).
+  // Profiled rules carry stratum -1 (the evaluation is unlayered).
   Status EvaluateSaturating(const ProgramIr& program, Database* db,
                             const EvalOptions& options = {},
-                            EvalStats* stats = nullptr);
+                            EvalStats* stats = nullptr,
+                            EvalProfile* profile = nullptr);
 
   // Enumerates facts of goal's predicate matching the goal's argument
   // patterns. The goal must be positive and non-builtin.
@@ -88,34 +98,57 @@ class Engine {
     const std::vector<int>* order;
     std::shared_ptr<const JoinPlan> plan;
     std::vector<LiteralWindow> windows;
+    // Profiling attribution (null entry: profiling off). Only a variant's
+    // first shard counts as a firing; delta_rows is this shard's window.
+    RuleProfileEntry* profile_entry = nullptr;
+    bool counts_firing = true;
+    uint64_t delta_rows = 0;
   };
 
   Status EvaluateStratum(const ProgramIr& program, const std::vector<int>& rules,
-                         Database* db, const EvalOptions& options, EvalStats* stats);
+                         int stratum_index, Database* db,
+                         const EvalOptions& options, EvalStats* stats,
+                         EvalProfile* profile);
 
   // Applies one non-grouping rule (optionally with per-literal windows);
-  // inserts derived facts. Sets *derived if anything new appeared.
+  // inserts derived facts. Sets *derived if anything new appeared. A
+  // non-null `entry` attributes one firing plus this application's
+  // counters and wall time to the rule's profile.
   Status ApplyRule(const RuleIr& rule, const std::vector<int>& order,
                    const std::vector<LiteralWindow>& windows, Database* db,
-                   const EvalOptions& options, EvalStats* stats, bool* derived);
+                   const EvalOptions& options, EvalStats* stats, bool* derived,
+                   RuleProfileEntry* entry = nullptr);
 
   // Runs grouping rule(s) once over the current database, inserting results.
   Status ApplyGroupingRule(const RuleIr& rule, Database* db,
                            const EvalOptions& options, EvalStats* stats,
                            bool* derived,
-                           std::vector<GroupResult>* results_out = nullptr);
+                           std::vector<GroupResult>* results_out = nullptr,
+                           RuleProfileEntry* entry = nullptr);
 
-  // Fixpoint of `rule_indices` (non-grouping rules) over db.
+  // Fixpoint of `rule_indices` (non-grouping rules) over db. Every round
+  // evaluates against the round-start snapshot: the serial path passes
+  // explicit [0, row_count) windows so rule N never sees rule N-1's
+  // same-round inserts -- exactly the parallel snapshot semantics, which
+  // keeps profiles (firings, rounds, per-rule counters) identical across
+  // pool widths.
   Status Fixpoint(const ProgramIr& program, const std::vector<int>& rule_indices,
-                  Database* db, const EvalOptions& options, EvalStats* stats,
-                  bool* derived_any);
+                  int stratum_index, Database* db, const EvalOptions& options,
+                  EvalStats* stats, bool* derived_any, EvalProfile* profile);
 
   // Evaluates `tasks` on the worker pool against the (read-only) current
   // database state, then inserts the staged tuples and folds the per-task
-  // stats in task order -- the merge barrier. Sets *derived on any new fact.
+  // stats (and per-task profiles, timed on the worker) in task order -- the
+  // merge barrier. Sets *derived on any new fact.
   Status RunTasksParallel(const std::vector<RuleTask>& tasks, Database* db,
                           const EvalOptions& options, EvalStats* stats,
                           bool* derived);
+
+  // Profile entry for `rule`, labeled on first touch; null when `profile`
+  // is null. Pointers stay valid for the evaluation (the rule table is
+  // sized up front by the Evaluate* entry points).
+  RuleProfileEntry* ProfileEntry(EvalProfile* profile, const RuleIr& rule,
+                                 int rule_index, int stratum);
 
   // Returns the persistent pool, (re)creating it when the width changes.
   WorkerPool* EnsurePool(int num_threads);

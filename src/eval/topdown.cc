@@ -148,9 +148,23 @@ Status TopDownEngine::SolveCall(PredId pred,
   if (entry->complete || entry->started) return Status::OK();
   entry->started = true;
 
-  for (const RuleIr& rule : program_->rules) {
+  for (size_t r = 0; r < program_->rules.size(); ++r) {
+    const RuleIr& rule = program_->rules[r];
     if (rule.head_pred != pred) continue;
     ++stats_.expansions;
+    // Per-rule attribution: each expansion counts as a firing and its wall
+    // time accrues to the rule, mirroring the bottom-up paths.
+    RuleProfileEntry* rule_profile = nullptr;
+    if (profile_ != nullptr) {
+      rule_profile = &profile_->EntryFor(static_cast<int>(r),
+                                         stratification_->layer_of_rule[r]);
+      if (rule_profile->label.empty()) {
+        rule_profile->label = FormatRuleLabel(*factory_, *catalog_, rule);
+      }
+      ++rule_profile->counters.firings;
+    }
+    ScopedWallTimer timer(
+        rule_profile != nullptr ? &rule_profile->counters.wall_ns : nullptr);
     if (rule.is_grouping()) {
       LDL_RETURN_IF_ERROR(ExpandGroupingRule(rule, entry, depth));
     } else {

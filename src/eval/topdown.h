@@ -30,6 +30,7 @@
 
 #include "base/status.h"
 #include "eval/builtins.h"
+#include "eval/profile.h"
 #include "eval/relation.h"
 #include "program/ir.h"
 #include "program/stratify.h"
@@ -67,6 +68,11 @@ class TopDownEngine {
 
   const TopDownStats& stats() const { return stats_; }
   size_t table_count() const { return tables_.size(); }
+
+  // Attributes rule expansions (firings + wall time) to *profile while
+  // solving; null (the default) disables collection. The caller fills the
+  // profile's TopDownProfile rollup from stats() afterwards.
+  void set_profile(EvalProfile* profile) { profile_ = profile; }
 
  private:
   struct TableEntry {
@@ -117,6 +123,7 @@ class TopDownEngine {
   const Database* edb_;
   TopDownOptions options_;
   TopDownStats stats_;
+  EvalProfile* profile_ = nullptr;
 
   std::map<std::string, TableEntry> tables_;
   std::vector<const Term*> canonical_vars_;

@@ -126,9 +126,12 @@ Status Session::Evaluate(const EvalOptions& options) {
   db_ = std::make_unique<Database>(&catalog_);
   for (const auto& [pred, tuple] : edb_facts_) db_->AddFact(pred, tuple);
   last_eval_stats_ = EvalStats();
-  LDL_RETURN_IF_ERROR(engine_.EvaluateProgram(program_, stratification_, db_.get(),
-                                              options, &last_eval_stats_));
+  last_eval_profile_.Clear();
+  LDL_RETURN_IF_ERROR(engine_.EvaluateProgram(
+      program_, stratification_, db_.get(), options, &last_eval_stats_,
+      options.profile ? &last_eval_profile_ : nullptr));
   evaluated_ = true;
+  evaluated_with_profile_ = options.profile;
   return Status::OK();
 }
 
@@ -140,7 +143,11 @@ Status Session::EvaluateInto(const Stratification& stratification, Database* db,
 }
 
 Status Session::EnsureEvaluated(const EvalOptions& options) {
-  if (evaluated_) return Status::OK();
+  // A cached model evaluated without profiling can't serve a profiled
+  // query; re-run the (idempotent) evaluation to collect the profile.
+  if (evaluated_ && (!options.profile || evaluated_with_profile_)) {
+    return Status::OK();
+  }
   return Evaluate(options);
 }
 
@@ -167,10 +174,28 @@ StatusOr<QueryResult> Session::Query(std::string_view goal_text,
     topdown_options.builtin_limits = options.eval.builtin_limits;
     TopDownEngine topdown(&factory_, &catalog_, &program_, &stratification_,
                           &edb, topdown_options);
+    if (options.eval.profile) {
+      result.profile.ReserveRules(program_.rules.size());
+      topdown.set_profile(&result.profile);
+    }
+    uint64_t topdown_wall = 0;
+    ScopedWallTimer timer(options.eval.profile ? &topdown_wall : nullptr);
     LDL_ASSIGN_OR_RETURN(result.tuples, topdown.Query(goal));
+    timer.Stop();
     result.stats.facts_derived = topdown.stats().answers;
     result.stats.rule_firings = topdown.stats().expansions;
     result.stats.iterations = topdown.stats().restarts;
+    if (options.eval.profile) {
+      result.profile.add_total_wall_ns(topdown_wall);
+      TopDownProfile& rollup = result.profile.topdown();
+      rollup.used = true;
+      rollup.wall_ns = topdown_wall;
+      rollup.calls = topdown.stats().calls;
+      rollup.expansions = topdown.stats().expansions;
+      rollup.answers = topdown.stats().answers;
+      rollup.restarts = topdown.stats().restarts;
+      rollup.tables = topdown.table_count();
+    }
     return result;
   }
   const bool magic_strategy =
@@ -180,6 +205,7 @@ StatusOr<QueryResult> Session::Query(std::string_view goal_text,
     LDL_RETURN_IF_ERROR(EnsureEvaluated(options.eval));
     LDL_ASSIGN_OR_RETURN(result.tuples, engine_.Query(goal, *db_));
     result.stats = last_eval_stats_;
+    if (options.eval.profile) result.profile = last_eval_profile_;
     return result;
   }
 
@@ -199,7 +225,8 @@ StatusOr<QueryResult> Session::Query(std::string_view goal_text,
     }
   }
   LDL_RETURN_IF_ERROR(engine_.EvaluateSaturating(magic.rules, &magic_db,
-                                                 options.eval, &result.stats));
+                                                 options.eval, &result.stats,
+                                                 &result.profile));
   LiteralIr adorned_goal = goal;
   adorned_goal.pred = magic.answer_pred;
   LDL_ASSIGN_OR_RETURN(result.tuples, engine_.Query(adorned_goal, magic_db));

@@ -106,6 +106,10 @@ struct QueryResult {
   // Stats of the evaluation that answered the query (the magic/top-down
   // run under those strategies, otherwise the last full Evaluate()).
   EvalStats stats;
+  // Per-rule / per-stratum execution profile of that same evaluation.
+  // Populated only when QueryOptions::eval.profile is set (under kModel the
+  // materializing Evaluate() must itself have run with profiling on).
+  EvalProfile profile;
 };
 
 class Session {
@@ -179,6 +183,9 @@ class Session {
   const Stratification& stratification() const { return stratification_; }
   const std::vector<QueryAst>& stored_queries() const { return ast_.queries; }
   const EvalStats& last_eval_stats() const { return last_eval_stats_; }
+  // Profile of the last Evaluate(); empty unless it ran with
+  // EvalOptions::profile set.
+  const EvalProfile& last_eval_profile() const { return last_eval_profile_; }
   bool evaluated() const { return evaluated_; }
 
  private:
@@ -202,8 +209,12 @@ class Session {
   Ldl15Options ldl15_options_;
   WellformedOptions wellformed_options_;
   EvalStats last_eval_stats_;
+  EvalProfile last_eval_profile_;
   bool analyzed_ = false;
   bool evaluated_ = false;
+  // Whether the cached evaluation collected a profile (EnsureEvaluated
+  // re-runs when a profiled query hits an unprofiled cached model).
+  bool evaluated_with_profile_ = false;
 };
 
 // Formats query-result tuples as sorted fact strings, e.g.

@@ -182,7 +182,12 @@ class Lexer {
   Status LexInt(Token* token) {
     int64_t value = 0;
     while (!AtEnd() && isdigit(static_cast<unsigned char>(Peek()))) {
-      value = value * 10 + (Advance() - '0');
+      // Checked accumulation: "value * 10 + digit" with raw signed ops is
+      // undefined behavior once the literal exceeds int64.
+      if (__builtin_mul_overflow(value, 10, &value) ||
+          __builtin_add_overflow(value, Advance() - '0', &value)) {
+        return ErrorHere("integer literal exceeds the int64 range");
+      }
     }
     if (!AtEnd() && (isalpha(static_cast<unsigned char>(Peek())) || Peek() == '_')) {
       return ErrorHere("identifier may not start with a digit");

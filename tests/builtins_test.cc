@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
 #include <set>
 
 #include "eval/builtins.h"
@@ -284,6 +286,99 @@ TEST_F(BuiltinsTest, DivMod) {
 TEST_F(BuiltinsTest, ArithmeticOnNonIntegersIsFalse) {
   EXPECT_EQ(Count(Lit(BuiltinKind::kPlus, {"a", "2", "C"})), 0u);
   EXPECT_EQ(Count(Lit(BuiltinKind::kPlus, {"{1}", "2", "C"})), 0u);
+}
+
+// ------------------------------------------------- int64 overflow guards --
+//
+// Regression tests for the signed-overflow UB fix: every arithmetic mode
+// must treat an out-of-range result as "builtin unsatisfied" (no solution),
+// the same contract as division by zero -- never wrap around or trap.
+
+TEST_F(BuiltinsTest, CheckedHelpersAtInt64Boundaries) {
+  constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+  constexpr int64_t kMin = std::numeric_limits<int64_t>::min();
+  EXPECT_FALSE(CheckedAdd(kMax, 1).has_value());
+  EXPECT_FALSE(CheckedAdd(kMin, -1).has_value());
+  EXPECT_EQ(CheckedAdd(kMax, 0).value_or(0), kMax);
+  EXPECT_EQ(CheckedAdd(kMin, kMax).value_or(0), -1);
+  EXPECT_FALSE(CheckedSub(kMin, 1).has_value());
+  EXPECT_FALSE(CheckedSub(kMax, -1).has_value());
+  EXPECT_FALSE(CheckedSub(0, kMin).has_value());  // -kMin is out of range
+  EXPECT_EQ(CheckedSub(kMin, 0).value_or(0), kMin);
+  EXPECT_FALSE(CheckedMul(kMax, 2).has_value());
+  EXPECT_FALSE(CheckedMul(kMin, -1).has_value());
+  EXPECT_FALSE(CheckedMul(kMin, 2).has_value());
+  EXPECT_EQ(CheckedMul(kMin, 1).value_or(0), kMin);
+  EXPECT_EQ(CheckedMul(kMax, -1).value_or(0), kMin + 1);
+  EXPECT_FALSE(CheckedDiv(kMin, -1).has_value());
+  EXPECT_FALSE(CheckedDiv(1, 0).has_value());
+  EXPECT_EQ(CheckedDiv(kMin, 1).value_or(0), kMin);
+  EXPECT_EQ(CheckedDiv(kMin, -2).value_or(0), kMin / -2);
+  EXPECT_FALSE(CheckedMod(kMin, -1).has_value());
+  EXPECT_FALSE(CheckedMod(1, 0).has_value());
+  EXPECT_EQ(CheckedMod(kMin, 2).value_or(1), 0);
+}
+
+TEST_F(BuiltinsTest, PlusOverflowIsUnsatisfied) {
+  // Forward: MAX + 1 has no int64 value.
+  EXPECT_EQ(Count(Lit(BuiltinKind::kPlus, {"9223372036854775807", "1", "C"})), 0u);
+  // Backward (A + b = c solved as A = c - b): MAX - (-1) overflows.
+  EXPECT_EQ(Count(Lit(BuiltinKind::kPlus, {"A", "-1", "9223372036854775807"})), 0u);
+  // In-range boundary results still satisfy.
+  EXPECT_EQ(Count(Lit(BuiltinKind::kPlus, {"9223372036854775806", "1",
+                                           "9223372036854775807"})), 1u);
+}
+
+TEST_F(BuiltinsTest, MinusOverflowIsUnsatisfied) {
+  // Forward: MAX - (-1) overflows.
+  EXPECT_EQ(Count(Lit(BuiltinKind::kMinus, {"9223372036854775807", "-1", "C"})), 0u);
+  // Backward (B from a - B = c solved as B = a - c): -2 - MAX overflows
+  // (-1 - MAX is exactly INT64_MIN, so it still satisfies).
+  EXPECT_EQ(Count(Lit(BuiltinKind::kMinus, {"-2", "B", "9223372036854775807"})), 0u);
+  EXPECT_EQ(Count(Lit(BuiltinKind::kMinus, {"-1", "B", "9223372036854775807"})), 1u);
+  // Backward (A from A - b = c solved as A = c + b): MAX + 1 overflows.
+  EXPECT_EQ(Count(Lit(BuiltinKind::kMinus, {"A", "1", "9223372036854775807"})), 0u);
+}
+
+TEST_F(BuiltinsTest, TimesOverflowIsUnsatisfied) {
+  // Forward: 2^62 * 2 = 2^63 is out of range.
+  EXPECT_EQ(Count(Lit(BuiltinKind::kTimes, {"4611686018427387904", "2", "C"})), 0u);
+  EXPECT_EQ(Count(Lit(BuiltinKind::kTimes, {"3037000500", "3037000500", "C"})), 0u);
+  // Backward solve at the boundary (2^62 * B = MAX-1): the checked div/mod
+  // path reports non-divisible instead of misbehaving.
+  EXPECT_EQ(Count(Lit(BuiltinKind::kTimes, {"4611686018427387904", "B",
+                                            "9223372036854775806"})), 0u);
+}
+
+TEST_F(BuiltinsTest, DivModMinByMinusOneIsUnsatisfied) {
+  // INT64_MIN is not writable as a literal (the lexer rejects
+  // 9223372036854775808), so splice the boundary operands in directly.
+  constexpr int64_t kMin = std::numeric_limits<int64_t>::min();
+  LiteralIr div = Lit(BuiltinKind::kDiv, {"A", "B", "C"});
+  div.args[0] = factory_.MakeInt(kMin);
+  div.args[1] = factory_.MakeInt(-1);
+  EXPECT_EQ(Count(div), 0u);
+  LiteralIr mod = Lit(BuiltinKind::kMod, {"A", "B", "C"});
+  mod.args[0] = factory_.MakeInt(kMin);
+  mod.args[1] = factory_.MakeInt(-1);
+  EXPECT_EQ(Count(mod), 0u);
+  // kMin / 1 is fine.
+  div.args[1] = factory_.MakeInt(1);
+  EXPECT_EQ(Count(div), 1u);
+}
+
+TEST_F(BuiltinsTest, EvalArithOverflowIsNullopt) {
+  constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+  constexpr int64_t kMin = std::numeric_limits<int64_t>::min();
+  auto binop = [&](const char* functor, int64_t a, int64_t b) {
+    const Term* args[] = {factory_.MakeInt(a), factory_.MakeInt(b)};
+    return EvalArith(factory_, factory_.MakeFunc(functor, args));
+  };
+  EXPECT_FALSE(binop("$add", kMax, 1).has_value());
+  EXPECT_FALSE(binop("$sub", kMin, 1).has_value());
+  EXPECT_FALSE(binop("$mul", kMax, kMax).has_value());
+  EXPECT_FALSE(binop("$div", kMin, -1).has_value());
+  EXPECT_EQ(binop("$add", kMax, -1).value_or(0), kMax - 1);
 }
 
 // -------------------------------------------------------------- readiness --

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+
 #include "parser/lexer.h"
 #include "parser/parser.h"
 
@@ -98,6 +101,17 @@ TEST_F(ParserTest, SimpleTerms) {
   EXPECT_EQ(Term("john").kind, TermExprKind::kAtom);
   EXPECT_EQ(Term("X").kind, TermExprKind::kVar);
   EXPECT_EQ(Term("\"hi\"").kind, TermExprKind::kString);
+}
+
+TEST_F(ParserTest, IntLiteralBounds) {
+  // INT64_MAX parses; one past it is a lex error, not a silent wraparound
+  // (the digit accumulation used to overflow, which is UB on int64).
+  EXPECT_EQ(Term("9223372036854775807").int_value,
+            std::numeric_limits<int64_t>::max());
+  auto too_big = ParseTermText("9223372036854775808", &interner_);
+  ASSERT_FALSE(too_big.ok());
+  EXPECT_NE(too_big.status().message().find("int64"), std::string::npos);
+  EXPECT_FALSE(ParseTermText("99999999999999999999999", &interner_).ok());
 }
 
 TEST_F(ParserTest, StructuredTerms) {

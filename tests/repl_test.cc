@@ -1,6 +1,7 @@
 // End-to-end test of the ldl_repl binary: pipe a script through it and
 // check the rendered answers, strata, provenance and warnings.
 #include <gtest/gtest.h>
+#include <sys/wait.h>
 
 #include <cstdio>
 #include <string>
@@ -8,8 +9,10 @@
 namespace ldl {
 namespace {
 
-// Runs the repl with `input` on stdin; returns stdout.
-std::string RunRepl(const std::string& input, const std::string& args = "") {
+// Runs the repl with `input` on stdin; returns the merged stdout+stderr and
+// optionally the process exit code.
+std::string RunRepl(const std::string& input, const std::string& args = "",
+                    int* exit_code = nullptr) {
   std::string command = "printf '%s' '" + input + "' | " +
                         std::string(LDL1_REPL_BINARY) + " " + args + " 2>&1";
   FILE* pipe = popen(command.c_str(), "r");
@@ -17,7 +20,35 @@ std::string RunRepl(const std::string& input, const std::string& args = "") {
   std::string output;
   char buffer[512];
   while (fgets(buffer, sizeof buffer, pipe) != nullptr) output += buffer;
-  pclose(pipe);
+  int status = pclose(pipe);
+  if (exit_code != nullptr) {
+    *exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  }
+  return output;
+}
+
+// As RunRepl, but keeps the streams separate: returns stdout, stores stderr.
+std::string RunReplSplit(const std::string& input, std::string* err_out,
+                         int* exit_code = nullptr) {
+  std::string err_file = ::testing::TempDir() + "/repl_stderr.txt";
+  std::string command = "printf '%s' '" + input + "' | " +
+                        std::string(LDL1_REPL_BINARY) + " 2>" + err_file;
+  FILE* pipe = popen(command.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  std::string output;
+  char buffer[512];
+  while (fgets(buffer, sizeof buffer, pipe) != nullptr) output += buffer;
+  int status = pclose(pipe);
+  if (exit_code != nullptr) {
+    *exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  }
+  err_out->clear();
+  FILE* err = fopen(err_file.c_str(), "r");
+  if (err != nullptr) {
+    while (fgets(buffer, sizeof buffer, err) != nullptr) *err_out += buffer;
+    fclose(err);
+    remove(err_file.c_str());
+  }
   return output;
 }
 
@@ -85,6 +116,63 @@ TEST(Repl, ErrorsAreReportedNotFatal) {
       ":quit\n");
   EXPECT_NE(out.find("parse_error"), std::string::npos) << out;
   EXPECT_NE(out.find("1 answer(s)"), std::string::npos) << out;
+}
+
+TEST(Repl, BatchModeExitsNonzeroOnFailure) {
+  int code = -1;
+  RunRepl("p(a.\np(a).\n? p(X).\n:quit\n", "", &code);
+  EXPECT_EQ(code, 1);  // a statement failed, even though later ones worked
+  RunRepl("p(a).\n? p(X).\n:quit\n", "", &code);
+  EXPECT_EQ(code, 0);
+  RunRepl(":bogus\n:quit\n", "", &code);
+  EXPECT_EQ(code, 1);
+}
+
+TEST(Repl, ErrorsGoToStderrNotStdout) {
+  std::string err;
+  int code = -1;
+  std::string out = RunReplSplit("p(a.\np(a).\n? p(X).\n:quit\n", &err, &code);
+  EXPECT_EQ(code, 1);
+  EXPECT_EQ(out.find("error:"), std::string::npos) << out;
+  EXPECT_NE(err.find("parse_error"), std::string::npos) << err;
+  EXPECT_NE(out.find("1 answer(s)"), std::string::npos) << out;
+}
+
+TEST(Repl, ProfileDumpEmitsJson) {
+  std::string out = RunRepl(
+      "parent(a,b).\n"
+      "parent(b,c).\n"
+      "anc(X,Y) :- parent(X,Y).\n"
+      "anc(X,Y) :- parent(X,Z), anc(Z,Y).\n"
+      ":profile on\n"
+      "? anc(a,X).\n"
+      ":profile dump\n"
+      ":quit\n");
+  EXPECT_NE(out.find("profile: on"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"total_wall_ns\""), std::string::npos) << out;
+  EXPECT_NE(out.find("\"rules\""), std::string::npos) << out;
+  EXPECT_NE(out.find("anc(X, Y) :- parent(X, Z), anc(Z, Y)"), std::string::npos)
+      << out;
+}
+
+TEST(Repl, ProfileDumpToFile) {
+  std::string path = ::testing::TempDir() + "/repl_profile.json";
+  std::string out = RunRepl(
+      "e(1,2).\n"
+      "t(X,Y) :- e(X,Y).\n"
+      ":profile on\n"
+      "? t(1,X).\n"
+      ":profile dump " + path + "\n"
+      ":quit\n");
+  EXPECT_NE(out.find("profile written to"), std::string::npos) << out;
+  FILE* file = fopen(path.c_str(), "r");
+  ASSERT_NE(file, nullptr);
+  std::string contents;
+  char buffer[512];
+  while (fgets(buffer, sizeof buffer, file) != nullptr) contents += buffer;
+  fclose(file);
+  remove(path.c_str());
+  EXPECT_NE(contents.find("\"firings\""), std::string::npos) << contents;
 }
 
 TEST(Repl, LoadsCorpusFile) {

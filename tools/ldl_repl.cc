@@ -17,6 +17,12 @@
 //   :naive on|off        switch the fixpoint engine (default: semi-naive)
 //   :threads N           worker threads for bottom-up evaluation
 //   :stats               stats of the last evaluation
+//   :profile [on|off]    collect per-rule/per-stratum profiles on queries
+//   :profile dump [file] last collected profile as JSON (stdout or file)
+//
+// Errors go to stderr. In batch mode (stdin is not a tty) the process exits
+// nonzero if any statement or command failed, so scripts can rely on the
+// exit status.
 #include <unistd.h>
 
 #include <cstdio>
@@ -36,7 +42,18 @@ struct ReplState {
   ldl::QueryStrategy strategy = ldl::QueryStrategy::kModel;
   bool naive = false;
   int threads = 1;
+  bool profile = false;
+  // Profile of the most recent profiled query (what :profile dump shows).
+  ldl::EvalProfile last_profile;
+  bool any_failed = false;
 };
+
+// All user-visible errors funnel through here: stderr, not stdout, and the
+// failure is remembered for the batch-mode exit status.
+void Fail(ReplState& state, const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  state.any_failed = true;
+}
 
 void PrintHelp() {
   std::printf(
@@ -47,7 +64,8 @@ void PrintHelp() {
       "    ? anc(a, X).\n"
       "meta: :help :quit :strata :preds :facts p/2 :program :warnings :why f(a)\n"
       "      :strategy model|magic|magic-sup|topdown  :magic on|off|sup\n"
-      "      :naive on|off  :threads N  :stats\n");
+      "      :naive on|off  :threads N  :stats\n"
+      "      :profile [on|off]  :profile dump [file]\n");
 }
 
 void RunQuery(ReplState& state, const std::string& goal) {
@@ -56,11 +74,13 @@ void RunQuery(ReplState& state, const std::string& goal) {
   options.eval.mode = state.naive ? ldl::EvalOptions::Mode::kNaive
                                   : ldl::EvalOptions::Mode::kSemiNaive;
   options.eval.num_threads = state.threads;
+  options.eval.profile = state.profile;
   auto result = state.session.Query(goal, options);
   if (!result.ok()) {
-    std::printf("error: %s\n", result.status().ToString().c_str());
+    Fail(state, result.status().ToString());
     return;
   }
+  if (state.profile) state.last_profile = result->profile;
   for (const ldl::Tuple& tuple : result->tuples) {
     std::printf("  %s\n", state.session.FormatTuple(tuple).c_str());
   }
@@ -74,7 +94,7 @@ void RunQuery(ReplState& state, const std::string& goal) {
 void ShowStrata(ReplState& state) {
   ldl::Status status = state.session.Analyze();
   if (!status.ok()) {
-    std::printf("error: %s\n", status.ToString().c_str());
+    Fail(state, status.ToString());
     return;
   }
   const ldl::Stratification& strat = state.session.stratification();
@@ -95,7 +115,7 @@ void ShowStrata(ReplState& state) {
 void ShowPreds(ReplState& state) {
   ldl::Status status = state.session.Evaluate();
   if (!status.ok()) {
-    std::printf("error: %s\n", status.ToString().c_str());
+    Fail(state, status.ToString());
     return;
   }
   ldl::Catalog& catalog = state.session.catalog();
@@ -110,19 +130,19 @@ void ShowPreds(ReplState& state) {
 void ShowFacts(ReplState& state, const std::string& spec) {
   auto slash = spec.rfind('/');
   if (slash == std::string::npos) {
-    std::printf("usage: :facts name/arity\n");
+    Fail(state, "usage: :facts name/arity");
     return;
   }
   std::string name = spec.substr(0, slash);
   uint32_t arity = static_cast<uint32_t>(atoi(spec.c_str() + slash + 1));
   ldl::Status status = state.session.Evaluate();
   if (!status.ok()) {
-    std::printf("error: %s\n", status.ToString().c_str());
+    Fail(state, status.ToString());
     return;
   }
   ldl::PredId pred = state.session.catalog().Find(name, arity);
   if (pred == ldl::kInvalidPred) {
-    std::printf("unknown predicate %s\n", spec.c_str());
+    Fail(state, ldl::StrCat("unknown predicate ", spec));
     return;
   }
   auto tuples = state.session.database().relation(pred).Snapshot();
@@ -135,7 +155,7 @@ void ShowFacts(ReplState& state, const std::string& spec) {
 void ShowWarnings(ReplState& state) {
   auto warnings = state.session.TerminationWarnings();
   if (!warnings.ok()) {
-    std::printf("error: %s\n", warnings.status().ToString().c_str());
+    Fail(state, warnings.status().ToString());
     return;
   }
   if (warnings->empty()) {
@@ -150,7 +170,7 @@ void ShowWarnings(ReplState& state) {
 void ShowProgram(ReplState& state) {
   ldl::Status status = state.session.Analyze();
   if (!status.ok()) {
-    std::printf("error: %s\n", status.ToString().c_str());
+    Fail(state, status.ToString());
     return;
   }
   ldl::AstPrinter printer(&state.session.interner());
@@ -202,17 +222,39 @@ bool HandleLine(ReplState& state, const std::string& raw) {
       if (tree.ok()) {
         std::printf("%s", tree->c_str());
       } else {
-        std::printf("error: %s\n", tree.status().ToString().c_str());
+        Fail(state, tree.status().ToString());
       }
     } else if (command == "stats") {
       ShowStats(state);
+    } else if (command == "profile") {
+      if (argument.empty() || argument == "on" || argument == "off") {
+        if (!argument.empty()) state.profile = argument == "on";
+        std::printf("profile: %s\n", state.profile ? "on" : "off");
+      } else if (argument == "dump") {
+        std::string path;
+        in >> path;
+        std::string json = state.last_profile.ToJson();
+        if (path.empty()) {
+          std::printf("%s\n", json.c_str());
+        } else {
+          std::ofstream out(path);
+          if (!out) {
+            Fail(state, ldl::StrCat("cannot write ", path));
+          } else {
+            out << json << '\n';
+            std::printf("profile written to %s\n", path.c_str());
+          }
+        }
+      } else {
+        Fail(state, "usage: :profile [on|off] or :profile dump [file]");
+      }
     } else if (command == "strategy") {
       if (argument.empty()) {
         std::printf("strategy: %s\n", ldl::ToString(state.strategy));
       } else {
         auto strategy = ldl::ParseQueryStrategy(argument);
         if (!strategy.ok()) {
-          std::printf("error: %s\n", strategy.status().ToString().c_str());
+          Fail(state, strategy.status().ToString());
         } else {
           state.strategy = *strategy;
           std::printf("strategy: %s\n", ldl::ToString(state.strategy));
@@ -232,7 +274,7 @@ bool HandleLine(ReplState& state, const std::string& raw) {
     } else if (command == "threads") {
       int threads = atoi(argument.c_str());
       if (threads < 1) {
-        std::printf("usage: :threads N (N >= 1)\n");
+        Fail(state, "usage: :threads N (N >= 1)");
       } else {
         state.threads = threads;
         std::printf("threads: %d\n", state.threads);
@@ -241,7 +283,7 @@ bool HandleLine(ReplState& state, const std::string& raw) {
       state.naive = argument != "off";
       std::printf("engine: %s\n", state.naive ? "naive" : "semi-naive");
     } else {
-      std::printf("unknown command :%s (try :help)\n", command.c_str());
+      Fail(state, ldl::StrCat("unknown command :", command, " (try :help)"));
     }
     return true;
   }
@@ -255,7 +297,7 @@ bool HandleLine(ReplState& state, const std::string& raw) {
     return true;
   }
   ldl::Status status = state.session.Load(line);
-  if (!status.ok()) std::printf("error: %s\n", status.ToString().c_str());
+  if (!status.ok()) Fail(state, status.ToString());
   return true;
 }
 
@@ -303,5 +345,7 @@ int main(int argc, char** argv) {
       pending.clear();
     }
   }
-  return 0;
+  // Batch runs (scripts piped on stdin) report failure through the exit
+  // status; interactively the errors were already seen on stderr.
+  return !interactive && state.any_failed ? 1 : 0;
 }
