@@ -1,5 +1,5 @@
 // Shared helpers for the benchmark binaries. Each bench reproduces one
-// claim from DESIGN.md (B1-B8) and prints the series EXPERIMENTS.md records.
+// claim from DESIGN.md (B1-B9) and prints the series EXPERIMENTS.md records.
 #ifndef LDL1_BENCH_BENCH_UTIL_H_
 #define LDL1_BENCH_BENCH_UTIL_H_
 
@@ -59,6 +59,11 @@ inline void RecordStats(benchmark::State& state, const ldl::EvalStats& stats) {
   state.counters["probes"] = static_cast<double>(stats.index_probes);
   state.counters["probe_hits"] = static_cast<double>(stats.probe_hits);
   state.counters["plan_hits"] = static_cast<double>(stats.plan_cache_hits);
+  // Incremental-maintenance counters (zero for full evaluations).
+  state.counters["strata_skipped"] = static_cast<double>(stats.strata_skipped);
+  state.counters["strata_delta"] = static_cast<double>(stats.strata_delta);
+  state.counters["strata_recomputed"] =
+      static_cast<double>(stats.strata_recomputed);
 }
 
 }  // namespace ldl_bench

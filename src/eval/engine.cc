@@ -6,6 +6,7 @@
 
 #include "base/str_util.h"
 #include "eval/bindings.h"
+#include "program/impact.h"
 #include "term/unify.h"
 
 namespace ldl {
@@ -234,10 +235,26 @@ Status Engine::RunTasksParallel(const std::vector<RuleTask>& tasks, Database* db
 
 Status Engine::Fixpoint(const ProgramIr& program, const std::vector<int>& rule_indices,
                         int stratum_index, Database* db, const EvalOptions& options,
-                        EvalStats* stats, bool* derived_any, EvalProfile* profile) {
+                        EvalStats* stats, bool* derived_any, EvalProfile* profile,
+                        const FixpointSeed* seed) {
   // IDB predicates of this fixpoint: heads of the participating rules.
   std::vector<bool> idb(catalog_->size(), false);
   for (int r : rule_indices) idb[program.rules[r].head_pred] = true;
+
+  // Delta carriers: the IDB heads, plus the seed's externally changed
+  // predicates when resuming incrementally.
+  std::vector<bool> delta_preds = idb;
+  if (seed != nullptr) {
+    for (PredId p = 0; p < delta_preds.size() && p < seed->delta_preds->size();
+         ++p) {
+      if ((*seed->delta_preds)[p]) delta_preds[p] = true;
+    }
+  }
+  // A seeded resume always runs the semi-naive machinery: the model is
+  // already a fixpoint over the pre-update inputs, so only the delta rows
+  // can produce anything new.
+  const bool seminaive =
+      options.mode == EvalOptions::Mode::kSemiNaive || seed != nullptr;
 
   const bool parallel = options.num_threads > 1;
 
@@ -260,11 +277,21 @@ Status Engine::Fixpoint(const ProgramIr& program, const std::vector<int>& rule_i
     c.rule = &rule;
     c.entry = ProfileEntry(profile, rule, r, stratum_index);
     LDL_ASSIGN_OR_RETURN(c.default_order, OrderBodyLiterals(*catalog_, rule));
-    if (options.mode == EvalOptions::Mode::kSemiNaive) {
-      for (int occurrence : RecursiveOccurrences(rule, idb)) {
-        LDL_ASSIGN_OR_RETURN(std::vector<int> order,
-                             OrderBodyLiterals(*catalog_, rule, occurrence));
-        c.delta_variants.emplace_back(occurrence, std::move(order));
+    if (seminaive) {
+      for (int occurrence : RecursiveOccurrences(rule, delta_preds)) {
+        StatusOr<std::vector<int>> order =
+            OrderBodyLiterals(*catalog_, rule, occurrence);
+        if (!order.ok()) {
+          // Windows bind to body positions, not evaluation slots, so the
+          // default order stays correct for any delta occurrence; forcing
+          // the occurrence first is only a join-ordering optimization. Fall
+          // back when a seeded occurrence (e.g. an EDB predicate the
+          // default analysis never fronts) has no evaluable forced order.
+          if (seed == nullptr) return order.status();
+          c.delta_variants.emplace_back(occurrence, c.default_order);
+          continue;
+        }
+        c.delta_variants.emplace_back(occurrence, std::move(order).value());
       }
     }
     if (parallel && options.use_compiled_plans) {
@@ -280,11 +307,19 @@ Status Engine::Fixpoint(const ProgramIr& program, const std::vector<int>& rule_i
     compiled.push_back(std::move(c));
   }
 
-  // Round 0: every rule over the full database.
+  // Low watermarks: from scratch, round 0 consumes everything and the
+  // deltas start at the pre-round row counts; a seeded resume starts each
+  // delta carrier at its previous-evaluation watermark so the first round
+  // consumes exactly the inserted rows.
   std::vector<size_t> low(catalog_->size(), 0);
-  if (options.mode == EvalOptions::Mode::kSemiNaive) {
-    for (PredId p = 0; p < catalog_->size(); ++p) {
-      if (idb[p]) low[p] = db->relation(p).row_count();
+  for (PredId p = 0; p < catalog_->size(); ++p) {
+    if (!delta_preds[p]) continue;
+    if (seed != nullptr) {
+      size_t mark =
+          p < seed->watermarks->size() ? (*seed->watermarks)[p] : 0;
+      low[p] = std::min(mark, db->relation(p).row_count());
+    } else if (seminaive) {
+      low[p] = db->relation(p).row_count();
     }
   }
   // Full-application task list (round 0 and every naive round).
@@ -322,16 +357,20 @@ Status Engine::Fixpoint(const ProgramIr& program, const std::vector<int>& rule_i
   };
 
   bool derived = false;
-  if (parallel) {
-    LDL_RETURN_IF_ERROR(
-        RunTasksParallel(full_round_tasks(), db, options, stats, &derived));
-  } else {
-    LDL_RETURN_IF_ERROR(serial_full_round(&derived));
+  if (seed == nullptr) {
+    // Round 0: every rule over the full database. A seeded resume skips it;
+    // the database already holds the pre-update fixpoint.
+    if (parallel) {
+      LDL_RETURN_IF_ERROR(
+          RunTasksParallel(full_round_tasks(), db, options, stats, &derived));
+    } else {
+      LDL_RETURN_IF_ERROR(serial_full_round(&derived));
+    }
+    *derived_any = *derived_any || derived;
+    ++stats->iterations;
   }
-  *derived_any = *derived_any || derived;
-  ++stats->iterations;
 
-  if (options.mode == EvalOptions::Mode::kNaive) {
+  if (!seminaive) {
     while (derived) {
       if (stats->iterations >= options.max_rounds) {
         return ResourceExhaustedError("fixpoint exceeded max_rounds");
@@ -359,7 +398,7 @@ Status Engine::Fixpoint(const ProgramIr& program, const std::vector<int>& rule_i
     std::vector<size_t> high(catalog_->size(), 0);
     bool any_delta = false;
     for (PredId p = 0; p < catalog_->size(); ++p) {
-      if (!idb[p]) continue;
+      if (!delta_preds[p]) continue;
       high[p] = db->relation(p).row_count();
       if (high[p] > low[p]) any_delta = true;
     }
@@ -435,7 +474,7 @@ Status Engine::Fixpoint(const ProgramIr& program, const std::vector<int>& rule_i
       }
     }
     for (PredId p = 0; p < catalog_->size(); ++p) {
-      if (idb[p]) low[p] = high[p];
+      if (delta_preds[p]) low[p] = high[p];
     }
     *derived_any = *derived_any || derived;
     ++stats->iterations;
@@ -569,6 +608,123 @@ Status Engine::EvaluateStratum(const ProgramIr& program, const std::vector<int>&
     rollup.facts_derived = stats->facts_derived - facts_before;
     rollup.parallel_tasks = stats->parallel_tasks - tasks_before;
     profile->strata().push_back(rollup);
+  }
+  return Status::OK();
+}
+
+Status Engine::EvaluateStratumDelta(const ProgramIr& program,
+                                    const std::vector<int>& rules,
+                                    int stratum_index, Database* db,
+                                    const FixpointSeed& seed,
+                                    const EvalOptions& options, EvalStats* stats,
+                                    EvalProfile* profile) {
+  uint64_t stratum_wall = 0;
+  ScopedWallTimer stratum_timer(profile != nullptr ? &stratum_wall : nullptr);
+  const uint64_t rounds_before = stats->iterations;
+  const uint64_t facts_before = stats->facts_derived;
+  const uint64_t tasks_before = stats->parallel_tasks;
+
+  // Facts and grouping rules contribute nothing here: their inputs are
+  // unchanged (a grouping rule with an affected body makes the whole
+  // stratum kRecompute), so only the normal rules resume.
+  std::vector<int> normal_rules;
+  for (int r : rules) {
+    const RuleIr& rule = program.rules[r];
+    if (!rule.is_fact() && !rule.is_grouping()) normal_rules.push_back(r);
+  }
+  bool derived = false;
+  if (!normal_rules.empty()) {
+    LDL_RETURN_IF_ERROR(Fixpoint(program, normal_rules, stratum_index, db,
+                                 options, stats, &derived, profile, &seed));
+  }
+  if (profile != nullptr) {
+    stratum_timer.Stop();
+    StratumProfile rollup;
+    rollup.stratum = stratum_index;
+    rollup.mode = StratumMode::kDelta;
+    rollup.wall_ns = stratum_wall;
+    rollup.rounds = stats->iterations - rounds_before;
+    rollup.facts_derived = stats->facts_derived - facts_before;
+    rollup.parallel_tasks = stats->parallel_tasks - tasks_before;
+    profile->strata().push_back(rollup);
+  }
+  return Status::OK();
+}
+
+Status Engine::EvaluateIncremental(const ProgramIr& program,
+                                   const Stratification& stratification,
+                                   Database* db,
+                                   const std::vector<size_t>& watermarks,
+                                   const std::vector<bool>& changed,
+                                   const EvalOptions& options, EvalStats* stats,
+                                   EvalProfile* profile) {
+  EvalStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  if (!options.profile) profile = nullptr;
+  if (profile != nullptr) profile->ReserveRules(program.rules.size());
+  uint64_t total_wall = 0;
+  ScopedWallTimer total_timer(profile != nullptr ? &total_wall : nullptr);
+
+  std::vector<PredImpact> impact = ComputeImpact(*catalog_, program, changed);
+
+  // Delta carriers for the seeded fixpoints: the changed EDB predicates
+  // plus every delta-maintained IDB predicate. (A recomputed predicate is
+  // never a carrier -- everything consuming it is itself recomputed, with
+  // full windows.)
+  std::vector<bool> delta_preds(catalog_->size(), false);
+  for (PredId p = 0; p < catalog_->size(); ++p) {
+    if ((p < changed.size() && changed[p]) || impact[p] == PredImpact::kDelta) {
+      delta_preds[p] = true;
+    }
+  }
+  FixpointSeed seed{&watermarks, &delta_preds};
+
+  for (size_t s = 0; s < stratification.strata.size(); ++s) {
+    const std::vector<int>& rules = stratification.strata[s];
+    PredImpact mode = PredImpact::kClean;
+    for (int r : rules) {
+      mode = std::max(mode, impact[program.rules[r].head_pred]);
+    }
+    if (mode == PredImpact::kClean) {
+      ++stats->strata_skipped;
+      if (profile != nullptr) {
+        StratumProfile rollup;
+        rollup.stratum = static_cast<int>(s);
+        rollup.mode = StratumMode::kSkipped;
+        profile->strata().push_back(rollup);
+      }
+      continue;
+    }
+    if (mode == PredImpact::kRecompute) {
+      // Clear each recomputed head once, then re-derive the whole stratum
+      // from its (already-maintained) inputs. Heads classified kDelta or
+      // kClean in this stratum keep their rows -- re-deriving them is
+      // deduplicated, and any genuinely new rows land past their
+      // watermarks where downstream delta strata pick them up.
+      std::vector<bool> cleared(catalog_->size(), false);
+      for (int r : rules) {
+        PredId head = program.rules[r].head_pred;
+        if (impact[head] == PredImpact::kRecompute && !cleared[head]) {
+          cleared[head] = true;
+          db->relation(head).Clear();
+        }
+      }
+      ++stats->strata_recomputed;
+      LDL_RETURN_IF_ERROR(EvaluateStratum(program, rules, static_cast<int>(s),
+                                          db, options, stats, profile));
+      if (profile != nullptr) {
+        profile->strata().back().mode = StratumMode::kRecomputed;
+      }
+      continue;
+    }
+    ++stats->strata_delta;
+    LDL_RETURN_IF_ERROR(EvaluateStratumDelta(program, rules,
+                                             static_cast<int>(s), db, seed,
+                                             options, stats, profile));
+  }
+  if (profile != nullptr) {
+    total_timer.Stop();
+    profile->add_total_wall_ns(total_wall);
   }
   return Status::OK();
 }

@@ -4,6 +4,12 @@
 //     admissible program per Theorem 1. Within a layer the grouping rules
 //     are applied once over the layer's input model, then the remaining
 //     rules run to fixpoint (Lemma 3.2.3), naively or semi-naively.
+//   * EvaluateIncremental: delta-driven maintenance of an already
+//     materialized model after EDB insertions. Strata reachable from the
+//     changed predicates only through positive non-grouping (>=) edges
+//     resume semi-naive fixpoint from the inserted rows; strata reached
+//     through a grouping/negation (>) edge are cleared and recomputed;
+//     untouched strata are skipped (see program/impact.h).
 //   * EvaluateSaturating: evaluation of a magic-rewritten program, which is
 //     not layered (§6). Positive non-grouping rules are saturated, then
 //     grouping and negation rules fire over the saturated state; the loop
@@ -75,6 +81,29 @@ class Engine {
                          const EvalOptions& options = {}, EvalStats* stats = nullptr,
                          EvalProfile* profile = nullptr);
 
+  // Incremental maintenance of an already-materialized model after EDB
+  // insertions (program/impact.h). `db` must hold the model of `program`
+  // over the pre-update EDB, with the inserted facts appended after it;
+  // `watermarks[p]` is relation(p).row_count() at the end of that
+  // evaluation (preds registered since are treated as watermark 0) and
+  // `changed[p]` marks the extensional predicates that gained facts. Per
+  // stratum: unaffected strata are skipped, strata reachable only through
+  // positive non-grouping edges resume semi-naive fixpoint from the rows
+  // past the watermarks, and strata reached through a grouping or negation
+  // edge -- where an insertion below can retract facts above -- clear
+  // their recomputed heads and re-derive from the maintained inputs
+  // (stats->strata_skipped / strata_delta / strata_recomputed count the
+  // three outcomes). The result is the same model EvaluateProgram computes
+  // from scratch over the updated EDB. Only insertions are supported;
+  // deletions and rule changes need a full re-evaluation.
+  Status EvaluateIncremental(const ProgramIr& program,
+                             const Stratification& stratification, Database* db,
+                             const std::vector<size_t>& watermarks,
+                             const std::vector<bool>& changed,
+                             const EvalOptions& options = {},
+                             EvalStats* stats = nullptr,
+                             EvalProfile* profile = nullptr);
+
   // Saturation evaluation for magic-rewritten (non-layered) programs (§6).
   // Profiled rules carry stratum -1 (the evaluation is unlayered).
   Status EvaluateSaturating(const ProgramIr& program, Database* db,
@@ -105,10 +134,32 @@ class Engine {
     uint64_t delta_rows = 0;
   };
 
+  // Seed for a resumed (incremental) fixpoint: rows past each predicate's
+  // watermark form the first round's deltas, and round 0 (full rule
+  // application) is skipped -- the database already holds a model of the
+  // rules over the pre-update inputs.
+  struct FixpointSeed {
+    // Row counts at the end of the previous evaluation; preds past the end
+    // are treated as watermark 0.
+    const std::vector<size_t>* watermarks;
+    // Predicates that may carry rows past their watermark (changed EDB
+    // preds plus delta-maintained lower-stratum IDB preds).
+    const std::vector<bool>* delta_preds;
+  };
+
   Status EvaluateStratum(const ProgramIr& program, const std::vector<int>& rules,
                          int stratum_index, Database* db,
                          const EvalOptions& options, EvalStats* stats,
                          EvalProfile* profile);
+
+  // Delta-resumes a stratum whose predicates can only grow under the
+  // update: facts and grouping rules are skipped (their inputs are
+  // unchanged) and the normal rules run a seeded semi-naive fixpoint.
+  Status EvaluateStratumDelta(const ProgramIr& program,
+                              const std::vector<int>& rules, int stratum_index,
+                              Database* db, const FixpointSeed& seed,
+                              const EvalOptions& options, EvalStats* stats,
+                              EvalProfile* profile);
 
   // Applies one non-grouping rule (optionally with per-literal windows);
   // inserts derived facts. Sets *derived if anything new appeared. A
@@ -132,9 +183,13 @@ class Engine {
   // same-round inserts -- exactly the parallel snapshot semantics, which
   // keeps profiles (firings, rounds, per-rule counters) identical across
   // pool widths.
+  // With a non-null `seed` the fixpoint resumes incrementally: round 0 is
+  // skipped, the low watermarks start at the seed's values, and the delta
+  // machinery runs regardless of options.mode.
   Status Fixpoint(const ProgramIr& program, const std::vector<int>& rule_indices,
                   int stratum_index, Database* db, const EvalOptions& options,
-                  EvalStats* stats, bool* derived_any, EvalProfile* profile);
+                  EvalStats* stats, bool* derived_any, EvalProfile* profile,
+                  const FixpointSeed* seed = nullptr);
 
   // Evaluates `tasks` on the worker pool against the (read-only) current
   // database state, then inserts the staged tuples and folds the per-task

@@ -9,6 +9,20 @@
 
 namespace ldl {
 
+const char* ToString(StratumMode mode) {
+  switch (mode) {
+    case StratumMode::kFull:
+      return "full";
+    case StratumMode::kSkipped:
+      return "skipped";
+    case StratumMode::kDelta:
+      return "delta";
+    case StratumMode::kRecomputed:
+      return "recomputed";
+  }
+  return "?";
+}
+
 namespace {
 
 // JSON string escaping for rule labels (quotes, backslashes, control
@@ -113,6 +127,7 @@ std::string EvalProfile::ToJson() const {
     if (!first) StrAppend(out, ", ");
     first = false;
     StrAppend(out, "{\"stratum\": ", stratum.stratum,
+              ", \"mode\": \"", ToString(stratum.mode), "\"",
               ", \"wall_ns\": ", stratum.wall_ns,
               ", \"rounds\": ", stratum.rounds,
               ", \"facts_derived\": ", stratum.facts_derived,

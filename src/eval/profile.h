@@ -88,10 +88,24 @@ struct RuleProfileEntry {
   RuleProfile counters;
 };
 
+// How a stratum was treated by the evaluation that produced its rollup.
+// kFull is the ordinary from-scratch pass; the rest only appear under
+// Engine::EvaluateIncremental.
+enum class StratumMode : uint8_t {
+  kFull = 0,        // evaluated from scratch
+  kSkipped = 1,     // incremental: unaffected by the update
+  kDelta = 2,       // incremental: semi-naive resumed from deltas
+  kRecomputed = 3,  // incremental: cleared and re-derived
+};
+
+// "full", "skipped", "delta", "recomputed".
+const char* ToString(StratumMode mode);
+
 // Per-stratum rollup. `rounds` counts fixpoint iterations inside the
 // stratum; wall_ns covers grouping rules, facts, and the fixpoint.
 struct StratumProfile {
   int stratum = -1;
+  StratumMode mode = StratumMode::kFull;
   uint64_t wall_ns = 0;
   uint64_t rounds = 0;
   uint64_t facts_derived = 0;

@@ -159,7 +159,14 @@ void Relation::Clear() {
   live_.clear();
   live_count_ = 0;
   table_.clear();
-  FreeIndexes();
+  // Keep the index nodes linked (holders of the relation may still walk
+  // them); just drop their contents. Insert repopulates the maps, so a
+  // retained index stays consistent with the emptied row store.
+  for (CompositeIndex* index = index_head_.load(std::memory_order_acquire);
+       index != nullptr; index = index->next) {
+    index->map.clear();
+  }
+  ++epoch_;
 }
 
 void Database::Grow() {

@@ -119,7 +119,17 @@ class Relation {
   // All live tuples (copy, for tests and result reporting).
   std::vector<Tuple> Snapshot() const;
 
+  // Drops every row and bumps epoch(). Built indexes survive: their nodes
+  // stay linked (the append-only contract above means callers may hold
+  // references across a clear) with their maps emptied in place, and
+  // Insert repopulates them. Incremental maintenance relies on this when it
+  // recomputes a stratum in an otherwise-live database.
   void Clear();
+
+  // Incremented on every Clear(). Lets holders of a long-lived Relation
+  // reference detect that row ids restarted (e.g. across an incremental
+  // recompute round) and refresh any cached row positions.
+  uint64_t epoch() const { return epoch_; }
 
  private:
   struct CompositeIndex {
@@ -129,7 +139,8 @@ class Relation {
     // on live_.
     std::unordered_map<uint64_t, std::vector<uint32_t>> map;
     // Next-older index; the list is append-at-head and never unlinked
-    // outside Clear()/the destructor, so readers can walk it lock-free.
+    // outside the destructor (Clear() empties the maps but keeps the nodes
+    // linked), so readers can walk it lock-free.
     CompositeIndex* next = nullptr;
   };
 
@@ -168,6 +179,7 @@ class Relation {
   // Dedup table: power-of-two sized, linear probing, entries are row ids.
   // Tombstoned rows stay in the table so re-insertion revives in place.
   std::vector<uint32_t> table_;
+  uint64_t epoch_ = 0;  // bumped by Clear()
   // Built indexes; relations see at most a handful of distinct probe
   // shapes, so a linear walk of the list by column set beats map overhead.
   mutable std::atomic<CompositeIndex*> index_head_{nullptr};

@@ -50,7 +50,10 @@ struct LiteralWindow {
   X(probe_hits)      /* rows returned by index lookups */             \
   X(plan_cache_hits) /* compiled-plan cache hits */                   \
   X(parallel_tasks)  /* tasks dispatched to the worker pool */        \
-  X(delta_shards)    /* delta windows split into row-range shards */
+  X(delta_shards)    /* delta windows split into row-range shards */  \
+  X(strata_skipped)  /* incremental: strata untouched by the update */ \
+  X(strata_delta)    /* incremental: strata resumed from deltas */    \
+  X(strata_recomputed) /* incremental: strata cleared and re-derived */
 
 struct EvalStats {
 #define LDL_EVAL_STATS_DECLARE(name) size_t name = 0;

@@ -57,7 +57,150 @@ Status Session::Load(std::string_view source) {
   for (QueryAst& query : parsed.queries) ast_.queries.push_back(std::move(query));
   analyzed_ = false;
   evaluated_ = false;
+  ClearPendingDelta();
   return Status::OK();
+}
+
+Status Session::AddFacts(std::string_view source) {
+  LDL_ASSIGN_OR_RETURN(ProgramAst parsed, ParseProgram(source, &interner_));
+
+  // Anything beyond ground facts -- or any complication below (facts of
+  // derived predicates, LDL1.5 text expanding into rules, lowering
+  // trouble) -- takes the conservative Load() path: accumulate the parsed
+  // text and invalidate the analysis.
+  auto fallback = [&]() {
+    for (RuleAst& rule : parsed.rules) ast_.rules.push_back(std::move(rule));
+    for (QueryAst& query : parsed.queries) {
+      ast_.queries.push_back(std::move(query));
+    }
+    analyzed_ = false;
+    evaluated_ = false;
+    ClearPendingDelta();
+    return Status::OK();
+  };
+
+  bool facts_only = parsed.queries.empty();
+  for (const RuleAst& rule : parsed.rules) {
+    if (!rule.is_fact()) {
+      facts_only = false;
+      break;
+    }
+  }
+  if (!facts_only) return fallback();
+  if (!analyzed_) {
+    // No analysis to preserve; accumulate like Load() (which already left
+    // the session un-analyzed).
+    for (RuleAst& rule : parsed.rules) ast_.rules.push_back(std::move(rule));
+    return Status::OK();
+  }
+
+  // Mirror Analyze() for just these clauses: expand, check they are still
+  // plain facts, and lower them against the live catalog.
+  ProgramAst fact_ast;
+  fact_ast.rules = parsed.rules;
+  StatusOr<ProgramAst> expanded =
+      ExpandLdl15(fact_ast, &interner_, ldl15_options_);
+  if (!expanded.ok()) return fallback();  // the error resurfaces in Analyze()
+  struct LoweredFact {
+    PredId pred;
+    Tuple tuple;
+    bool outside_universe;
+  };
+  std::vector<LoweredFact> lowered;
+  lowered.reserve(expanded->rules.size());
+  for (const RuleAst& rule : expanded->rules) {
+    if (!rule.is_fact()) return fallback();
+    // Facts of predicates with proper rules stay in the program (they take
+    // part in stratification and magic rewriting) -- full path. Checked
+    // before LowerRule, which would set has_rules on the head.
+    PredId existing = catalog_.Find(
+        rule.head.predicate, static_cast<uint32_t>(rule.head.args.size()));
+    if (existing != kInvalidPred && catalog_.info(existing).has_rules) {
+      return fallback();
+    }
+    StatusOr<RuleIr> ir = LowerRule(factory_, catalog_, rule, /*source_index=*/-1);
+    if (!ir.ok()) return fallback();
+    catalog_.mutable_info(ir->head_pred).has_rules = false;
+    InstantiationResult inst = InstantiateArgs(factory_, ir->head_args, Subst());
+    if (inst.unbound) return fallback();  // "fact with variables", per Analyze
+    lowered.push_back(
+        {ir->head_pred, std::move(inst.tuple), inst.outside_universe});
+  }
+
+  // Commit: the analysis stays valid. Register the EDB delta; if a model
+  // is live, append the rows directly and mark genuinely new facts as the
+  // pending delta for the next (incremental) Evaluate().
+  for (RuleAst& rule : parsed.rules) ast_.rules.push_back(std::move(rule));
+  for (LoweredFact& fact : lowered) {
+    if (std::find(edb_preds_.begin(), edb_preds_.end(), fact.pred) ==
+        edb_preds_.end()) {
+      edb_preds_.push_back(fact.pred);
+    }
+    if (fact.outside_universe) continue;
+    edb_facts_.emplace_back(fact.pred, fact.tuple);
+    if (evaluated_ && db_->AddFact(fact.pred, fact.tuple)) {
+      MarkChanged(fact.pred);
+    }
+  }
+  return Status::OK();
+}
+
+Status Session::RemoveFacts(std::string_view source) {
+  LDL_ASSIGN_OR_RETURN(ProgramAst parsed, ParseProgram(source, &interner_));
+  if (!parsed.queries.empty()) {
+    return InvalidArgumentError("RemoveFacts accepts only facts");
+  }
+  for (const RuleAst& rule : parsed.rules) {
+    if (!rule.is_fact()) {
+      return InvalidArgumentError("RemoveFacts accepts only facts");
+    }
+  }
+  LDL_RETURN_IF_ERROR(EnsureAnalyzed());
+  ProgramAst fact_ast;
+  fact_ast.rules = std::move(parsed.rules);
+  LDL_ASSIGN_OR_RETURN(ProgramAst expanded,
+                       ExpandLdl15(fact_ast, &interner_, ldl15_options_));
+  bool any_removed = false;
+  for (const RuleAst& rule : expanded.rules) {
+    if (!rule.is_fact()) {
+      return InvalidArgumentError("RemoveFacts accepts only facts");
+    }
+    PredId existing = catalog_.Find(
+        rule.head.predicate, static_cast<uint32_t>(rule.head.args.size()));
+    if (existing == kInvalidPred) continue;  // unknown predicate: no-op
+    if (catalog_.info(existing).has_rules) {
+      return InvalidArgumentError(
+          "RemoveFacts cannot remove facts of a derived predicate");
+    }
+    LDL_ASSIGN_OR_RETURN(RuleIr ir,
+                         LowerRule(factory_, catalog_, rule, /*source_index=*/-1));
+    catalog_.mutable_info(ir.head_pred).has_rules = false;
+    InstantiationResult inst = InstantiateArgs(factory_, ir.head_args, Subst());
+    if (inst.unbound) {
+      return InvalidArgumentError("RemoveFacts needs ground facts");
+    }
+    if (inst.outside_universe) continue;
+    std::pair<PredId, Tuple> fact{ir.head_pred, std::move(inst.tuple)};
+    auto it = std::find(edb_facts_.begin(), edb_facts_.end(), fact);
+    if (it == edb_facts_.end()) continue;  // absent: no-op
+    edb_facts_.erase(it);
+    // Remember the cancellation: Analyze() rebuilds edb_facts_ from the
+    // AST, which still carries the removed fact's clause.
+    removed_edb_facts_.push_back(std::move(fact));
+    any_removed = true;
+  }
+  if (any_removed) {
+    // Deletions conservatively fall back to full re-evaluation (DRed-style
+    // incremental deletion is future work).
+    InvalidateModel();
+  }
+  return Status::OK();
+}
+
+void Session::InvalidateModel() {
+  evaluated_ = false;
+  evaluated_with_profile_ = false;
+  ClearPendingDelta();
 }
 
 Status Session::LoadFile(const std::string& path) {
@@ -110,9 +253,18 @@ Status Session::Analyze() {
     }
   }
 
+  // Apply accumulated RemoveFacts() cancellations: the AST still carries
+  // the removed facts' clauses, so each recorded removal cancels one
+  // occurrence of the rebuilt fact.
+  for (const auto& removed : removed_edb_facts_) {
+    auto it = std::find(edb_facts_.begin(), edb_facts_.end(), removed);
+    if (it != edb_facts_.end()) edb_facts_.erase(it);
+  }
+
   LDL_ASSIGN_OR_RETURN(stratification_, Stratify(catalog_, program_));
   analyzed_ = true;
   evaluated_ = false;
+  ClearPendingDelta();
   return Status::OK();
 }
 
@@ -121,8 +273,51 @@ Status Session::EnsureAnalyzed() {
   return Analyze();
 }
 
+bool Session::SameEvalConfig(const EvalOptions& options) const {
+  const EvalOptions& last = last_eval_options_;
+  return options.mode == last.mode && options.max_rounds == last.max_rounds &&
+         options.max_facts == last.max_facts &&
+         options.use_compiled_plans == last.use_compiled_plans &&
+         options.num_threads == last.num_threads &&
+         options.builtin_limits.max_union_enumeration ==
+             last.builtin_limits.max_union_enumeration &&
+         options.builtin_limits.max_subset_enumeration ==
+             last.builtin_limits.max_subset_enumeration;
+}
+
+void Session::RecordWatermarks() {
+  eval_watermarks_.resize(catalog_.size());
+  for (PredId p = 0; p < catalog_.size(); ++p) {
+    eval_watermarks_[p] = db_->relation(p).row_count();
+  }
+}
+
+void Session::MarkChanged(PredId pred) {
+  if (pending_changed_.size() < catalog_.size()) {
+    pending_changed_.resize(catalog_.size(), false);
+  }
+  pending_changed_[pred] = true;
+  pending_delta_ = true;
+}
+
+void Session::ClearPendingDelta() {
+  pending_changed_.assign(pending_changed_.size(), false);
+  pending_delta_ = false;
+}
+
 Status Session::Evaluate(const EvalOptions& options) {
   LDL_RETURN_IF_ERROR(EnsureAnalyzed());
+  if (evaluated_ && (!options.profile || evaluated_with_profile_) &&
+      SameEvalConfig(options)) {
+    if (!pending_delta_) {
+      // Nothing changed since the model was materialized under this same
+      // configuration: the model, stats and profile are all current.
+      ++eval_cache_hits_;
+      return Status::OK();
+    }
+  }
+  if (evaluated_ && pending_delta_) return EvaluateIncremental(options);
+
   db_ = std::make_unique<Database>(&catalog_);
   for (const auto& [pred, tuple] : edb_facts_) db_->AddFact(pred, tuple);
   last_eval_stats_ = EvalStats();
@@ -132,6 +327,25 @@ Status Session::Evaluate(const EvalOptions& options) {
       options.profile ? &last_eval_profile_ : nullptr));
   evaluated_ = true;
   evaluated_with_profile_ = options.profile;
+  last_eval_options_ = options;
+  ++full_evals_;
+  RecordWatermarks();
+  ClearPendingDelta();
+  return Status::OK();
+}
+
+Status Session::EvaluateIncremental(const EvalOptions& options) {
+  last_eval_stats_ = EvalStats();
+  last_eval_profile_.Clear();
+  LDL_RETURN_IF_ERROR(engine_.EvaluateIncremental(
+      program_, stratification_, db_.get(), eval_watermarks_, pending_changed_,
+      options, &last_eval_stats_,
+      options.profile ? &last_eval_profile_ : nullptr));
+  evaluated_with_profile_ = options.profile;
+  last_eval_options_ = options;
+  ++incremental_evals_;
+  RecordWatermarks();
+  ClearPendingDelta();
   return Status::OK();
 }
 
@@ -144,8 +358,11 @@ Status Session::EvaluateInto(const Stratification& stratification, Database* db,
 
 Status Session::EnsureEvaluated(const EvalOptions& options) {
   // A cached model evaluated without profiling can't serve a profiled
-  // query; re-run the (idempotent) evaluation to collect the profile.
-  if (evaluated_ && (!options.profile || evaluated_with_profile_)) {
+  // query; re-run the (idempotent) evaluation to collect the profile. A
+  // pending EDB delta routes through Evaluate() for incremental
+  // maintenance.
+  if (evaluated_ && !pending_delta_ &&
+      (!options.profile || evaluated_with_profile_)) {
     return Status::OK();
   }
   return Evaluate(options);

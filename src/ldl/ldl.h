@@ -126,11 +126,40 @@ class Session {
   // Load() for a file on disk (.ldl program text).
   Status LoadFile(const std::string& path);
 
+  // Incremental update entry point: parses `source` and, when it contains
+  // only ground facts of extensional predicates and the session is already
+  // analyzed, registers them as a pending EDB delta -- the materialized
+  // model (if any) stays alive and the next Evaluate()/Query() maintains
+  // it via Engine::EvaluateIncremental instead of re-deriving everything.
+  // Anything else (rules, stored queries, facts of derived predicates,
+  // LDL1.5 text that expands into rules) falls back to Load() semantics
+  // and invalidates the analysis. Always safe to call; never changes the
+  // final model vs. Load() + full re-evaluation.
+  Status AddFacts(std::string_view source);
+
+  // Removes previously loaded ground EDB facts (each removal cancels one
+  // occurrence; absent facts are ignored). `source` must contain only
+  // facts. Deletions conservatively drop the materialized model -- the
+  // next Evaluate() runs from scratch (DRed-style incremental deletion is
+  // future work).
+  Status RemoveFacts(std::string_view source);
+
+  // Drops the materialized model (analysis stays valid); the next
+  // Evaluate() rebuilds from scratch. For tests and benchmarks that need
+  // to force the full path.
+  void InvalidateModel();
+
   // Expands LDL1.5, lowers, checks well-formedness, stratifies. Idempotent;
   // called implicitly by Evaluate()/Query().
   Status Analyze();
 
-  // Bottom-up stratified evaluation into the session database.
+  // Bottom-up stratified evaluation into the session database. With a
+  // current model and no pending changes under the same options this is a
+  // cheap cache hit; with only pending EDB insertions (AddFacts) it
+  // maintains the model incrementally; otherwise it materializes from
+  // scratch. last_eval_stats()/last_eval_profile() always describe the run
+  // that produced the current model (the incremental one after a delta
+  // maintenance pass).
   Status Evaluate(const EvalOptions& options = {});
 
   // Evaluates the analyzed program under a caller-supplied layering into
@@ -187,11 +216,31 @@ class Session {
   // EvalOptions::profile set.
   const EvalProfile& last_eval_profile() const { return last_eval_profile_; }
   bool evaluated() const { return evaluated_; }
+  // Extensional predicates discovered by the last Analyze() (plus any
+  // AddFacts() since).
+  const std::vector<PredId>& edb_preds() const { return edb_preds_; }
+  // How the session's Evaluate() calls resolved (for tests and benches):
+  // cache hits (model already current), incremental maintenance runs, and
+  // full from-scratch materializations.
+  size_t eval_cache_hits() const { return eval_cache_hits_; }
+  size_t incremental_evals() const { return incremental_evals_; }
+  size_t full_evals() const { return full_evals_; }
 
  private:
   Status EnsureAnalyzed();
   Status EnsureEvaluated(const EvalOptions& options);
   StatusOr<LiteralIr> ParseGoal(std::string_view goal_text);
+  // Delta-maintains the live model from the pending changed predicates.
+  Status EvaluateIncremental(const EvalOptions& options);
+  // Snapshots per-predicate row counts after a successful evaluation (the
+  // deltas of the next incremental round start past these).
+  void RecordWatermarks();
+  // Marks `pred` as carrying new EDB rows since the last evaluation.
+  void MarkChanged(PredId pred);
+  void ClearPendingDelta();
+  // True when `options` matches the configuration of the last evaluation
+  // closely enough to reuse its model and stats verbatim.
+  bool SameEvalConfig(const EvalOptions& options) const;
 
   Interner interner_;
   TermFactory factory_;
@@ -215,6 +264,22 @@ class Session {
   // Whether the cached evaluation collected a profile (EnsureEvaluated
   // re-runs when a profiled query hits an unprofiled cached model).
   bool evaluated_with_profile_ = false;
+
+  // Incremental maintenance state. eval_watermarks_[p] is relation(p)'s
+  // row count at the end of the last evaluation; rows appended past it are
+  // the pending deltas of the predicates flagged in pending_changed_.
+  std::vector<size_t> eval_watermarks_;
+  std::vector<bool> pending_changed_;
+  bool pending_delta_ = false;
+  // RemoveFacts() tombstones: applied after Analyze() rebuilds edb_facts_
+  // from the AST (which still holds the removed facts' clauses). Each
+  // entry cancels one occurrence.
+  std::vector<std::pair<PredId, Tuple>> removed_edb_facts_;
+  // Options of the evaluation that produced the current model (cache key).
+  EvalOptions last_eval_options_;
+  size_t eval_cache_hits_ = 0;
+  size_t incremental_evals_ = 0;
+  size_t full_evals_ = 0;
 };
 
 // Formats query-result tuples as sorted fact strings, e.g.

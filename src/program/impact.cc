@@ -1,0 +1,57 @@
+#include "program/impact.h"
+
+#include <algorithm>
+
+namespace ldl {
+
+const char* ToString(PredImpact impact) {
+  switch (impact) {
+    case PredImpact::kClean:
+      return "clean";
+    case PredImpact::kDelta:
+      return "delta";
+    case PredImpact::kRecompute:
+      return "recompute";
+  }
+  return "?";
+}
+
+std::vector<PredImpact> ComputeImpact(const Catalog& catalog,
+                                      const ProgramIr& program,
+                                      const std::vector<bool>& changed) {
+  std::vector<PredImpact> impact(catalog.size(), PredImpact::kClean);
+  for (PredId p = 0; p < impact.size() && p < changed.size(); ++p) {
+    if (changed[p]) impact[p] = PredImpact::kDelta;
+  }
+
+  // Propagate to fixpoint. Strict edges (grouping rules and negated body
+  // literals, the `>` of §3.1) escalate any non-clean input to kRecompute;
+  // positive edges carry the input's own classification. Recursion makes a
+  // single pass insufficient, and head updates can feed earlier rules, so
+  // iterate until stable; each pass only raises classifications, so the
+  // loop terminates within 2 * |rules| passes.
+  bool dirty = true;
+  while (dirty) {
+    dirty = false;
+    for (const RuleIr& rule : program.rules) {
+      if (rule.is_fact()) continue;
+      PredImpact head = impact[rule.head_pred];
+      for (const LiteralIr& literal : rule.body) {
+        if (literal.is_builtin()) continue;
+        PredImpact body = impact[literal.pred];
+        if (body == PredImpact::kClean) continue;
+        PredImpact via = (rule.is_grouping() || literal.negated)
+                             ? PredImpact::kRecompute
+                             : body;
+        head = std::max(head, via);
+      }
+      if (head > impact[rule.head_pred]) {
+        impact[rule.head_pred] = head;
+        dirty = true;
+      }
+    }
+  }
+  return impact;
+}
+
+}  // namespace ldl

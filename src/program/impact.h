@@ -1,0 +1,49 @@
+// Update-impact analysis for incremental model maintenance (§3.1).
+//
+// After an EDB insertion the layering relations tell us exactly how each
+// predicate's materialized relation can change:
+//
+//   * A predicate reachable from a changed predicate only through positive,
+//     non-grouping body literals (the `>=` edges of §3.1) can only *gain*
+//     facts -- its relation grows monotonically, so semi-naive evaluation
+//     can resume from the inserted deltas against the existing model.
+//   * A predicate reached through at least one grouping or negation edge
+//     (the strict `>` edges) may *lose* facts: an insertion below can grow
+//     a grouped set (replacing the old group fact) or satisfy a negated
+//     literal (retracting a derivation). Such predicates -- and everything
+//     that consumes them, positively or not -- must be recomputed from
+//     their (already-maintained) inputs.
+//
+// ComputeImpact propagates this classification to a fixpoint over the rule
+// set; Engine::EvaluateIncremental consumes it per stratum.
+#ifndef LDL1_PROGRAM_IMPACT_H_
+#define LDL1_PROGRAM_IMPACT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "program/catalog.h"
+#include "program/ir.h"
+
+namespace ldl {
+
+// How an EDB insertion can affect a predicate's materialized relation.
+// Ordered by severity so propagation can take the max.
+enum class PredImpact : uint8_t {
+  kClean = 0,      // unreachable from any changed predicate: skip
+  kDelta = 1,      // grows monotonically: resume semi-naive from deltas
+  kRecompute = 2,  // may shrink or change: clear and recompute
+};
+
+const char* ToString(PredImpact impact);
+
+// Classifies every predicate given the set of changed (inserted-into) EDB
+// predicates. `changed` is indexed by PredId; ids at or past its end are
+// treated as unchanged. The result has one entry per catalog predicate.
+std::vector<PredImpact> ComputeImpact(const Catalog& catalog,
+                                      const ProgramIr& program,
+                                      const std::vector<bool>& changed);
+
+}  // namespace ldl
+
+#endif  // LDL1_PROGRAM_IMPACT_H_

@@ -227,6 +227,34 @@ TEST_F(RelationTest, DatabaseGrowsForLateRegisteredPredicates) {
   EXPECT_EQ(db.relation(last).arity(), 2u);
 }
 
+TEST_F(RelationTest, ClearRetainsIndexesAndBumpsEpoch) {
+  Relation r(2);
+  r.Insert(T({1, 10}));
+  r.Insert(T({2, 20}));
+  std::vector<size_t> rows;
+  r.Probe(0, factory_.MakeInt(1), 0, r.row_count(), &rows);
+  ASSERT_EQ(rows.size(), 1u);
+  ASSERT_EQ(r.index_count(), 1u);
+  const uint64_t epoch = r.epoch();
+
+  // Clear keeps the (now empty) index structures linked for concurrent
+  // readers and advances the epoch so caches can notice the wipe.
+  r.Clear();
+  EXPECT_EQ(r.size(), 0u);
+  EXPECT_EQ(r.row_count(), 0u);
+  EXPECT_EQ(r.index_count(), 1u);
+  EXPECT_GT(r.epoch(), epoch);
+  r.Probe(0, factory_.MakeInt(1), 0, r.row_count(), &rows);
+  EXPECT_TRUE(rows.empty());
+
+  // Refilling after a clear dedups and probes correctly again.
+  EXPECT_TRUE(r.Insert(T({1, 40})));
+  EXPECT_FALSE(r.Insert(T({1, 40})));
+  r.Probe(0, factory_.MakeInt(1), 0, r.row_count(), &rows);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(r.index_count(), 1u);  // the retained index was reused
+}
+
 TEST_F(RelationTest, DatabaseCopyFrom) {
   Catalog catalog(&interner_);
   PredId p = catalog.GetOrCreate("p", 1);

@@ -76,6 +76,31 @@ TEST(Session, EvaluateIsRepeatable) {
   EXPECT_EQ(session.database().TotalFacts(), first);
 }
 
+TEST(Session, RepeatEvaluateIsACacheHit) {
+  Session session;
+  ASSERT_TRUE(session.Load("e(1, 2). t(X, Y) :- e(X, Y).").ok());
+  ASSERT_TRUE(session.Evaluate().ok());
+  ASSERT_TRUE(session.Evaluate().ok());
+  ASSERT_TRUE(session.Evaluate().ok());
+  EXPECT_EQ(session.full_evals(), 1u);
+  EXPECT_EQ(session.eval_cache_hits(), 2u);
+
+  // A different evaluation configuration is not a hit...
+  EvalOptions naive;
+  naive.mode = EvalOptions::Mode::kNaive;
+  ASSERT_TRUE(session.Evaluate(naive).ok());
+  EXPECT_EQ(session.full_evals(), 2u);
+  // ... but repeating it is.
+  ASSERT_TRUE(session.Evaluate(naive).ok());
+  EXPECT_EQ(session.eval_cache_hits(), 3u);
+
+  // InvalidateModel forces the next Evaluate to rematerialize.
+  session.InvalidateModel();
+  EXPECT_FALSE(session.evaluated());
+  ASSERT_TRUE(session.Evaluate(naive).ok());
+  EXPECT_EQ(session.full_evals(), 3u);
+}
+
 TEST(Session, MagicFallsBackForExtensionalGoals) {
   Session session;
   ASSERT_TRUE(session.Load("p(a, b).").ok());

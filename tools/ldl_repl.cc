@@ -296,7 +296,10 @@ bool HandleLine(ReplState& state, const std::string& raw) {
     RunQuery(state, goal);
     return true;
   }
-  ldl::Status status = state.session.Load(line);
+  // AddFacts keeps the materialized model alive when the line is pure EDB
+  // facts (the next query maintains it incrementally); anything else falls
+  // back to Load() semantics inside.
+  ldl::Status status = state.session.AddFacts(line);
   if (!status.ok()) Fail(state, status.ToString());
   return true;
 }
