@@ -66,6 +66,91 @@ void BM_GroupAndReexpand(benchmark::State& state) {
                               last_profile);
 }
 
+// Evaluation-focused variants: the session (parse + analyze) is built once
+// outside the timing loop, so the series isolates grouping *evaluation*.
+// Each iteration drops the materialized model and re-derives it from the
+// resident EDB.
+void BM_GroupingEval(benchmark::State& state) {
+  size_t suppliers = static_cast<size_t>(state.range(0));
+  size_t parts_per = static_cast<size_t>(state.range(1));
+  std::string facts =
+      ldl::SupplierParts(suppliers, parts_per, /*part_pool=*/parts_per * 4,
+                         /*seed=*/11);
+  auto session = ldl_bench::MakeSession(state, facts, kRules);
+  if (session == nullptr) return;
+  ldl::EvalOptions options;
+  options.profile = ldl_bench::ProfileRequested();
+  for (auto _ : state) {
+    session->InvalidateModel();
+    ldl::Status status = session->Evaluate(options);
+    if (!status.ok()) {
+      state.SkipWithError(status.ToString().c_str());
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * suppliers * parts_per);
+  ldl_bench::RecordStats(state, session->last_eval_stats());
+  ldl_bench::MaybeDumpProfile("GroupingEval/" + std::to_string(suppliers) +
+                                  "/" + std::to_string(parts_per),
+                              session->last_eval_profile());
+}
+
+// An scons accumulator chain evaluated bottom-up: acc(k, {0..k-1}) grows by
+// one SetInsert per fixpoint round, the quadratic set-construction pattern
+// the term layer's merge-based SetInsert targets.
+void BM_GroupingSconsAccumulate(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  std::string facts;
+  for (size_t i = 0; i < n; ++i) {
+    facts += "succ(" + std::to_string(i) + ", " + std::to_string(i + 1) + ").\n";
+  }
+  const char* rules =
+      "acc(0, {}).\n"
+      "acc(M, scons(N, S)) :- succ(N, M), acc(N, S).\n";
+  auto session = ldl_bench::MakeSession(state, facts, rules);
+  if (session == nullptr) return;
+  ldl::EvalOptions options;
+  options.profile = ldl_bench::ProfileRequested();
+  for (auto _ : state) {
+    session->InvalidateModel();
+    ldl::Status status = session->Evaluate(options);
+    if (!status.ok()) {
+      state.SkipWithError(status.ToString().c_str());
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  ldl_bench::RecordStats(state, session->last_eval_stats());
+  ldl_bench::MaybeDumpProfile("GroupingSconsAccumulate/" + std::to_string(n),
+                              session->last_eval_profile());
+}
+
+// Magic-path grouping: every query runs a saturating evaluation in a scratch
+// database, recomputing groups each global round until fixpoint -- the loop
+// the EvaluateSaturating group cache targets.
+void BM_GroupingMagicQuery(benchmark::State& state) {
+  size_t suppliers = static_cast<size_t>(state.range(0));
+  std::string facts = ldl::SupplierParts(suppliers, 16, 64, /*seed=*/11);
+  auto session = ldl_bench::MakeSession(state, facts, kRules);
+  if (session == nullptr) return;
+  ldl::QueryOptions options;
+  options.strategy = ldl::QueryStrategy::kMagic;
+  options.eval.profile = ldl_bench::ProfileRequested();
+  ldl::EvalStats last;
+  size_t answers = 0;
+  for (auto _ : state) {
+    auto result = session->Query("sp(s0, X)", options);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    answers = result->tuples.size();
+    last = result->stats;
+  }
+  benchmark::DoNotOptimize(answers);
+  ldl_bench::RecordStats(state, last);
+}
+
 }  // namespace
 
 BENCHMARK(BM_GroupBySupplier)
@@ -73,6 +158,13 @@ BENCHMARK(BM_GroupBySupplier)
     ->Args({400, 40})->Args({400, 160})
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_GroupAndReexpand)->Arg(100)->Arg(400)->Arg(1600)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GroupingEval)
+    ->Args({400, 10})->Args({1600, 10})->Args({400, 40})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GroupingSconsAccumulate)->Arg(128)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GroupingMagicQuery)->Arg(400)->Arg(1600)
     ->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

@@ -1,0 +1,140 @@
+// B10: set-term algebra throughput (paper §2.2). Canonical sets are sorted
+// and deduplicated under the factory's total term order, so the binary set
+// operations can run as linear merges over the operands instead of
+// collect-and-re-canonicalize. This bench sweeps the operand cardinality for
+// each operation, over both int elements (cheap comparator) and atom
+// elements (interner-text comparator), plus the scons-style insert chain
+// that dominates set-building LDL1 programs.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "term/term.h"
+#include "workload/workload.h"
+
+namespace {
+
+using ldl::Interner;
+using ldl::Term;
+using ldl::TermFactory;
+
+std::vector<const Term*> IntElements(TermFactory& factory, size_t n,
+                                     size_t start, size_t stride) {
+  std::vector<const Term*> elements;
+  elements.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    elements.push_back(
+        factory.MakeInt(static_cast<int64_t>(start + i * stride)));
+  }
+  return elements;
+}
+
+std::vector<const Term*> AtomElements(TermFactory& factory, size_t n,
+                                      size_t start, size_t stride) {
+  std::vector<const Term*> elements;
+  elements.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    elements.push_back(factory.MakeAtom("e" + std::to_string(start + i * stride)));
+  }
+  return elements;
+}
+
+// a = evens, b = odds: fully interleaved merge, |a U b| = 2n.
+void BM_SetUnionDisjoint(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Interner interner;
+  TermFactory factory(&interner);
+  const Term* a = factory.MakeSet(IntElements(factory, n, 0, 2));
+  const Term* b = factory.MakeSet(IntElements(factory, n, 1, 2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(factory.SetUnion(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n);
+}
+
+// b overlaps the upper half of a: the union dedups n/2 shared elements.
+void BM_SetUnionOverlap(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Interner interner;
+  TermFactory factory(&interner);
+  const Term* a = factory.MakeSet(IntElements(factory, n, 0, 1));
+  const Term* b = factory.MakeSet(IntElements(factory, n, n / 2, 1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(factory.SetUnion(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n);
+}
+
+void BM_SetDifferenceHalf(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Interner interner;
+  TermFactory factory(&interner);
+  const Term* a = factory.MakeSet(IntElements(factory, n, 0, 1));
+  const Term* b = factory.MakeSet(IntElements(factory, n, n / 2, 1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(factory.SetDifference(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_SetIntersectHalf(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Interner interner;
+  TermFactory factory(&interner);
+  const Term* a = factory.MakeSet(IntElements(factory, n, 0, 1));
+  const Term* b = factory.MakeSet(IntElements(factory, n, n / 2, 1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(factory.SetIntersect(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+// scons-chain construction over atom elements: the comparator goes through
+// interner text, so canonicalization cost -- not hashing -- dominates.
+void BM_SetInsertChainAtoms(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Interner interner;
+  TermFactory factory(&interner);
+  std::vector<const Term*> elements = AtomElements(factory, n, 0, 1);
+  for (auto _ : state) {
+    const Term* set = factory.EmptySet();
+    for (const Term* element : elements) {
+      set = factory.SetInsert(element, set);
+    }
+    benchmark::DoNotOptimize(set);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+// Nested-set elements: comparator and hash recurse one level.
+void BM_SetUnionNested(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Interner interner;
+  TermFactory factory(&interner);
+  std::vector<const Term*> singletons_a;
+  std::vector<const Term*> singletons_b;
+  for (size_t i = 0; i < n; ++i) {
+    const Term* even[] = {factory.MakeInt(static_cast<int64_t>(2 * i))};
+    const Term* odd[] = {factory.MakeInt(static_cast<int64_t>(2 * i + 1))};
+    singletons_a.push_back(factory.MakeSet(even));
+    singletons_b.push_back(factory.MakeSet(odd));
+  }
+  const Term* a = factory.MakeSet(singletons_a);
+  const Term* b = factory.MakeSet(singletons_b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(factory.SetUnion(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n);
+}
+
+}  // namespace
+
+BENCHMARK(BM_SetUnionDisjoint)->Arg(16)->Arg(128)->Arg(1024);
+BENCHMARK(BM_SetUnionOverlap)->Arg(16)->Arg(128)->Arg(1024);
+BENCHMARK(BM_SetDifferenceHalf)->Arg(16)->Arg(128)->Arg(1024);
+BENCHMARK(BM_SetIntersectHalf)->Arg(16)->Arg(128)->Arg(1024);
+BENCHMARK(BM_SetInsertChainAtoms)->Arg(8)->Arg(64)->Arg(256);
+BENCHMARK(BM_SetUnionNested)->Arg(16)->Arg(128);
+
+BENCHMARK_MAIN();

@@ -64,6 +64,12 @@ inline void RecordStats(benchmark::State& state, const ldl::EvalStats& stats) {
   state.counters["strata_delta"] = static_cast<double>(stats.strata_delta);
   state.counters["strata_recomputed"] =
       static_cast<double>(stats.strata_recomputed);
+  state.counters["strata_regrown"] = static_cast<double>(stats.strata_regrown);
+  // Set-term / grouping fast-path counters (DESIGN.md §8).
+  state.counters["groups_built"] = static_cast<double>(stats.groups_built);
+  state.counters["groups_reused"] = static_cast<double>(stats.groups_reused);
+  state.counters["group_regrows"] = static_cast<double>(stats.group_regrows);
+  state.counters["set_interns"] = static_cast<double>(stats.set_interns);
 }
 
 }  // namespace ldl_bench

@@ -47,6 +47,25 @@ if [[ ! -d "${bench_dir}" ]]; then
   exit 1
 fi
 
+# Refuse to record timings from an unoptimized engine. The gate reads the
+# repo's own CMakeCache (the Debian libbenchmark package self-reports
+# library_build_type "debug" no matter how we build, so that field cannot be
+# trusted); the build type lands on every merged entry as engine_build_type.
+build_type="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' \
+  "${build_dir}/CMakeCache.txt" 2>/dev/null || true)"
+case "${build_type}" in
+  Release|RelWithDebInfo) ;;
+  *)
+    echo "error: ${build_dir} is configured as '${build_type:-<empty>}';" >&2
+    echo "benchmark timings are only recorded from an optimized build." >&2
+    echo "Reconfigure first:" >&2
+    echo "  cmake -B ${build_dir} -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo" >&2
+    echo "  cmake --build ${build_dir} -j" >&2
+    exit 1
+    ;;
+esac
+export ENGINE_BUILD_TYPE="${build_type}"
+
 tmp_dir="$(mktemp -d)"
 trap 'rm -rf "${tmp_dir}"' EXIT
 
@@ -127,6 +146,9 @@ for path in paths:
     with open(path) as f:
         report = json.load(f)
     report["binary"] = os.path.basename(path)[: -len(".json")]
+    # The repo engine's build type (gated above); the library_build_type the
+    # benchmark library reports describes libbenchmark itself, not libldl1.
+    report["engine_build_type"] = os.environ.get("ENGINE_BUILD_TYPE", "")
     merged.append(report)
 with open(output, "w") as f:
     json.dump(merged, f, indent=2)

@@ -41,7 +41,29 @@ void AttributeStats(RuleProfileEntry* entry, const EvalStats& run) {
   counters.tuples_matched += run.tuples_matched;
   counters.index_probes += run.index_probes;
   counters.probe_hits += run.probe_hits;
+  counters.groups_built += run.groups_built;
+  counters.groups_reused += run.groups_reused;
+  counters.group_regrows += run.group_regrows;
 }
+
+// Accumulates the factory's set-intern delta across a scope into
+// EvalStats::set_interns. The count of *distinct* sets interned by an
+// evaluation is determined by the computed model, not by scheduling, so the
+// counter stays inside the serial == parallel determinism contract.
+class ScopedSetInternCounter {
+ public:
+  ScopedSetInternCounter(const TermFactory* factory, EvalStats* stats)
+      : factory_(factory), stats_(stats),
+        before_(factory->set_interned_count()) {}
+  ~ScopedSetInternCounter() {
+    stats_->set_interns += factory_->set_interned_count() - before_;
+  }
+
+ private:
+  const TermFactory* factory_;
+  EvalStats* stats_;
+  size_t before_;
+};
 
 }  // namespace
 
@@ -651,6 +673,259 @@ Status Engine::EvaluateStratumDelta(const ProgramIr& program,
   return Status::OK();
 }
 
+Status Engine::RegrowGroupingRule(const RuleIr& rule, Database* db,
+                                  const FixpointSeed& seed,
+                                  const EvalOptions& options, EvalStats* stats,
+                                  bool* derived, RuleProfileEntry* entry) {
+  EvalStats local_stats;
+  EvalStats* s = entry != nullptr ? &local_stats : stats;
+  ScopedWallTimer timer(entry != nullptr ? &entry->counters.wall_ns : nullptr);
+
+  // Z = variables of the non-grouped head arguments, exactly as
+  // ComputeGroups partitions (eval/grouping.cc). Instantiation through the
+  // interner makes key -> non-group head values injective, so the key
+  // identifies the one head fact to replace.
+  std::vector<Symbol> z_vars;
+  for (size_t i = 0; i < rule.head_args.size(); ++i) {
+    if (static_cast<int>(i) == rule.group_index) continue;
+    CollectVars(rule.head_args[i], &z_vars);
+  }
+  const Term* group_var_term = factory_->MakeVar(rule.group_var);
+
+  struct DeltaPartition {
+    Tuple head_values;                // instantiated head args (group slot
+                                      // overwritten at reconciliation)
+    TermFactory::SetBuilder members;  // freshly derived Y values
+  };
+  std::unordered_map<Tuple, DeltaPartition, TupleHash> partitions;
+
+  // Delta enumeration (semi-naive completeness): any body solution that
+  // involves at least one inserted row is found by the variant pinning that
+  // occurrence to its [watermark, row_count) window. A solution seen by
+  // several variants contributes duplicate members, which the set union
+  // absorbs; solutions made only of pre-update rows are already reflected
+  // in the materialized groups and are never re-enumerated.
+  Tuple key;
+  Status inner_status;
+  for (size_t occurrence = 0; occurrence < rule.body.size(); ++occurrence) {
+    const LiteralIr& occ_literal = rule.body[occurrence];
+    if (occ_literal.is_builtin()) continue;  // eligibility bars negation
+    PredId pred = occ_literal.pred;
+    if (pred >= seed.delta_preds->size() || !(*seed.delta_preds)[pred]) {
+      continue;
+    }
+    const size_t mark =
+        pred < seed.watermarks->size() ? (*seed.watermarks)[pred] : 0;
+    const size_t rows = db->relation(pred).row_count();
+    if (mark >= rows) continue;
+
+    // Fronting the delta occurrence is only a join-order optimization; fall
+    // back to the default order when no forced order is evaluable.
+    std::vector<int> order;
+    StatusOr<std::vector<int>> forced =
+        OrderBodyLiterals(*catalog_, rule, static_cast<int>(occurrence));
+    if (forced.ok()) {
+      order = std::move(forced).value();
+    } else {
+      LDL_ASSIGN_OR_RETURN(order, OrderBodyLiterals(*catalog_, rule));
+    }
+    std::shared_ptr<const JoinPlan> plan;
+    if (options.use_compiled_plans) {
+      plan = plan_cache_.Get(rule, order, &s->plan_cache_hits);
+    }
+    RuleEvaluator evaluator(factory_, &rule, std::move(order),
+                            options.builtin_limits, std::move(plan),
+                            options.use_compiled_plans);
+    ++s->rule_firings;
+
+    std::vector<LiteralWindow> windows(rule.body.size());
+    for (size_t j = 0; j < rule.body.size(); ++j) {
+      const LiteralIr& literal = rule.body[j];
+      if (!literal.is_builtin()) {
+        windows[j] = {0, db->relation(literal.pred).row_count()};
+      }
+    }
+    windows[occurrence] = {mark, rows};
+    if (entry != nullptr) entry->counters.delta_rows += rows - mark;
+
+    Status status = evaluator.ForEachSolution(
+        *db, windows,
+        [&](const SolutionView& view) {
+          key.clear();
+          key.reserve(z_vars.size());
+          for (Symbol var : z_vars) {
+            const Term* value = view.Lookup(var);
+            if (value == nullptr || !value->ground()) {
+              inner_status = InternalError(
+                  "grouping key variable unbound in a body solution");
+              return false;
+            }
+            key.push_back(value);
+          }
+          const Term* y;
+          if (view.subst() == nullptr) {
+            y = view.Lookup(rule.group_var);
+            if (y == nullptr) {
+              inner_status = InternalError(
+                  "grouped variable unbound in a body solution");
+              return false;
+            }
+          } else {
+            bool y_ground = true;
+            y = InstantiateGround(*factory_, group_var_term, *view.subst(),
+                                  &y_ground);
+            if (y == nullptr) {
+              if (!y_ground) {
+                inner_status = InternalError(
+                    "grouped variable unbound in a body solution");
+                return false;
+              }
+              return true;  // outside U: contributes no element
+            }
+          }
+          auto it = partitions.find(key);
+          if (it == partitions.end()) {
+            InstantiationResult head = evaluator.InstantiateHead(view);
+            if (head.unbound) {
+              inner_status =
+                  InternalError("head variable unbound under grouping");
+              return false;
+            }
+            if (head.outside_universe) return true;
+            DeltaPartition partition{std::move(head.tuple),
+                                     TermFactory::SetBuilder(factory_)};
+            partition.members.Add(y);
+            partitions.emplace(std::move(key), std::move(partition));
+            key = Tuple();
+          } else {
+            it->second.members.Add(y);
+          }
+          return true;
+        },
+        s);
+    LDL_RETURN_IF_ERROR(status);
+    LDL_RETURN_IF_ERROR(inner_status);
+  }
+
+  // Reconcile each affected partition against the materialized head fact:
+  // union the delta members into the existing group (a merge over two
+  // canonical sets), replacing the old row; a fresh key inserts a new
+  // group. Untouched partitions are never visited -- that is the point.
+  Relation& head_rel = db->relation(rule.head_pred);
+  std::vector<uint32_t> non_group_cols;
+  for (size_t i = 0; i < rule.head_args.size(); ++i) {
+    if (static_cast<int>(i) != rule.group_index) {
+      non_group_cols.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  for (auto& [partition_key, partition] : partitions) {
+    const Term* delta_set = partition.members.Build();
+    Tuple old_fact;
+    bool found = false;
+    const size_t head_rows = head_rel.row_count();
+    if (non_group_cols.empty()) {
+      // Head is just the grouped set: at most one live row exists.
+      head_rel.ForEachRow(0, head_rows, [&](size_t, RowRef row) {
+        old_fact.assign(row.begin(), row.end());
+        found = true;
+      });
+    } else {
+      Tuple probe_values;
+      probe_values.reserve(non_group_cols.size());
+      for (uint32_t c : non_group_cols) {
+        probe_values.push_back(partition.head_values[c]);
+      }
+      ++s->index_probes;
+      head_rel.ProbeRows(non_group_cols, probe_values, 0, head_rows,
+                         [&](size_t row_index) {
+                           RowRef row = head_rel.row(row_index);
+                           old_fact.assign(row.begin(), row.end());
+                           found = true;
+                           return false;  // sole producer: row is unique
+                         });
+      if (found) ++s->probe_hits;
+    }
+    Tuple new_fact = std::move(partition.head_values);
+    if (found) {
+      const Term* old_set = old_fact[rule.group_index];
+      if (!old_set->is_set()) {
+        return InternalError(
+            "regrow found a non-set value in a grouped head position");
+      }
+      const Term* new_set = factory_->SetUnion(old_set, delta_set);
+      if (new_set == old_set) continue;  // only duplicate members: no change
+      new_fact[rule.group_index] = new_set;
+      head_rel.Erase(old_fact);
+    } else {
+      new_fact[rule.group_index] = delta_set;
+    }
+    if (db->AddFact(rule.head_pred, new_fact)) ++s->facts_derived;
+    ++s->group_regrows;
+    *derived = true;
+  }
+
+  if (entry != nullptr) {
+    ++entry->counters.firings;
+    AttributeStats(entry, local_stats);
+    stats->Add(local_stats);
+  }
+  if (db->TotalFacts() > options.max_facts) {
+    return ResourceExhaustedError(
+        StrCat("database exceeded max_facts = ", options.max_facts,
+               " (non-terminating program?)"));
+  }
+  return Status::OK();
+}
+
+Status Engine::EvaluateStratumGroupRegrow(
+    const ProgramIr& program, const std::vector<int>& rules, int stratum_index,
+    Database* db, const FixpointSeed& seed,
+    const std::vector<PredImpact>& impact, const EvalOptions& options,
+    EvalStats* stats, EvalProfile* profile) {
+  uint64_t stratum_wall = 0;
+  ScopedWallTimer stratum_timer(profile != nullptr ? &stratum_wall : nullptr);
+  const uint64_t rounds_before = stats->iterations;
+  const uint64_t facts_before = stats->facts_derived;
+  const uint64_t tasks_before = stats->parallel_tasks;
+
+  // Facts are already materialized. Grouping rules with a kGroupRegrow head
+  // regrow in place; grouping rules whose inputs are untouched are skipped.
+  // The remaining normal rules have kDelta heads at worst (any consumer of
+  // a regrown predicate is escalated to kRecompute by ComputeImpact, which
+  // would have made the whole stratum kRecompute), so they resume the
+  // seeded semi-naive fixpoint.
+  std::vector<int> normal_rules;
+  bool derived = false;
+  for (int r : rules) {
+    const RuleIr& rule = program.rules[r];
+    if (rule.is_fact()) continue;
+    if (rule.is_grouping()) {
+      if (impact[rule.head_pred] != PredImpact::kGroupRegrow) continue;
+      LDL_RETURN_IF_ERROR(
+          RegrowGroupingRule(rule, db, seed, options, stats, &derived,
+                             ProfileEntry(profile, rule, r, stratum_index)));
+    } else {
+      normal_rules.push_back(r);
+    }
+  }
+  if (!normal_rules.empty()) {
+    LDL_RETURN_IF_ERROR(Fixpoint(program, normal_rules, stratum_index, db,
+                                 options, stats, &derived, profile, &seed));
+  }
+  if (profile != nullptr) {
+    stratum_timer.Stop();
+    StratumProfile rollup;
+    rollup.stratum = stratum_index;
+    rollup.mode = StratumMode::kGroupRegrow;
+    rollup.wall_ns = stratum_wall;
+    rollup.rounds = stats->iterations - rounds_before;
+    rollup.facts_derived = stats->facts_derived - facts_before;
+    rollup.parallel_tasks = stats->parallel_tasks - tasks_before;
+    profile->strata().push_back(rollup);
+  }
+  return Status::OK();
+}
+
 Status Engine::EvaluateIncremental(const ProgramIr& program,
                                    const Stratification& stratification,
                                    Database* db,
@@ -662,6 +937,7 @@ Status Engine::EvaluateIncremental(const ProgramIr& program,
   if (stats == nullptr) stats = &local_stats;
   if (!options.profile) profile = nullptr;
   if (profile != nullptr) profile->ReserveRules(program.rules.size());
+  ScopedSetInternCounter set_interns(factory_, stats);
   uint64_t total_wall = 0;
   ScopedWallTimer total_timer(profile != nullptr ? &total_wall : nullptr);
 
@@ -697,14 +973,17 @@ Status Engine::EvaluateIncremental(const ProgramIr& program,
     }
     if (mode == PredImpact::kRecompute) {
       // Clear each recomputed head once, then re-derive the whole stratum
-      // from its (already-maintained) inputs. Heads classified kDelta or
+      // from its (already-maintained) inputs. A kGroupRegrow head that
+      // shares the stratum is cleared too: EvaluateStratum re-fires its
+      // grouping rule from scratch, which would otherwise insert regrown
+      // group facts next to the stale ones. Heads classified kDelta or
       // kClean in this stratum keep their rows -- re-deriving them is
       // deduplicated, and any genuinely new rows land past their
       // watermarks where downstream delta strata pick them up.
       std::vector<bool> cleared(catalog_->size(), false);
       for (int r : rules) {
         PredId head = program.rules[r].head_pred;
-        if (impact[head] == PredImpact::kRecompute && !cleared[head]) {
+        if (impact[head] >= PredImpact::kGroupRegrow && !cleared[head]) {
           cleared[head] = true;
           db->relation(head).Clear();
         }
@@ -715,6 +994,13 @@ Status Engine::EvaluateIncremental(const ProgramIr& program,
       if (profile != nullptr) {
         profile->strata().back().mode = StratumMode::kRecomputed;
       }
+      continue;
+    }
+    if (mode == PredImpact::kGroupRegrow) {
+      ++stats->strata_regrown;
+      LDL_RETURN_IF_ERROR(EvaluateStratumGroupRegrow(
+          program, rules, static_cast<int>(s), db, seed, impact, options,
+          stats, profile));
       continue;
     }
     ++stats->strata_delta;
@@ -737,6 +1023,7 @@ Status Engine::EvaluateProgram(const ProgramIr& program,
   if (stats == nullptr) stats = &local_stats;
   if (!options.profile) profile = nullptr;
   if (profile != nullptr) profile->ReserveRules(program.rules.size());
+  ScopedSetInternCounter set_interns(factory_, stats);
   uint64_t total_wall = 0;
   ScopedWallTimer total_timer(profile != nullptr ? &total_wall : nullptr);
   for (size_t s = 0; s < stratification.strata.size(); ++s) {
@@ -758,6 +1045,7 @@ Status Engine::EvaluateSaturating(const ProgramIr& program, Database* db,
   if (stats == nullptr) stats = &local_stats;
   if (!options.profile) profile = nullptr;
   if (profile != nullptr) profile->ReserveRules(program.rules.size());
+  ScopedSetInternCounter set_interns(factory_, stats);
   uint64_t total_wall = 0;
   ScopedWallTimer total_timer(profile != nullptr ? &total_wall : nullptr);
   const uint64_t rounds_before = stats->iterations;
@@ -791,6 +1079,11 @@ Status Engine::EvaluateSaturating(const ProgramIr& program, Database* db,
   // Per grouping rule: partition key -> emitted fact, for reconciliation.
   std::vector<std::unordered_map<Tuple, Tuple, TupleHash>> emitted(
       grouping_rules.size());
+  // Per grouping rule: cross-round group cache. Grouping rules re-fire each
+  // global round over a monotonically grown database; partitions whose
+  // member count is unchanged reuse the cached canonical fact instead of
+  // re-sorting and re-interning (see GroupCacheEntry).
+  std::vector<GroupCache> group_caches(grouping_rules.size());
 
   // Orders for negation and grouping rules (computed once, not per round).
   std::vector<std::vector<int>> negation_orders;
@@ -839,8 +1132,9 @@ Status Engine::EvaluateSaturating(const ProgramIr& program, Database* db,
                               options.builtin_limits, std::move(plan),
                               options.use_compiled_plans);
       ++gs->rule_firings;
-      LDL_ASSIGN_OR_RETURN(std::vector<GroupResult> groups,
-                           ComputeGroups(*factory_, evaluator, *db, gs));
+      LDL_ASSIGN_OR_RETURN(
+          std::vector<GroupResult> groups,
+          ComputeGroups(*factory_, evaluator, *db, gs, &group_caches[g]));
       for (GroupResult& group : groups) {
         auto it = emitted[g].find(group.key);
         if (it == emitted[g].end()) {
@@ -923,12 +1217,34 @@ StatusOr<std::vector<Tuple>> Engine::Query(const LiteralIr& goal, const Database
   const Relation& relation = db.relation(goal.pred);
   std::vector<Tuple> results;
   Subst subst;
-  relation.ForEachRow(0, relation.row_count(), [&](size_t, RowRef tuple) {
+  // Ground scons-free goal arguments are interned pointers, so they select
+  // rows through the composite hash index instead of a relation scan.
+  // MatchArgs still verifies the whole row (patterns, repeated variables).
+  std::vector<uint32_t> probe_cols;
+  std::vector<const Term*> probe_values;
+  for (size_t i = 0; i < goal.args.size(); ++i) {
+    const Term* arg = goal.args[i];
+    if (arg->ground() && !arg->has_scons()) {
+      probe_cols.push_back(static_cast<uint32_t>(i));
+      probe_values.push_back(arg);
+    }
+  }
+  auto match_row = [&](RowRef tuple) {
     MatchArgs(*factory_, goal.args, tuple, &subst, [&]() {
       results.emplace_back(tuple.begin(), tuple.end());
       return false;  // one match per fact suffices
     });
-  });
+  };
+  if (probe_cols.empty()) {
+    relation.ForEachRow(0, relation.row_count(),
+                        [&](size_t, RowRef tuple) { match_row(tuple); });
+  } else {
+    relation.ProbeRows(probe_cols, probe_values, 0, relation.row_count(),
+                       [&](size_t row) {
+                         match_row(relation.row(row));
+                         return true;
+                       });
+  }
   return results;
 }
 

@@ -7,8 +7,10 @@
 //   * EvaluateIncremental: delta-driven maintenance of an already
 //     materialized model after EDB insertions. Strata reachable from the
 //     changed predicates only through positive non-grouping (>=) edges
-//     resume semi-naive fixpoint from the inserted rows; strata reached
-//     through a grouping/negation (>) edge are cleared and recomputed;
+//     resume semi-naive fixpoint from the inserted rows; a sole-rule,
+//     negation-free grouping head over such inputs regrows only its
+//     affected partitions in place; strata reached through a negation
+//     edge (or an ineligible grouping edge) are cleared and recomputed;
 //     untouched strata are skipped (see program/impact.h).
 //   * EvaluateSaturating: evaluation of a magic-rewritten program, which is
 //     not layered (§6). Positive non-grouping rules are saturated, then
@@ -36,6 +38,7 @@
 #include "eval/plan.h"
 #include "eval/profile.h"
 #include "eval/rule_eval.h"
+#include "program/impact.h"
 #include "program/ir.h"
 #include "program/stratify.h"
 
@@ -89,11 +92,13 @@ class Engine {
   // `changed[p]` marks the extensional predicates that gained facts. Per
   // stratum: unaffected strata are skipped, strata reachable only through
   // positive non-grouping edges resume semi-naive fixpoint from the rows
-  // past the watermarks, and strata reached through a grouping or negation
-  // edge -- where an insertion below can retract facts above -- clear
-  // their recomputed heads and re-derive from the maintained inputs
-  // (stats->strata_skipped / strata_delta / strata_recomputed count the
-  // three outcomes). The result is the same model EvaluateProgram computes
+  // past the watermarks, eligible grouping heads regrow only the partitions
+  // the insertions touch (EvaluateStratumGroupRegrow), and strata reached
+  // through a negation edge or an ineligible grouping edge -- where an
+  // insertion below can retract facts above -- clear their recomputed heads
+  // and re-derive from the maintained inputs (stats->strata_skipped /
+  // strata_delta / strata_regrown / strata_recomputed count the four
+  // outcomes). The result is the same model EvaluateProgram computes
   // from scratch over the updated EDB. Only insertions are supported;
   // deletions and rule changes need a full re-evaluation.
   Status EvaluateIncremental(const ProgramIr& program,
@@ -160,6 +165,30 @@ class Engine {
                               Database* db, const FixpointSeed& seed,
                               const EvalOptions& options, EvalStats* stats,
                               EvalProfile* profile);
+
+  // Handles a stratum whose worst head impact is kGroupRegrow: eligible
+  // grouping rules regrow only the partitions the inserted rows touch
+  // (RegrowGroupingRule); the stratum's normal rules -- whose heads are at
+  // worst kDelta, since any consumer of a regrown predicate escalates to
+  // kRecompute -- resume the seeded semi-naive fixpoint.
+  Status EvaluateStratumGroupRegrow(const ProgramIr& program,
+                                    const std::vector<int>& rules,
+                                    int stratum_index, Database* db,
+                                    const FixpointSeed& seed,
+                                    const std::vector<PredImpact>& impact,
+                                    const EvalOptions& options,
+                                    EvalStats* stats, EvalProfile* profile);
+
+  // In-place incremental maintenance of one eligible grouping rule (sole
+  // rule for its head, negation-free, kDelta body inputs; see
+  // program/impact.h). Enumerates only the body solutions that involve at
+  // least one row past the seed watermarks, collects the new member values
+  // per partition key, and unions them into the existing group facts --
+  // replacing each affected head fact instead of clearing the relation.
+  Status RegrowGroupingRule(const RuleIr& rule, Database* db,
+                            const FixpointSeed& seed,
+                            const EvalOptions& options, EvalStats* stats,
+                            bool* derived, RuleProfileEntry* entry);
 
   // Applies one non-grouping rule (optionally with per-literal windows);
   // inserts derived facts. Sets *derived if anything new appeared. A

@@ -1,6 +1,7 @@
 #include "eval/grouping.h"
 
 #include <unordered_map>
+#include <utility>
 
 #include "eval/bindings.h"
 
@@ -9,7 +10,8 @@ namespace ldl {
 StatusOr<std::vector<GroupResult>> ComputeGroups(TermFactory& factory,
                                                  RuleEvaluator& evaluator,
                                                  const Database& db,
-                                                 EvalStats* stats) {
+                                                 EvalStats* stats,
+                                                 GroupCache* cache) {
   const RuleIr& rule = evaluator.rule();
   if (!rule.is_grouping()) {
     return InternalError("ComputeGroups called on a non-grouping rule");
@@ -25,17 +27,20 @@ StatusOr<std::vector<GroupResult>> ComputeGroups(TermFactory& factory,
   const Term* group_var_term = factory.MakeVar(rule.group_var);
 
   struct Partition {
-    Tuple head_values;                // instantiated non-grouped head args
-    std::vector<const Term*> members; // collected Y values (deduped at MakeSet)
+    Tuple head_values;                 // instantiated non-grouped head args
+    TermFactory::SetBuilder members;   // collected Y values (deduped at Build)
   };
   std::unordered_map<Tuple, Partition, TupleHash> partitions;
 
+  // The key tuple is rebuilt per solution but the buffer is hoisted out of
+  // the hot lambda; it only relocates into the map on a fresh partition.
+  Tuple key;
   Status inner_status;
   Status status = evaluator.ForEachSolution(
       db, {},
       [&](const SolutionView& view) {
         // Key: the Z-variable values.
-        Tuple key;
+        key.clear();
         key.reserve(z_vars.size());
         for (Symbol var : z_vars) {
           const Term* value = view.Lookup(var);
@@ -79,12 +84,13 @@ StatusOr<std::vector<GroupResult>> ComputeGroups(TermFactory& factory,
             return false;
           }
           if (head.outside_universe) return true;  // no U-fact for this key
-          Partition partition;
-          partition.head_values = std::move(head.tuple);
-          partition.members.push_back(y);
+          Partition partition{std::move(head.tuple),
+                              TermFactory::SetBuilder(&factory)};
+          partition.members.Add(y);
           partitions.emplace(std::move(key), std::move(partition));
+          key = Tuple();
         } else {
-          it->second.members.push_back(y);
+          it->second.members.Add(y);
         }
         return true;
       },
@@ -94,11 +100,27 @@ StatusOr<std::vector<GroupResult>> ComputeGroups(TermFactory& factory,
 
   std::vector<GroupResult> results;
   results.reserve(partitions.size());
-  for (auto& [key, partition] : partitions) {
+  for (auto& [partition_key, partition] : partitions) {
     GroupResult result;
-    result.key = key;
+    result.key = partition_key;
+    const size_t member_count = partition.members.size();
+    if (cache != nullptr) {
+      auto it = cache->find(partition_key);
+      if (it != cache->end() && it->second.member_count == member_count) {
+        // Unchanged member multiset (see GroupCacheEntry): reuse the
+        // canonical fact without re-sorting or re-interning.
+        if (stats != nullptr) ++stats->groups_reused;
+        result.fact = it->second.fact;
+        results.push_back(std::move(result));
+        continue;
+      }
+    }
+    if (stats != nullptr) ++stats->groups_built;
     result.fact = std::move(partition.head_values);
-    result.fact[rule.group_index] = factory.MakeSet(partition.members);
+    result.fact[rule.group_index] = partition.members.Build();
+    if (cache != nullptr) {
+      (*cache)[partition_key] = GroupCacheEntry{member_count, result.fact};
+    }
     results.push_back(std::move(result));
   }
   return results;

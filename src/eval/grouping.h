@@ -7,6 +7,7 @@
 #ifndef LDL1_EVAL_GROUPING_H_
 #define LDL1_EVAL_GROUPING_H_
 
+#include <unordered_map>
 #include <vector>
 
 #include "base/status.h"
@@ -22,12 +23,30 @@ struct GroupResult {
   Tuple fact;
 };
 
+// Cross-round reuse of canonicalized groups. The saturating (magic)
+// evaluator recomputes every grouping rule once per global round; most
+// partitions do not change between rounds, so re-sorting and re-interning
+// their member sets is wasted work. `member_count` is the partition's body
+// solution count *including duplicates*: body solutions only accumulate
+// across saturation rounds (relations grow monotonically between grouping
+// firings), so an unchanged count implies an unchanged member multiset and
+// the cached fact can be reused verbatim (EvalStats::groups_reused); any
+// growth rebuilds and replaces the entry (groups_built).
+struct GroupCacheEntry {
+  size_t member_count = 0;
+  Tuple fact;
+};
+using GroupCache = std::unordered_map<Tuple, GroupCacheEntry, TupleHash>;
+
 // Evaluates `evaluator`'s rule (which must be a grouping rule) over `db` and
-// returns one GroupResult per non-empty partition.
+// returns one GroupResult per non-empty partition. With a non-null `cache`,
+// partitions whose member count matches the cached entry reuse the cached
+// fact instead of re-canonicalizing (see GroupCacheEntry).
 StatusOr<std::vector<GroupResult>> ComputeGroups(TermFactory& factory,
                                                  RuleEvaluator& evaluator,
                                                  const Database& db,
-                                                 EvalStats* stats);
+                                                 EvalStats* stats,
+                                                 GroupCache* cache = nullptr);
 
 }  // namespace ldl
 

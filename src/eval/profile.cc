@@ -19,6 +19,8 @@ const char* ToString(StratumMode mode) {
       return "delta";
     case StratumMode::kRecomputed:
       return "recomputed";
+    case StratumMode::kGroupRegrow:
+      return "group-regrow";
   }
   return "?";
 }

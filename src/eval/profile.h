@@ -44,7 +44,10 @@ struct RuleIr;
   X(delta_rows)     /* delta-window rows driving semi-naive variants */     \
   X(tuples_matched) /* candidate tuples fed to the matcher */               \
   X(index_probes)   /* index lookups issued */                              \
-  X(probe_hits)     /* rows returned by index lookups */
+  X(probe_hits)     /* rows returned by index lookups */                    \
+  X(groups_built)   /* grouping partitions canonicalized + interned */      \
+  X(groups_reused)  /* grouping partitions reused from the group cache */   \
+  X(group_regrows)  /* partitions regrown in place by kGroupRegrow */
 
 // Scheduling- and clock-dependent per-rule fields: vary run-to-run and
 // across pool widths.
@@ -96,9 +99,10 @@ enum class StratumMode : uint8_t {
   kSkipped = 1,     // incremental: unaffected by the update
   kDelta = 2,       // incremental: semi-naive resumed from deltas
   kRecomputed = 3,  // incremental: cleared and re-derived
+  kGroupRegrow = 4, // incremental: grouped partitions regrown in place
 };
 
-// "full", "skipped", "delta", "recomputed".
+// "full", "skipped", "delta", "recomputed", "group-regrow".
 const char* ToString(StratumMode mode);
 
 // Per-stratum rollup. `rounds` counts fixpoint iterations inside the

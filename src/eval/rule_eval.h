@@ -53,7 +53,12 @@ struct LiteralWindow {
   X(delta_shards)    /* delta windows split into row-range shards */  \
   X(strata_skipped)  /* incremental: strata untouched by the update */ \
   X(strata_delta)    /* incremental: strata resumed from deltas */    \
-  X(strata_recomputed) /* incremental: strata cleared and re-derived */
+  X(strata_recomputed) /* incremental: strata cleared and re-derived */ \
+  X(strata_regrown)  /* incremental: grouping strata regrown per key */ \
+  X(groups_built)    /* grouping partitions canonicalized + interned */ \
+  X(groups_reused)   /* grouping partitions reused from the group cache */ \
+  X(group_regrows)   /* partitions regrown in place by kGroupRegrow */  \
+  X(set_interns)     /* distinct set terms interned by this evaluation */
 
 struct EvalStats {
 #define LDL_EVAL_STATS_DECLARE(name) size_t name = 0;

@@ -10,6 +10,8 @@ const char* ToString(PredImpact impact) {
       return "clean";
     case PredImpact::kDelta:
       return "delta";
+    case PredImpact::kGroupRegrow:
+      return "group-regrow";
     case PredImpact::kRecompute:
       return "recompute";
   }
@@ -24,12 +26,26 @@ std::vector<PredImpact> ComputeImpact(const Catalog& catalog,
     if (changed[p]) impact[p] = PredImpact::kDelta;
   }
 
-  // Propagate to fixpoint. Strict edges (grouping rules and negated body
-  // literals, the `>` of §3.1) escalate any non-clean input to kRecompute;
-  // positive edges carry the input's own classification. Recursion makes a
-  // single pass insufficient, and head updates can feed earlier rules, so
-  // iterate until stable; each pass only raises classifications, so the
-  // loop terminates within 2 * |rules| passes.
+  // A grouping head is eligible for in-place regrowth only when the
+  // grouping rule is the *sole* rule (including fact rules) deriving its
+  // head: the regrow path replaces the head facts keyed by partition, which
+  // is unsound if another rule contributes facts to the same predicate.
+  std::vector<size_t> rules_per_head(catalog.size(), 0);
+  for (const RuleIr& rule : program.rules) {
+    if (rule.head_pred < rules_per_head.size()) ++rules_per_head[rule.head_pred];
+  }
+
+  // Propagate to fixpoint. Strict edges (negated body literals, the `>` of
+  // §3.1) escalate any non-clean input to kRecompute. A grouping rule over
+  // kDelta inputs regrows its partitions in place (kGroupRegrow) when it is
+  // negation-free and the sole rule for its head, else it too recomputes.
+  // Positive non-grouping edges carry the input's own classification --
+  // except that consuming a kGroupRegrow predicate forces kRecompute: the
+  // regrow retracts and reinserts facts, which the monotone delta machinery
+  // cannot track. Recursion makes a single pass insufficient, and head
+  // updates can feed earlier rules, so iterate until stable; each pass only
+  // raises classifications, so the loop terminates within 3 * |rules|
+  // passes.
   bool dirty = true;
   while (dirty) {
     dirty = false;
@@ -40,9 +56,18 @@ std::vector<PredImpact> ComputeImpact(const Catalog& catalog,
         if (literal.is_builtin()) continue;
         PredImpact body = impact[literal.pred];
         if (body == PredImpact::kClean) continue;
-        PredImpact via = (rule.is_grouping() || literal.negated)
-                             ? PredImpact::kRecompute
-                             : body;
+        PredImpact via;
+        if (literal.negated) {
+          via = PredImpact::kRecompute;
+        } else if (rule.is_grouping()) {
+          const bool regrowable = body == PredImpact::kDelta &&
+                                  !rule.has_negation() &&
+                                  rules_per_head[rule.head_pred] == 1;
+          via = regrowable ? PredImpact::kGroupRegrow : PredImpact::kRecompute;
+        } else {
+          via = body >= PredImpact::kGroupRegrow ? PredImpact::kRecompute
+                                                 : body;
+        }
         head = std::max(head, via);
       }
       if (head > impact[rule.head_pred]) {

@@ -13,6 +13,15 @@
 //     literal (retracting a derivation). Such predicates -- and everything
 //     that consumes them, positively or not -- must be recomputed from
 //     their (already-maintained) inputs.
+//   * Grouping is a special case of the strict edge: a grouped head fact
+//     changes only by its member set *growing* under an insert-only delta,
+//     and the partition key pins exactly which facts are replaced. When the
+//     grouping rule is the sole rule for its head, has no negated body
+//     literal, and its body inputs are at worst kDelta, the engine can
+//     regrow just the affected partitions in place (kGroupRegrow) instead
+//     of clearing the whole relation. Because the replacement is a
+//     retract-and-reinsert, anything consuming a regrown predicate -- even
+//     positively -- still escalates to kRecompute.
 //
 // ComputeImpact propagates this classification to a fixpoint over the rule
 // set; Engine::EvaluateIncremental consumes it per stratum.
@@ -30,9 +39,10 @@ namespace ldl {
 // How an EDB insertion can affect a predicate's materialized relation.
 // Ordered by severity so propagation can take the max.
 enum class PredImpact : uint8_t {
-  kClean = 0,      // unreachable from any changed predicate: skip
-  kDelta = 1,      // grows monotonically: resume semi-naive from deltas
-  kRecompute = 2,  // may shrink or change: clear and recompute
+  kClean = 0,        // unreachable from any changed predicate: skip
+  kDelta = 1,        // grows monotonically: resume semi-naive from deltas
+  kGroupRegrow = 2,  // sole-rule grouping head: regrow affected partitions
+  kRecompute = 3,    // may shrink or change: clear and recompute
 };
 
 const char* ToString(PredImpact impact);

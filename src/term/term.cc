@@ -95,6 +95,7 @@ const Term* TermFactory::Intern(const Term& candidate,
     owned->args_ = copy;
   }
   stripe.table.insert(owned);
+  if (owned->kind_ == TermKind::kSet) ++stripe.set_interned;
   return owned;
 }
 
@@ -112,6 +113,15 @@ size_t TermFactory::arena_bytes() const {
   for (const Stripe& stripe : stripes_) {
     std::lock_guard<std::mutex> lock(stripe.mu);
     total += stripe.arena.bytes_allocated();
+  }
+  return total;
+}
+
+size_t TermFactory::set_interned_count() const {
+  size_t total = 0;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    total += stripe.set_interned;
   }
   return total;
 }
@@ -203,6 +213,24 @@ const Term* TermFactory::MakeFunc(std::string_view name,
   return MakeFunc(interner_->Intern(name), args);
 }
 
+const Term* TermFactory::InternCanonicalSet(std::span<const Term* const> elements) {
+  if (elements.empty()) return empty_set_;
+  Term probe;
+  probe.kind_ = TermKind::kSet;
+  probe.ground_ = true;
+  probe.has_scons_ = false;
+  for (const Term* element : elements) {
+    probe.ground_ = probe.ground_ && element->ground();
+    probe.has_scons_ = probe.has_scons_ || element->has_scons();
+  }
+  probe.size_ = static_cast<uint32_t>(elements.size());
+  probe.symbol_ = 0;
+  probe.int_value_ = 0;
+  probe.args_ = elements.data();
+  probe.hash_ = ComputeHash(probe);
+  return Intern(probe, elements);
+}
+
 const Term* TermFactory::MakeSet(std::span<const Term* const> elements) {
   if (elements.empty()) return empty_set_;
   std::vector<const Term*> canonical(elements.begin(), elements.end());
@@ -211,57 +239,115 @@ const Term* TermFactory::MakeSet(std::span<const Term* const> elements) {
               return CompareTerms(*this, a, b) < 0;
             });
   canonical.erase(std::unique(canonical.begin(), canonical.end()), canonical.end());
-  Term probe;
-  probe.kind_ = TermKind::kSet;
-  probe.ground_ = true;
-  probe.has_scons_ = false;
-  for (const Term* element : canonical) {
-    probe.ground_ = probe.ground_ && element->ground();
-    probe.has_scons_ = probe.has_scons_ || element->has_scons();
-  }
-  probe.size_ = static_cast<uint32_t>(canonical.size());
-  probe.symbol_ = 0;
-  probe.int_value_ = 0;
-  probe.args_ = canonical.data();
-  probe.hash_ = ComputeHash(probe);
-  return Intern(probe, canonical);
+  return InternCanonicalSet(canonical);
+}
+
+const Term* TermFactory::SetBuilder::Build() {
+  std::sort(elements_.begin(), elements_.end(),
+            [this](const Term* a, const Term* b) {
+              return CompareTerms(*factory_, a, b) < 0;
+            });
+  elements_.erase(std::unique(elements_.begin(), elements_.end()),
+                  elements_.end());
+  const Term* result = factory_->InternCanonicalSet(elements_);
+  elements_.clear();
+  return result;
 }
 
 const Term* TermFactory::SetInsert(const Term* element, const Term* set) {
   assert(set->is_set());
-  if (SetContains(set, element)) return set;
-  std::vector<const Term*> elements(set->args().begin(), set->args().end());
-  elements.push_back(element);
-  return MakeSet(elements);
+  std::span<const Term* const> elems = set->args();
+  // Elements are interned, so structural equality is pointer equality and
+  // lower_bound lands on the element itself when present.
+  auto pos = std::lower_bound(elems.begin(), elems.end(), element,
+                              [this](const Term* a, const Term* b) {
+                                return CompareTerms(*this, a, b) < 0;
+                              });
+  if (pos != elems.end() && *pos == element) return set;
+  std::vector<const Term*> merged;
+  merged.reserve(elems.size() + 1);
+  merged.insert(merged.end(), elems.begin(), pos);
+  merged.push_back(element);
+  merged.insert(merged.end(), pos, elems.end());
+  return InternCanonicalSet(merged);
 }
 
 const Term* TermFactory::SetUnion(const Term* a, const Term* b) {
   assert(a->is_set() && b->is_set());
   if (a == b || b->size() == 0) return a;
   if (a->size() == 0) return b;
-  std::vector<const Term*> elements(a->args().begin(), a->args().end());
-  elements.insert(elements.end(), b->args().begin(), b->args().end());
-  return MakeSet(elements);
+  std::span<const Term* const> lhs = a->args();
+  std::span<const Term* const> rhs = b->args();
+  std::vector<const Term*> merged;
+  merged.reserve(lhs.size() + rhs.size());
+  size_t i = 0;
+  size_t j = 0;
+  while (i < lhs.size() && j < rhs.size()) {
+    int cmp = CompareTerms(*this, lhs[i], rhs[j]);
+    if (cmp < 0) {
+      merged.push_back(lhs[i++]);
+    } else if (cmp > 0) {
+      merged.push_back(rhs[j++]);
+    } else {
+      merged.push_back(lhs[i++]);
+      ++j;
+    }
+  }
+  merged.insert(merged.end(), lhs.begin() + i, lhs.end());
+  merged.insert(merged.end(), rhs.begin() + j, rhs.end());
+  // A no-growth merge means one operand contains the other; reuse it
+  // without an interner probe.
+  if (merged.size() == lhs.size()) return a;
+  if (merged.size() == rhs.size()) return b;
+  return InternCanonicalSet(merged);
 }
 
 const Term* TermFactory::SetDifference(const Term* a, const Term* b) {
   assert(a->is_set() && b->is_set());
-  if (a == b) return empty_set_;
-  std::vector<const Term*> elements;
-  for (const Term* element : a->args()) {
-    if (!SetContains(b, element)) elements.push_back(element);
+  if (a == b || a->size() == 0) return empty_set_;
+  if (b->size() == 0) return a;
+  std::span<const Term* const> lhs = a->args();
+  std::span<const Term* const> rhs = b->args();
+  std::vector<const Term*> kept;
+  kept.reserve(lhs.size());
+  size_t j = 0;
+  for (const Term* element : lhs) {
+    while (j < rhs.size() && CompareTerms(*this, rhs[j], element) < 0) ++j;
+    if (j < rhs.size() && rhs[j] == element) {
+      ++j;
+      continue;
+    }
+    kept.push_back(element);
   }
-  return MakeSet(elements);
+  if (kept.size() == lhs.size()) return a;
+  return InternCanonicalSet(kept);
 }
 
 const Term* TermFactory::SetIntersect(const Term* a, const Term* b) {
   assert(a->is_set() && b->is_set());
   if (a == b) return a;
-  std::vector<const Term*> elements;
-  for (const Term* element : a->args()) {
-    if (SetContains(b, element)) elements.push_back(element);
+  if (a->size() == 0) return a;
+  if (b->size() == 0) return b;
+  std::span<const Term* const> lhs = a->args();
+  std::span<const Term* const> rhs = b->args();
+  std::vector<const Term*> common;
+  common.reserve(std::min(lhs.size(), rhs.size()));
+  size_t i = 0;
+  size_t j = 0;
+  while (i < lhs.size() && j < rhs.size()) {
+    int cmp = CompareTerms(*this, lhs[i], rhs[j]);
+    if (cmp < 0) {
+      ++i;
+    } else if (cmp > 0) {
+      ++j;
+    } else {
+      common.push_back(lhs[i++]);
+      ++j;
+    }
   }
-  return MakeSet(elements);
+  if (common.size() == lhs.size()) return a;
+  if (common.size() == rhs.size()) return b;
+  return InternCanonicalSet(common);
 }
 
 bool TermFactory::SetContains(const Term* set, const Term* element) const {

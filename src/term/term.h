@@ -135,13 +135,42 @@ class TermFactory {
   const Term* MakeSet(std::span<const Term* const> elements);
   const Term* EmptySet() const { return empty_set_; }
 
-  // scons(element, set): {element} U set. `set` must be kSet.
+  // Accumulates set elements and canonicalizes (sort + dedup + intern) once
+  // at Build(), instead of paying a full re-canonicalization per insertion
+  // the way an scons-chain of SetInsert calls would. Element hashes are
+  // already cached on the interned terms, so Build() costs one sort over
+  // cached-hash pointers plus a single interner probe. Reusable: Build()
+  // resets the builder. Movable so evaluation-side partition maps can own
+  // builders.
+  class SetBuilder {
+   public:
+    explicit SetBuilder(TermFactory* factory) : factory_(factory) {}
+    SetBuilder(SetBuilder&&) = default;
+    SetBuilder& operator=(SetBuilder&&) = default;
+
+    void Reserve(size_t n) { elements_.reserve(n); }
+    void Add(const Term* element) { elements_.push_back(element); }
+    size_t size() const { return elements_.size(); }
+    bool empty() const { return elements_.empty(); }
+
+    // Sorts and dedups the accumulated elements in place, interns the
+    // canonical set, and resets the builder for reuse.
+    const Term* Build();
+
+   private:
+    TermFactory* factory_;
+    std::vector<const Term*> elements_;
+  };
+
+  // scons(element, set): {element} U set. `set` must be kSet. One binary
+  // search plus a linear splice; no re-sort.
   const Term* SetInsert(const Term* element, const Term* set);
-  // Set union; both must be kSet.
+  // Set union; both must be kSet. Linear merge of the canonical operands;
+  // returns an operand unchanged when the other is a subset of it.
   const Term* SetUnion(const Term* a, const Term* b);
-  // Set difference a \ b; both must be kSet.
+  // Set difference a \ b; both must be kSet. Linear merge.
   const Term* SetDifference(const Term* a, const Term* b);
-  // Set intersection; both must be kSet.
+  // Set intersection; both must be kSet. Linear merge.
   const Term* SetIntersect(const Term* a, const Term* b);
   // Membership test against a canonical set (binary search).
   bool SetContains(const Term* set, const Term* element) const;
@@ -161,6 +190,9 @@ class TermFactory {
   // is a consistent-enough snapshot for stats and tests.
   size_t interned_count() const;
   size_t arena_bytes() const;
+  // Distinct set terms interned so far (monotone). Evaluation entry points
+  // record the per-run delta as EvalStats::set_interns.
+  size_t set_interned_count() const;
 
   // Number of lock stripes the intern table is sharded into.
   static constexpr size_t kStripeCount = 16;
@@ -185,6 +217,7 @@ class TermFactory {
     mutable std::mutex mu;
     std::unordered_set<const Term*, TermHash, TermStructuralEq> table;
     Arena arena;
+    size_t set_interned = 0;  // kSet terms newly published in this stripe
   };
 
   Stripe& StripeFor(uint64_t hash) {
@@ -196,6 +229,10 @@ class TermFactory {
   // stripe. On a miss the probe and `args` (when non-empty) are copied into
   // the stripe's arena before the new term is published.
   const Term* Intern(const Term& candidate, std::span<const Term* const> args = {});
+  // Interns a set whose elements are already sorted (strictly ascending
+  // under CompareTerms) and deduplicated; the merge-based set operations and
+  // SetBuilder land here, skipping MakeSet's re-sort.
+  const Term* InternCanonicalSet(std::span<const Term* const> elements);
   static uint64_t ComputeHash(const Term& t);
 
   Interner* interner_;

@@ -1,0 +1,264 @@
+// Property tests for the merge-based set operations (term/term.h): every
+// fast-path result must equal the term a naive MakeSet over the reference
+// multiset would intern. Because sets are hash-consed, "equal" is pointer
+// equality, so one EXPECT_EQ per case checks canonical form, sortedness,
+// dedup, and interning at once. The element universes deliberately mix
+// ints, atoms, function terms, the empty set, and nested sets so the
+// CompareTerms total order is exercised across kinds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "term/term.h"
+#include "workload/workload.h"
+
+namespace ldl {
+namespace {
+
+class SetOpsTest : public ::testing::Test {
+ protected:
+  // Naive reference: hand the raw element list to MakeSet, which sorts and
+  // deduplicates from scratch. The merge-based paths must agree with it.
+  const Term* RefSet(const std::vector<const Term*>& elems) {
+    return factory_.MakeSet(elems);
+  }
+
+  const Term* RefUnion(const Term* a, const Term* b) {
+    std::vector<const Term*> elems(a->args().begin(), a->args().end());
+    elems.insert(elems.end(), b->args().begin(), b->args().end());
+    return RefSet(elems);
+  }
+
+  const Term* RefDifference(const Term* a, const Term* b) {
+    std::vector<const Term*> elems;
+    for (const Term* e : a->args()) {
+      if (!factory_.SetContains(b, e)) elems.push_back(e);
+    }
+    return RefSet(elems);
+  }
+
+  const Term* RefIntersect(const Term* a, const Term* b) {
+    std::vector<const Term*> elems;
+    for (const Term* e : a->args()) {
+      if (factory_.SetContains(b, e)) elems.push_back(e);
+    }
+    return RefSet(elems);
+  }
+
+  // A pool of distinct candidate elements spanning every term kind a ground
+  // set can hold, including nested sets and sets-of-sets.
+  std::vector<const Term*> ElementPool() {
+    std::vector<const Term*> pool;
+    for (int i = 0; i < 12; ++i) pool.push_back(factory_.MakeInt(i - 4));
+    for (const char* a : {"a", "b", "c", "zebra"})
+      pool.push_back(factory_.MakeAtom(a));
+    pool.push_back(factory_.MakeString("a"));
+    const Term* f_args[] = {factory_.MakeInt(1), factory_.MakeAtom("a")};
+    pool.push_back(factory_.MakeFunc("f", f_args));
+    pool.push_back(factory_.EmptySet());
+    const Term* inner1[] = {factory_.MakeInt(1)};
+    pool.push_back(factory_.MakeSet(inner1));
+    const Term* inner2[] = {factory_.MakeInt(1), factory_.MakeAtom("b")};
+    const Term* nested = factory_.MakeSet(inner2);
+    pool.push_back(nested);
+    const Term* outer[] = {nested, factory_.EmptySet()};
+    pool.push_back(factory_.MakeSet(outer));
+    return pool;
+  }
+
+  // Random multiset drawn from the pool: duplicates are likely (size can
+  // exceed the pool) and size 0 (the empty set) occurs regularly.
+  std::vector<const Term*> RandomElems(Rng& rng,
+                                       const std::vector<const Term*>& pool,
+                                       size_t max_size) {
+    std::vector<const Term*> elems;
+    size_t n = rng.Below(max_size + 1);
+    elems.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+      elems.push_back(pool[rng.Below(pool.size())]);
+    return elems;
+  }
+
+  Interner interner_;
+  TermFactory factory_{&interner_};
+};
+
+// ------------------------------------------------------------ SetBuilder --
+
+TEST_F(SetOpsTest, BuilderMatchesMakeSetRandomized) {
+  const std::vector<const Term*> pool = ElementPool();
+  Rng rng(42);
+  TermFactory::SetBuilder builder(&factory_);
+  for (int round = 0; round < 200; ++round) {
+    std::vector<const Term*> elems = RandomElems(rng, pool, 30);
+    for (const Term* e : elems) builder.Add(e);
+    const Term* built = builder.Build();  // resets the builder
+    EXPECT_EQ(built, RefSet(elems));
+    EXPECT_TRUE(builder.empty()) << "Build must reset the builder";
+  }
+}
+
+TEST_F(SetOpsTest, BuilderEmptyAndDuplicates) {
+  TermFactory::SetBuilder builder(&factory_);
+  EXPECT_EQ(builder.Build(), factory_.EmptySet());
+  const Term* a = factory_.MakeAtom("a");
+  builder.Add(a);
+  builder.Add(a);
+  builder.Add(a);
+  const Term* expected[] = {a};
+  EXPECT_EQ(builder.Build(), factory_.MakeSet(expected));
+}
+
+TEST_F(SetOpsTest, BuilderIsReusableAfterBuild) {
+  TermFactory::SetBuilder builder(&factory_);
+  builder.Add(factory_.MakeInt(1));
+  const Term* first = builder.Build();
+  builder.Add(factory_.MakeInt(2));
+  const Term* one_elem[] = {factory_.MakeInt(1)};
+  const Term* two_elem[] = {factory_.MakeInt(2)};
+  EXPECT_EQ(first, factory_.MakeSet(one_elem));
+  EXPECT_EQ(builder.Build(), factory_.MakeSet(two_elem));
+}
+
+// ------------------------------------------------------------- SetInsert --
+
+TEST_F(SetOpsTest, InsertMatchesMakeSetRandomized) {
+  const std::vector<const Term*> pool = ElementPool();
+  Rng rng(7);
+  for (int round = 0; round < 200; ++round) {
+    std::vector<const Term*> base_elems = RandomElems(rng, pool, 20);
+    const Term* set = RefSet(base_elems);
+    const Term* element = pool[rng.Below(pool.size())];
+    base_elems.push_back(element);
+    EXPECT_EQ(factory_.SetInsert(element, set), RefSet(base_elems));
+  }
+}
+
+TEST_F(SetOpsTest, InsertExistingElementIsIdentity) {
+  const std::vector<const Term*> pool = ElementPool();
+  Rng rng(8);
+  for (int round = 0; round < 100; ++round) {
+    std::vector<const Term*> elems = RandomElems(rng, pool, 20);
+    if (elems.empty()) continue;
+    const Term* set = RefSet(elems);
+    const Term* element = elems[rng.Below(elems.size())];
+    // No-growth fast path: pointer-identical result, not just equal.
+    EXPECT_EQ(factory_.SetInsert(element, set), set);
+  }
+}
+
+TEST_F(SetOpsTest, InsertNestedSetElement) {
+  const Term* one = factory_.MakeInt(1);
+  const Term* inner_elems[] = {one};
+  const Term* inner = factory_.MakeSet(inner_elems);
+  const Term* s = factory_.SetInsert(inner, factory_.EmptySet());
+  const Term* expected[] = {inner};
+  EXPECT_EQ(s, factory_.MakeSet(expected));
+  // {1} and 1 are distinct elements.
+  const Term* s2 = factory_.SetInsert(one, s);
+  const Term* expected2[] = {one, inner};
+  EXPECT_EQ(s2, factory_.MakeSet(expected2));
+  EXPECT_EQ(s2->size(), 2u);
+}
+
+// --------------------------------------------- Union / Difference / Meet --
+
+TEST_F(SetOpsTest, BinaryOpsMatchNaiveReferenceRandomized) {
+  const std::vector<const Term*> pool = ElementPool();
+  Rng rng(1234);
+  for (int round = 0; round < 300; ++round) {
+    const Term* a = RefSet(RandomElems(rng, pool, 25));
+    const Term* b = RefSet(RandomElems(rng, pool, 25));
+    EXPECT_EQ(factory_.SetUnion(a, b), RefUnion(a, b));
+    EXPECT_EQ(factory_.SetDifference(a, b), RefDifference(a, b));
+    EXPECT_EQ(factory_.SetIntersect(a, b), RefIntersect(a, b));
+  }
+}
+
+TEST_F(SetOpsTest, AlgebraicLawsRandomized) {
+  const std::vector<const Term*> pool = ElementPool();
+  Rng rng(99);
+  const Term* empty = factory_.EmptySet();
+  for (int round = 0; round < 100; ++round) {
+    const Term* a = RefSet(RandomElems(rng, pool, 25));
+    const Term* b = RefSet(RandomElems(rng, pool, 25));
+    // Pointer equality everywhere: interning makes the laws exact.
+    EXPECT_EQ(factory_.SetUnion(a, b), factory_.SetUnion(b, a));
+    EXPECT_EQ(factory_.SetIntersect(a, b), factory_.SetIntersect(b, a));
+    EXPECT_EQ(factory_.SetUnion(a, a), a);
+    EXPECT_EQ(factory_.SetIntersect(a, a), a);
+    EXPECT_EQ(factory_.SetDifference(a, a), empty);
+    EXPECT_EQ(factory_.SetUnion(a, empty), a);
+    EXPECT_EQ(factory_.SetIntersect(a, empty), empty);
+    EXPECT_EQ(factory_.SetDifference(a, empty), a);
+    EXPECT_EQ(factory_.SetDifference(empty, a), empty);
+    // a = (a \ b) U (a n b), and the two parts are disjoint.
+    const Term* diff = factory_.SetDifference(a, b);
+    const Term* meet = factory_.SetIntersect(a, b);
+    EXPECT_EQ(factory_.SetUnion(diff, meet), a);
+    EXPECT_EQ(factory_.SetIntersect(diff, meet), empty);
+  }
+}
+
+TEST_F(SetOpsTest, UnionNoGrowthReturnsOperandPointer) {
+  const std::vector<const Term*> pool = ElementPool();
+  Rng rng(55);
+  for (int round = 0; round < 100; ++round) {
+    std::vector<const Term*> elems = RandomElems(rng, pool, 25);
+    const Term* a = RefSet(elems);
+    // A random subset of a.
+    std::vector<const Term*> sub;
+    for (const Term* e : a->args()) {
+      if (rng.Below(2) == 0) sub.push_back(e);
+    }
+    const Term* b = RefSet(sub);
+    // b subset of a: both orders must return `a` itself, not a copy.
+    EXPECT_EQ(factory_.SetUnion(a, b), a);
+    EXPECT_EQ(factory_.SetUnion(b, a), a);
+  }
+}
+
+TEST_F(SetOpsTest, OpsOverSetsOfSets) {
+  // Operands whose elements are themselves sets: ordering is by the set
+  // total order (cardinality first), and interning still canonicalizes.
+  auto set_of = [&](std::initializer_list<int> xs) {
+    std::vector<const Term*> elems;
+    for (int x : xs) elems.push_back(factory_.MakeInt(x));
+    return factory_.MakeSet(elems);
+  };
+  const Term* s1 = set_of({1});
+  const Term* s12 = set_of({1, 2});
+  const Term* s3 = set_of({3});
+  const Term* a_elems[] = {s1, s12};
+  const Term* b_elems[] = {s12, s3};
+  const Term* a = factory_.MakeSet(a_elems);
+  const Term* b = factory_.MakeSet(b_elems);
+  const Term* union_elems[] = {s1, s12, s3};
+  const Term* meet_elems[] = {s12};
+  const Term* diff_elems[] = {s1};
+  EXPECT_EQ(factory_.SetUnion(a, b), factory_.MakeSet(union_elems));
+  EXPECT_EQ(factory_.SetIntersect(a, b), factory_.MakeSet(meet_elems));
+  EXPECT_EQ(factory_.SetDifference(a, b), factory_.MakeSet(diff_elems));
+}
+
+// ------------------------------------------------------- Intern counting --
+
+TEST_F(SetOpsTest, SetInternedCountTracksDistinctSets) {
+  size_t before = factory_.set_interned_count();
+  const Term* a = factory_.MakeAtom("a");
+  const Term* elems[] = {a};
+  const Term* s = factory_.MakeSet(elems);
+  EXPECT_EQ(factory_.set_interned_count(), before + 1);
+  // Re-interning the same set and no-growth ops add nothing.
+  factory_.MakeSet(elems);
+  factory_.SetInsert(a, s);
+  factory_.SetUnion(s, s);
+  EXPECT_EQ(factory_.set_interned_count(), before + 1);
+  // A genuinely new set bumps the counter.
+  factory_.SetInsert(factory_.MakeAtom("b"), s);
+  EXPECT_EQ(factory_.set_interned_count(), before + 2);
+}
+
+}  // namespace
+}  // namespace ldl
