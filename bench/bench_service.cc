@@ -1,0 +1,135 @@
+// B11: concurrent serving throughput (ldl::Service). N reader threads
+// answer a prepared kModel goal against the published snapshot, optionally
+// while one writer thread applies fresh EDB deltas (AddFacts ->
+// incremental maintenance -> snapshot republication). Reported counters:
+//
+//   qps         reader queries per second of wall time (manual timing)
+//   lat_p50_us  per-query latency, 50th percentile (microseconds)
+//   lat_p99_us  per-query latency, 99th percentile
+//   snapshots   versions published over the whole run (writer arm only > 2)
+//
+// readers=1/writer=0 bounds the facade overhead against a bare
+// Session::Query; the reader sweep shows snapshot reads scaling (on a
+// multi-core host -- a single-core container serializes the threads, so
+// qps stays flat there and only the isolation properties are exercised).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "ldl/service.h"
+#include "workload/workload.h"
+
+namespace {
+
+constexpr size_t kChain = 256;            // anc over a 256-node parent chain
+constexpr size_t kQueriesPerReader = 128;  // per iteration
+constexpr size_t kWriterUpdates = 8;       // per iteration (writer arm)
+
+double Percentile(std::vector<double>* sorted_us, double q) {
+  if (sorted_us->empty()) return 0;
+  size_t index = static_cast<size_t>(q * (sorted_us->size() - 1));
+  return (*sorted_us)[index];
+}
+
+// args: {readers, with_writer}
+void BM_ServiceServe(benchmark::State& state) {
+  const size_t readers = static_cast<size_t>(state.range(0));
+  const bool with_writer = state.range(1) != 0;
+
+  ldl::Service service;
+  std::string program = ldl::ParentChain(kChain, "parent");
+  program +=
+      "anc(X, Y) :- parent(X, Y).\n"
+      "anc(X, Y) :- parent(X, Z), anc(Z, Y).\n";
+  ldl::Status status = service.Load(program);
+  if (!status.ok()) {
+    state.SkipWithError(status.ToString().c_str());
+    return;
+  }
+  auto prepared = service.Prepare("anc(p0, X)");
+  if (!prepared.ok()) {
+    state.SkipWithError(prepared.status().ToString().c_str());
+    return;
+  }
+  // Warm: materialize + compile the probe plan before timing.
+  auto warm = service.Query(*prepared);
+  if (!warm.ok() || warm->tuples.size() != kChain) {
+    state.SkipWithError("warmup query failed");
+    return;
+  }
+
+  std::vector<double> latencies_us;
+  size_t total_queries = 0;
+  std::atomic<size_t> fresh_constant{0};  // unique insert per writer update
+  std::atomic<size_t> errors{0};
+  for (auto _ : state) {
+    std::vector<std::vector<double>> per_reader(readers);
+    auto begin = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(readers + 1);
+    for (size_t r = 0; r < readers; ++r) {
+      threads.emplace_back([&, r] {
+        std::vector<double>& latencies = per_reader[r];
+        latencies.reserve(kQueriesPerReader);
+        for (size_t i = 0; i < kQueriesPerReader; ++i) {
+          auto t0 = std::chrono::steady_clock::now();
+          auto result = service.Query(*prepared);
+          auto t1 = std::chrono::steady_clock::now();
+          // Writers only ever append disconnected components, so the
+          // answer set of the probed chain never changes.
+          if (!result.ok() || result->tuples.size() != kChain) {
+            errors.fetch_add(1, std::memory_order_relaxed);
+          }
+          latencies.push_back(
+              std::chrono::duration<double, std::micro>(t1 - t0).count());
+        }
+      });
+    }
+    if (with_writer) {
+      threads.emplace_back([&] {
+        for (size_t w = 0; w < kWriterUpdates; ++w) {
+          size_t id = fresh_constant.fetch_add(1, std::memory_order_relaxed);
+          std::string fact = "parent(zza" + std::to_string(id) + ", zzb" +
+                             std::to_string(id) + ").";
+          if (!service.AddFacts(fact).ok()) {
+            errors.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    auto end = std::chrono::steady_clock::now();
+    state.SetIterationTime(std::chrono::duration<double>(end - begin).count());
+    total_queries += readers * kQueriesPerReader;
+    for (std::vector<double>& latencies : per_reader) {
+      latencies_us.insert(latencies_us.end(), latencies.begin(),
+                          latencies.end());
+    }
+  }
+  if (errors.load() != 0) {
+    state.SkipWithError("concurrent queries failed or saw a torn model");
+    return;
+  }
+  std::sort(latencies_us.begin(), latencies_us.end());
+  state.counters["qps"] = benchmark::Counter(static_cast<double>(total_queries),
+                                             benchmark::Counter::kIsRate);
+  state.counters["lat_p50_us"] = Percentile(&latencies_us, 0.50);
+  state.counters["lat_p99_us"] = Percentile(&latencies_us, 0.99);
+  state.counters["snapshots"] =
+      static_cast<double>(service.stats().snapshots_published);
+}
+
+}  // namespace
+
+BENCHMARK(BM_ServiceServe)
+    ->UseManualTime()
+    ->ArgNames({"readers", "writer"})
+    ->ArgsProduct({{1, 2, 4, 8}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

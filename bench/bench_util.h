@@ -1,5 +1,5 @@
 // Shared helpers for the benchmark binaries. Each bench reproduces one
-// claim from DESIGN.md (B1-B9) and prints the series EXPERIMENTS.md records.
+// claim from DESIGN.md (B1-B11) and prints the series EXPERIMENTS.md records.
 #ifndef LDL1_BENCH_BENCH_UTIL_H_
 #define LDL1_BENCH_BENCH_UTIL_H_
 

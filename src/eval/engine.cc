@@ -90,7 +90,7 @@ Status Engine::ApplyRule(const RuleIr& rule, const std::vector<int>& order,
 
   std::shared_ptr<const JoinPlan> plan;
   if (options.use_compiled_plans) {
-    plan = plan_cache_.Get(rule, order, &s->plan_cache_hits);
+    plan = plans_->Get(rule, order, &s->plan_cache_hits);
   }
   RuleEvaluator evaluator(factory_, &rule, order, options.builtin_limits,
                           std::move(plan), options.use_compiled_plans);
@@ -146,7 +146,7 @@ Status Engine::ApplyGroupingRule(const RuleIr& rule, Database* db,
   LDL_ASSIGN_OR_RETURN(std::vector<int> order, OrderBodyLiterals(*catalog_, rule));
   std::shared_ptr<const JoinPlan> plan;
   if (options.use_compiled_plans) {
-    plan = plan_cache_.Get(rule, order, &s->plan_cache_hits);
+    plan = plans_->Get(rule, order, &s->plan_cache_hits);
   }
   RuleEvaluator evaluator(factory_, &rule, std::move(order), options.builtin_limits,
                           std::move(plan), options.use_compiled_plans);
@@ -195,8 +195,8 @@ Status Engine::RunTasksParallel(const std::vector<RuleTask>& tasks, Database* db
     EvalStats& local = task_stats[i];
     ScopedWallTimer timer(task.profile_entry != nullptr ? &task_wall[i]
                                                         : nullptr);
-    // Plans were prefetched on the scheduling thread (PlanCache is not
-    // thread-safe); the evaluator itself is task-local.
+    // Plans were prefetched on the scheduling thread (one cache probe per
+    // variant instead of one per worker); the evaluator itself is task-local.
     RuleEvaluator evaluator(factory_, task.rule, *task.order,
                             options.builtin_limits, task.plan,
                             options.use_compiled_plans);
@@ -320,10 +320,10 @@ Status Engine::Fixpoint(const ProgramIr& program, const std::vector<int>& rule_i
       // PlanCache is not thread-safe; resolve every plan a worker could need
       // up front on this thread.
       c.default_plan =
-          plan_cache_.Get(rule, c.default_order, &stats->plan_cache_hits);
+          plans_->Get(rule, c.default_order, &stats->plan_cache_hits);
       for (const auto& [occurrence, order] : c.delta_variants) {
         c.delta_plans.push_back(
-            plan_cache_.Get(rule, order, &stats->plan_cache_hits));
+            plans_->Get(rule, order, &stats->plan_cache_hits));
       }
     }
     compiled.push_back(std::move(c));
@@ -565,7 +565,7 @@ Status Engine::EvaluateStratum(const ProgramIr& program, const std::vector<int>&
                      ProfileEntry(profile, rule, r, stratum_index)};
       LDL_ASSIGN_OR_RETURN(task.order, OrderBodyLiterals(*catalog_, rule));
       if (options.use_compiled_plans) {
-        task.plan = plan_cache_.Get(rule, task.order, &stats->plan_cache_hits);
+        task.plan = plans_->Get(rule, task.order, &stats->plan_cache_hits);
       }
       tasks.push_back(std::move(task));
     }
@@ -731,7 +731,7 @@ Status Engine::RegrowGroupingRule(const RuleIr& rule, Database* db,
     }
     std::shared_ptr<const JoinPlan> plan;
     if (options.use_compiled_plans) {
-      plan = plan_cache_.Get(rule, order, &s->plan_cache_hits);
+      plan = plans_->Get(rule, order, &s->plan_cache_hits);
     }
     RuleEvaluator evaluator(factory_, &rule, std::move(order),
                             options.builtin_limits, std::move(plan),
@@ -1126,7 +1126,7 @@ Status Engine::EvaluateSaturating(const ProgramIr& program, Database* db,
                                              : nullptr);
       std::shared_ptr<const JoinPlan> plan;
       if (options.use_compiled_plans) {
-        plan = plan_cache_.Get(rule, grouping_orders[g], &gs->plan_cache_hits);
+        plan = plans_->Get(rule, grouping_orders[g], &gs->plan_cache_hits);
       }
       RuleEvaluator evaluator(factory_, &rule, grouping_orders[g],
                               options.builtin_limits, std::move(plan),
@@ -1210,11 +1210,17 @@ Status Engine::EvaluateSaturating(const ProgramIr& program, Database* db,
   return Status::OK();
 }
 
-StatusOr<std::vector<Tuple>> Engine::Query(const LiteralIr& goal, const Database& db) {
+StatusOr<std::vector<Tuple>> Engine::Query(const LiteralIr& goal,
+                                           const Database& db) const {
   if (goal.is_builtin() || goal.negated) {
     return InvalidArgumentError("queries must be positive, non-builtin literals");
   }
-  const Relation& relation = db.relation(goal.pred);
+  return QueryRelation(factory_, goal, db.relation(goal.pred));
+}
+
+StatusOr<std::vector<Tuple>> QueryRelation(TermFactory* factory,
+                                           const LiteralIr& goal,
+                                           const Relation& relation) {
   std::vector<Tuple> results;
   Subst subst;
   // Ground scons-free goal arguments are interned pointers, so they select
@@ -1230,7 +1236,7 @@ StatusOr<std::vector<Tuple>> Engine::Query(const LiteralIr& goal, const Database
     }
   }
   auto match_row = [&](RowRef tuple) {
-    MatchArgs(*factory_, goal.args, tuple, &subst, [&]() {
+    MatchArgs(*factory, goal.args, tuple, &subst, [&]() {
       results.emplace_back(tuple.begin(), tuple.end());
       return false;  // one match per fact suffices
     });

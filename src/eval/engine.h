@@ -70,8 +70,16 @@ struct EvalOptions {
 
 class Engine {
  public:
-  Engine(TermFactory* factory, Catalog* catalog)
-      : factory_(factory), catalog_(catalog) {}
+  // With a non-null `shared_plans` the engine probes (and fills) the caller's
+  // plan cache instead of an internal one. PlanCache is internally
+  // synchronized, so many per-query engines -- e.g. the scratch engines
+  // ldl::Service spins up for concurrent magic evaluations -- can share one
+  // cache and reuse each other's compiled plans.
+  explicit Engine(TermFactory* factory, Catalog* catalog,
+                  PlanCache* shared_plans = nullptr)
+      : factory_(factory),
+        catalog_(catalog),
+        plans_(shared_plans != nullptr ? shared_plans : &owned_plans_) {}
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -117,8 +125,11 @@ class Engine {
                             EvalProfile* profile = nullptr);
 
   // Enumerates facts of goal's predicate matching the goal's argument
-  // patterns. The goal must be positive and non-builtin.
-  StatusOr<std::vector<Tuple>> Query(const LiteralIr& goal, const Database& db);
+  // patterns. The goal must be positive and non-builtin. Const and safe to
+  // call from concurrent readers of an immutable database (delegates to
+  // QueryRelation below).
+  StatusOr<std::vector<Tuple>> Query(const LiteralIr& goal,
+                                     const Database& db) const;
 
   TermFactory* factory() const { return factory_; }
   Catalog* catalog() const { return catalog_; }
@@ -241,12 +252,23 @@ class Engine {
   Catalog* catalog_;
   // Compiled plans survive across Fixpoint/EvaluateSaturating calls (the
   // magic path re-evaluates per query); keyed structurally, so temporary
-  // rewritten programs hit the cache on identical rules.
-  PlanCache plan_cache_;
+  // rewritten programs hit the cache on identical rules. plans_ points at
+  // owned_plans_ unless the constructor was handed a shared cache.
+  PlanCache owned_plans_;
+  PlanCache* plans_;
   // Lazily created worker pool for num_threads > 1; persists across rounds
   // and evaluations so round barriers cost a wakeup, not a thread spawn.
   std::unique_ptr<WorkerPool> pool_;
 };
+
+// The read-side core of Engine::Query: enumerates the facts of `relation`
+// matching the goal's argument patterns, probing the relation's composite
+// hash index on all ground scons-free argument positions. Pure read --
+// concurrent callers over an immutable relation only contend on the lazy
+// index build, which Relation handles internally.
+StatusOr<std::vector<Tuple>> QueryRelation(TermFactory* factory,
+                                           const LiteralIr& goal,
+                                           const Relation& relation);
 
 }  // namespace ldl
 

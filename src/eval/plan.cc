@@ -234,6 +234,23 @@ std::shared_ptr<const JoinPlan> PlanCache::Get(const RuleIr& rule,
                                                size_t* hits) {
   std::vector<uint64_t> fp = Fingerprint(rule, order);
   uint64_t hash = HashFingerprint(fp);
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = entries_.find(hash);
+    if (it != entries_.end()) {
+      for (const Entry& entry : it->second) {
+        if (entry.fingerprint == fp) {
+          if (hits != nullptr) ++*hits;
+          return entry.plan;
+        }
+      }
+    }
+  }
+  // Miss: compile outside the lock (racing compilers waste a little work),
+  // then insert under the exclusive lock, re-checking for a racing insert so
+  // every caller sees one canonical plan per fingerprint.
+  auto plan = std::make_shared<const JoinPlan>(JoinPlan::Compile(rule, order));
+  std::unique_lock<std::shared_mutex> lock(mu_);
   std::vector<Entry>& bucket = entries_[hash];
   for (const Entry& entry : bucket) {
     if (entry.fingerprint == fp) {
@@ -241,12 +258,17 @@ std::shared_ptr<const JoinPlan> PlanCache::Get(const RuleIr& rule,
       return entry.plan;
     }
   }
-  auto plan = std::make_shared<const JoinPlan>(JoinPlan::Compile(rule, order));
   bucket.push_back(Entry{std::move(fp), plan});
   return plan;
 }
 
+void PlanCache::Clear() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  entries_.clear();
+}
+
 size_t PlanCache::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   size_t total = 0;
   for (const auto& [hash, bucket] : entries_) total += bucket.size();
   return total;

@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <shared_mutex>
 #include <span>
 #include <unordered_map>
 #include <utility>
@@ -141,6 +142,11 @@ class SolutionView {
 // (rule, order). Structural keying (head/body predicates and interned term
 // pointers) keeps entries valid across temporary ProgramIr instances, e.g.
 // the per-query magic rewrites, which may reuse addresses of freed rules.
+//
+// Internally synchronized: probes take a shared lock and misses compile
+// outside the lock before inserting under an exclusive one, so one cache can
+// serve many concurrent query threads (ldl::Service shares a single cache
+// across its snapshot readers and the writer session).
 class PlanCache {
  public:
   // Returns the plan for (rule, order), compiling it on a miss. `hits`, when
@@ -149,7 +155,7 @@ class PlanCache {
                                       const std::vector<int>& order,
                                       size_t* hits = nullptr);
 
-  void Clear() { entries_.clear(); }
+  void Clear();
   size_t size() const;
 
  private:
@@ -157,6 +163,7 @@ class PlanCache {
     std::vector<uint64_t> fingerprint;
     std::shared_ptr<const JoinPlan> plan;
   };
+  mutable std::shared_mutex mu_;
   std::unordered_map<uint64_t, std::vector<Entry>> entries_;
 };
 

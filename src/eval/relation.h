@@ -197,6 +197,14 @@ class Database {
   Relation& relation(PredId pred);
   const Relation& relation(PredId pred) const;
 
+  // The relation for `pred`, or nullptr when no relation has been created
+  // for it yet. Unlike relation(), never grows the deque, so concurrent
+  // readers of a frozen (published) database can look up predicates that
+  // were registered in the catalog after the database stopped changing.
+  const Relation* FindRelation(PredId pred) const {
+    return pred < relations_.size() ? &relations_[pred] : nullptr;
+  }
+
   bool AddFact(PredId pred, RowRef tuple) { return relation(pred).Insert(tuple); }
 
   // Extends `relations_` to cover every predicate currently registered in

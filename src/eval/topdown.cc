@@ -16,10 +16,15 @@ TopDownEngine::TopDownEngine(TermFactory* factory, Catalog* catalog,
       program_(program),
       stratification_(stratification),
       edb_(edb),
-      options_(options) {}
+      options_(options) {
+  for (const RuleIr& rule : program_->rules) {
+    if (rule.head_pred >= idb_.size()) idb_.resize(rule.head_pred + 1, false);
+    idb_[rule.head_pred] = true;
+  }
+}
 
 bool TopDownEngine::IsIdb(PredId pred) const {
-  return catalog_->info(pred).has_rules;
+  return pred < idb_.size() && idb_[pred];
 }
 
 // Rule variables that the head unification bound to ground values.

@@ -122,6 +122,11 @@ class TopDownEngine {
   const Stratification* stratification_;
   const Database* edb_;
   TopDownOptions options_;
+  // Head predicates of *program_, computed at construction. IsIdb consults
+  // this instead of the catalog's live has_rules flag so a concurrent
+  // re-analysis (ldl::Service writer) cannot flip a subgoal between IDB
+  // and EDB treatment mid-evaluation.
+  std::vector<bool> idb_;
   TopDownStats stats_;
   EvalProfile* profile_ = nullptr;
 

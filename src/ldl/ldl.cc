@@ -10,30 +10,45 @@
 
 namespace ldl {
 
+namespace {
+
+// The one authoritative strategy-name table: ToString, ParseQueryStrategy
+// and QueryStrategyNames all derive from it, so a new strategy added here
+// shows up in every help text and error message.
+struct StrategyName {
+  QueryStrategy strategy;
+  const char* canonical;
+  const char* alias = nullptr;  // accepted by Parse, never printed
+};
+constexpr StrategyName kStrategyNames[] = {
+    {QueryStrategy::kModel, "model"},
+    {QueryStrategy::kMagic, "magic"},
+    {QueryStrategy::kMagicSupplementary, "magic-sup", "magic-supplementary"},
+    {QueryStrategy::kMagicSupplementary, "magic-sup", "sup"},
+    {QueryStrategy::kTopDown, "topdown", "top-down"},
+};
+
+}  // namespace
+
 const char* ToString(QueryStrategy strategy) {
-  switch (strategy) {
-    case QueryStrategy::kModel:
-      return "model";
-    case QueryStrategy::kMagic:
-      return "magic";
-    case QueryStrategy::kMagicSupplementary:
-      return "magic-sup";
-    case QueryStrategy::kTopDown:
-      return "topdown";
+  for (const StrategyName& entry : kStrategyNames) {
+    if (entry.strategy == strategy) return entry.canonical;
   }
   return "?";
 }
 
+const char* QueryStrategyNames() { return "model, magic, magic-sup, topdown"; }
+
 StatusOr<QueryStrategy> ParseQueryStrategy(std::string_view name) {
-  if (name == "model") return QueryStrategy::kModel;
-  if (name == "magic") return QueryStrategy::kMagic;
-  if (name == "magic-sup" || name == "magic-supplementary" || name == "sup") {
-    return QueryStrategy::kMagicSupplementary;
+  for (const StrategyName& entry : kStrategyNames) {
+    if (name == entry.canonical ||
+        (entry.alias != nullptr && name == entry.alias)) {
+      return entry.strategy;
+    }
   }
-  if (name == "topdown" || name == "top-down") return QueryStrategy::kTopDown;
-  return InvalidArgumentError(
-      StrCat("unknown query strategy '", name,
-             "' (expected model, magic, magic-sup, or topdown)"));
+  return InvalidArgumentError(StrCat("unknown query strategy '", name,
+                                     "' (expected one of: ",
+                                     QueryStrategyNames(), ")"));
 }
 
 std::vector<std::string> FormatFacts(const Session& session, PredId pred,
@@ -45,10 +60,10 @@ std::vector<std::string> FormatFacts(const Session& session, PredId pred,
   return out;
 }
 
-Session::Session()
+Session::Session(PlanCache* shared_plans)
     : factory_(&interner_),
       catalog_(&interner_),
-      engine_(&factory_, &catalog_),
+      engine_(&factory_, &catalog_, shared_plans),
       db_(std::make_unique<Database>(&catalog_)) {}
 
 Status Session::Load(std::string_view source) {
@@ -111,8 +126,9 @@ Status Session::AddFacts(std::string_view source) {
   for (const RuleAst& rule : expanded->rules) {
     if (!rule.is_fact()) return fallback();
     // Facts of predicates with proper rules stay in the program (they take
-    // part in stratification and magic rewriting) -- full path. Checked
-    // before LowerRule, which would set has_rules on the head.
+    // part in stratification and magic rewriting) -- full path. LowerRule
+    // leaves has_rules untouched for facts, so this incremental path never
+    // perturbs the flag concurrent snapshot readers consult.
     PredId existing = catalog_.Find(
         rule.head.predicate, static_cast<uint32_t>(rule.head.args.size()));
     if (existing != kInvalidPred && catalog_.info(existing).has_rules) {
@@ -120,7 +136,6 @@ Status Session::AddFacts(std::string_view source) {
     }
     StatusOr<RuleIr> ir = LowerRule(factory_, catalog_, rule, /*source_index=*/-1);
     if (!ir.ok()) return fallback();
-    catalog_.mutable_info(ir->head_pred).has_rules = false;
     InstantiationResult inst = InstantiateArgs(factory_, ir->head_args, Subst());
     if (inst.unbound) return fallback();  // "fact with variables", per Analyze
     lowered.push_back(
@@ -174,7 +189,6 @@ Status Session::RemoveFacts(std::string_view source) {
     }
     LDL_ASSIGN_OR_RETURN(RuleIr ir,
                          LowerRule(factory_, catalog_, rule, /*source_index=*/-1));
-    catalog_.mutable_info(ir.head_pred).has_rules = false;
     InstantiationResult inst = InstantiateArgs(factory_, ir.head_args, Subst());
     if (inst.unbound) {
       return InvalidArgumentError("RemoveFacts needs ground facts");
@@ -264,6 +278,7 @@ Status Session::Analyze() {
   LDL_ASSIGN_OR_RETURN(stratification_, Stratify(catalog_, program_));
   analyzed_ = true;
   evaluated_ = false;
+  ++analysis_epoch_;
   ClearPendingDelta();
   return Status::OK();
 }
@@ -376,78 +391,124 @@ StatusOr<LiteralIr> Session::ParseGoal(std::string_view goal_text) {
   return LowerLiteral(factory_, catalog_, goal_ast);
 }
 
-StatusOr<QueryResult> Session::Query(std::string_view goal_text,
-                                     const QueryOptions& options) {
+StatusOr<QueryResult> QueryViaTopDown(TermFactory* factory, Catalog* catalog,
+                                      const ProgramIr& program,
+                                      const Stratification& stratification,
+                                      const std::vector<PredId>& edb_preds,
+                                      const LiteralIr& goal,
+                                      const QueryOptions& options,
+                                      const EdbSeeder& seed_edb) {
+  // Memoized top-down evaluation against a fresh EDB.
+  QueryResult result;
+  Database edb(catalog);
+  seed_edb(&edb, edb_preds);
+  TopDownOptions topdown_options;
+  topdown_options.builtin_limits = options.eval.builtin_limits;
+  TopDownEngine topdown(factory, catalog, &program, &stratification, &edb,
+                        topdown_options);
+  if (options.eval.profile) {
+    result.profile.ReserveRules(program.rules.size());
+    topdown.set_profile(&result.profile);
+  }
+  uint64_t topdown_wall = 0;
+  ScopedWallTimer timer(options.eval.profile ? &topdown_wall : nullptr);
+  LDL_ASSIGN_OR_RETURN(result.tuples, topdown.Query(goal));
+  timer.Stop();
+  result.stats.facts_derived = topdown.stats().answers;
+  result.stats.rule_firings = topdown.stats().expansions;
+  result.stats.iterations = topdown.stats().restarts;
+  if (options.eval.profile) {
+    result.profile.add_total_wall_ns(topdown_wall);
+    TopDownProfile& rollup = result.profile.topdown();
+    rollup.used = true;
+    rollup.wall_ns = topdown_wall;
+    rollup.calls = topdown.stats().calls;
+    rollup.expansions = topdown.stats().expansions;
+    rollup.answers = topdown.stats().answers;
+    rollup.restarts = topdown.stats().restarts;
+    rollup.tables = topdown.table_count();
+  }
+  return result;
+}
+
+StatusOr<QueryResult> QueryViaMagic(Engine* engine, const ProgramIr& program,
+                                    const LiteralIr& goal,
+                                    const QueryOptions& options,
+                                    const EdbSeeder& seed_edb,
+                                    std::mutex* rewrite_mu) {
+  // Rewrite for this goal and evaluate in a scratch database seeded with
+  // the EDB. The rewrite registers adorned/magic predicates in the shared
+  // catalog, so concurrent callers serialize it under `rewrite_mu`;
+  // evaluation below runs outside the lock.
+  QueryResult result;
+  MagicOptions magic_options;
+  magic_options.supplementary =
+      options.strategy == QueryStrategy::kMagicSupplementary;
+  StatusOr<MagicProgram> magic = [&] {
+    std::unique_lock<std::mutex> lock;
+    if (rewrite_mu != nullptr) lock = std::unique_lock<std::mutex>(*rewrite_mu);
+    return MagicRewrite(program, engine->catalog(), goal, magic_options);
+  }();
+  LDL_RETURN_IF_ERROR(magic.status());
+  Database magic_db(engine->catalog());
+  // Only EDB predicates the rewritten program consults.
+  seed_edb(&magic_db, magic->edb_preds);
+  LDL_RETURN_IF_ERROR(engine->EvaluateSaturating(magic->rules, &magic_db,
+                                                 options.eval, &result.stats,
+                                                 &result.profile));
+  LiteralIr adorned_goal = goal;
+  adorned_goal.pred = magic->answer_pred;
+  LDL_ASSIGN_OR_RETURN(result.tuples, engine->Query(adorned_goal, magic_db));
+  return result;
+}
+
+StatusOr<PreparedQuery> Session::Prepare(std::string_view goal_text) {
   LDL_RETURN_IF_ERROR(EnsureAnalyzed());
   LDL_ASSIGN_OR_RETURN(LiteralIr goal, ParseGoal(goal_text));
+  return PreparedQuery(goal_text, std::move(goal));
+}
+
+StatusOr<QueryResult> Session::Query(std::string_view goal_text,
+                                     const QueryOptions& options) {
+  LDL_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(goal_text));
+  return Query(prepared, options);
+}
+
+StatusOr<QueryResult> Session::Query(const PreparedQuery& prepared,
+                                     const QueryOptions& options) {
+  LDL_RETURN_IF_ERROR(EnsureAnalyzed());
+  if (!prepared.valid()) {
+    return InvalidArgumentError("query was not prepared");
+  }
+  const LiteralIr& goal = prepared.goal();
+  // The session is single-threaded, so scratch evaluations can seed
+  // straight from the edb_facts_ list.
+  EdbSeeder seeder = [this](Database* scratch,
+                            const std::vector<PredId>& preds) {
+    for (const auto& [pred, tuple] : edb_facts_) {
+      if (std::find(preds.begin(), preds.end(), pred) != preds.end()) {
+        scratch->AddFact(pred, tuple);
+      }
+    }
+  };
 
   const bool goal_has_rules = catalog_.info(goal.pred).has_rules;
-  QueryResult result;
   if (options.strategy == QueryStrategy::kTopDown && goal_has_rules) {
-    // Memoized top-down evaluation against a fresh EDB.
-    Database edb(&catalog_);
-    for (const auto& [pred, tuple] : edb_facts_) edb.AddFact(pred, tuple);
-    TopDownOptions topdown_options;
-    topdown_options.builtin_limits = options.eval.builtin_limits;
-    TopDownEngine topdown(&factory_, &catalog_, &program_, &stratification_,
-                          &edb, topdown_options);
-    if (options.eval.profile) {
-      result.profile.ReserveRules(program_.rules.size());
-      topdown.set_profile(&result.profile);
-    }
-    uint64_t topdown_wall = 0;
-    ScopedWallTimer timer(options.eval.profile ? &topdown_wall : nullptr);
-    LDL_ASSIGN_OR_RETURN(result.tuples, topdown.Query(goal));
-    timer.Stop();
-    result.stats.facts_derived = topdown.stats().answers;
-    result.stats.rule_firings = topdown.stats().expansions;
-    result.stats.iterations = topdown.stats().restarts;
-    if (options.eval.profile) {
-      result.profile.add_total_wall_ns(topdown_wall);
-      TopDownProfile& rollup = result.profile.topdown();
-      rollup.used = true;
-      rollup.wall_ns = topdown_wall;
-      rollup.calls = topdown.stats().calls;
-      rollup.expansions = topdown.stats().expansions;
-      rollup.answers = topdown.stats().answers;
-      rollup.restarts = topdown.stats().restarts;
-      rollup.tables = topdown.table_count();
-    }
-    return result;
+    return QueryViaTopDown(&factory_, &catalog_, program_, stratification_,
+                           edb_preds_, goal, options, seeder);
   }
   const bool magic_strategy =
       options.strategy == QueryStrategy::kMagic ||
       options.strategy == QueryStrategy::kMagicSupplementary;
   if (!magic_strategy || !goal_has_rules) {
+    QueryResult result;
     LDL_RETURN_IF_ERROR(EnsureEvaluated(options.eval));
     LDL_ASSIGN_OR_RETURN(result.tuples, engine_.Query(goal, *db_));
     result.stats = last_eval_stats_;
     if (options.eval.profile) result.profile = last_eval_profile_;
     return result;
   }
-
-  // Magic path: rewrite for this goal and evaluate in a scratch database
-  // seeded with the EDB.
-  MagicOptions magic_options;
-  magic_options.supplementary =
-      options.strategy == QueryStrategy::kMagicSupplementary;
-  LDL_ASSIGN_OR_RETURN(MagicProgram magic,
-                       MagicRewrite(program_, &catalog_, goal, magic_options));
-  Database magic_db(&catalog_);
-  for (const auto& [pred, tuple] : edb_facts_) {
-    // Only EDB predicates the rewritten program consults.
-    if (std::find(magic.edb_preds.begin(), magic.edb_preds.end(), pred) !=
-        magic.edb_preds.end()) {
-      magic_db.AddFact(pred, tuple);
-    }
-  }
-  LDL_RETURN_IF_ERROR(engine_.EvaluateSaturating(magic.rules, &magic_db,
-                                                 options.eval, &result.stats,
-                                                 &result.profile));
-  LiteralIr adorned_goal = goal;
-  adorned_goal.pred = magic.answer_pred;
-  LDL_ASSIGN_OR_RETURN(result.tuples, engine_.Query(adorned_goal, magic_db));
-  return result;
+  return QueryViaMagic(&engine_, program_, goal, options, seeder);
 }
 
 StatusOr<std::string> Session::Explain(std::string_view fact_text,

@@ -20,7 +20,9 @@
 #ifndef LDL1_LDL_LDL_H_
 #define LDL1_LDL_LDL_H_
 
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -57,48 +59,16 @@ enum class QueryStrategy {
 
 // "model", "magic", "magic-sup", "topdown".
 const char* ToString(QueryStrategy strategy);
-// Inverse of ToString; kInvalidArgument on unknown names.
+// Inverse of ToString (a few aliases are also accepted); kInvalidArgument
+// naming the valid strategies on unknown names.
 StatusOr<QueryStrategy> ParseQueryStrategy(std::string_view name);
+// The canonical names as one comma-separated list, for help text and error
+// messages: "model, magic, magic-sup, topdown".
+const char* QueryStrategyNames();
 
 struct QueryOptions {
   QueryStrategy strategy = QueryStrategy::kModel;
   EvalOptions eval;
-
-  // Deprecated pre-QueryStrategy configuration surface. The setters map the
-  // historical three-bool space onto `strategy` with the historical
-  // precedence (top-down over magic over model), independent of call order.
-  // Calling any setter overwrites a directly assigned `strategy`.
-  [[deprecated("set QueryOptions::strategy instead")]]
-  void set_use_magic(bool on) {
-    magic_hint_ = on;
-    RecomputeStrategy();
-  }
-  [[deprecated("use QueryStrategy::kMagicSupplementary instead")]]
-  void set_use_supplementary(bool on) {
-    supplementary_hint_ = on;
-    RecomputeStrategy();
-  }
-  [[deprecated("use QueryStrategy::kTopDown instead")]]
-  void set_use_topdown(bool on) {
-    topdown_hint_ = on;
-    RecomputeStrategy();
-  }
-
- private:
-  void RecomputeStrategy() {
-    if (topdown_hint_) {
-      strategy = QueryStrategy::kTopDown;
-    } else if (magic_hint_) {
-      strategy = supplementary_hint_ ? QueryStrategy::kMagicSupplementary
-                                     : QueryStrategy::kMagic;
-    } else {
-      strategy = QueryStrategy::kModel;
-    }
-  }
-
-  bool magic_hint_ = false;
-  bool supplementary_hint_ = false;
-  bool topdown_hint_ = false;
 };
 
 struct QueryResult {
@@ -112,9 +82,71 @@ struct QueryResult {
   EvalProfile profile;
 };
 
+class Service;
+
+// A goal parsed, checked and lowered once, queryable many times. Hot goals
+// skip the per-call reparse; ldl::Service additionally requires prepared
+// goals on its concurrent read path so querying never mutates shared parser
+// state. A PreparedQuery stays valid for the lifetime of the Session or
+// Service that prepared it -- PredIds and interned terms survive later
+// Load()/Analyze() rounds -- though answers always reflect the model it is
+// asked against, not the one it was prepared under.
+class PreparedQuery {
+ public:
+  PreparedQuery() = default;
+
+  // The goal text this query was prepared from.
+  const std::string& text() const { return text_; }
+  const LiteralIr& goal() const { return goal_; }
+  bool valid() const { return goal_.pred != kInvalidPred; }
+
+ private:
+  friend class Session;
+  friend class Service;
+  PreparedQuery(std::string_view text, LiteralIr goal)
+      : text_(text), goal_(std::move(goal)) {}
+
+  std::string text_;
+  LiteralIr goal_ = {};
+};
+
+// Seeds a scratch evaluation database with the EDB facts of exactly the
+// predicates in `preds`. Both shared goal executors below take one of
+// these: Session feeds from its edb_facts_ list, ModelSnapshot copies from
+// its frozen database.
+using EdbSeeder =
+    std::function<void(Database* scratch, const std::vector<PredId>& preds)>;
+
+// Answers `goal` through the Generalized Magic Sets rewriting (§6) in a
+// scratch database seeded via `seed_edb`. The rewrite registers adorned and
+// magic predicates in the engine's catalog; callers whose catalog is shared
+// across threads pass `rewrite_mu` to serialize that mutation (evaluation
+// itself runs outside the lock). Shared by Session::Query and
+// ModelSnapshot::Query.
+StatusOr<QueryResult> QueryViaMagic(Engine* engine, const ProgramIr& program,
+                                    const LiteralIr& goal,
+                                    const QueryOptions& options,
+                                    const EdbSeeder& seed_edb,
+                                    std::mutex* rewrite_mu = nullptr);
+
+// Answers `goal` with the memoized top-down engine over a scratch EDB
+// seeded via `seed_edb` (with `edb_preds` as the seeding filter). Shared by
+// Session::Query and ModelSnapshot::Query.
+StatusOr<QueryResult> QueryViaTopDown(TermFactory* factory, Catalog* catalog,
+                                      const ProgramIr& program,
+                                      const Stratification& stratification,
+                                      const std::vector<PredId>& edb_preds,
+                                      const LiteralIr& goal,
+                                      const QueryOptions& options,
+                                      const EdbSeeder& seed_edb);
+
 class Session {
  public:
-  Session();
+  // With a non-null `shared_plans` the session's engine probes the caller's
+  // (internally synchronized) plan cache instead of an engine-private one;
+  // ldl::Service uses this to share compiled plans between its writer
+  // session and the per-query scratch engines of concurrent readers.
+  explicit Session(PlanCache* shared_plans = nullptr);
 
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
@@ -168,9 +200,19 @@ class Session {
   Status EvaluateInto(const Stratification& stratification, Database* db,
                       const EvalOptions& options = {});
 
-  // Answers `goal_text` (e.g. "young(john, S)"). Under kModel the session
-  // model must be (or will be) materialized via Evaluate().
+  // Parses, checks and lowers `goal_text` (e.g. "young(john, S)") into a
+  // PreparedQuery that can be executed many times without reparsing.
+  // Analyzes on demand.
+  StatusOr<PreparedQuery> Prepare(std::string_view goal_text);
+
+  // Answers `goal_text`. Under kModel the session model must be (or will
+  // be) materialized via Evaluate(). Equivalent to Prepare() + Query(); hot
+  // callers prepare once and reuse.
   StatusOr<QueryResult> Query(std::string_view goal_text,
+                              const QueryOptions& options = {});
+
+  // Answers a previously prepared goal, skipping the parse.
+  StatusOr<QueryResult> Query(const PreparedQuery& prepared,
                               const QueryOptions& options = {});
 
   // Why-provenance: a rendered derivation tree for `fact_text` (e.g.
@@ -225,6 +267,10 @@ class Session {
   size_t eval_cache_hits() const { return eval_cache_hits_; }
   size_t incremental_evals() const { return incremental_evals_; }
   size_t full_evals() const { return full_evals_; }
+  // Bumped every time Analyze() rebuilds the program/stratification.
+  // ldl::Service uses it to decide whether a new snapshot can share the
+  // previous snapshot's analyzed-program state.
+  uint64_t analysis_epoch() const { return analysis_epoch_; }
 
  private:
   Status EnsureAnalyzed();
@@ -261,6 +307,7 @@ class Session {
   EvalProfile last_eval_profile_;
   bool analyzed_ = false;
   bool evaluated_ = false;
+  uint64_t analysis_epoch_ = 0;
   // Whether the cached evaluation collected a profile (EnsureEvaluated
   // re-runs when a profiled query hits an unprofiled cached model).
   bool evaluated_with_profile_ = false;

@@ -1,0 +1,200 @@
+#include "ldl/service.h"
+
+#include <sstream>
+#include <utility>
+
+#include "base/str_util.h"
+#include "parser/parser.h"
+#include "program/lower.h"
+
+namespace ldl {
+
+std::string FormatServiceStats(const ServiceStats& stats) {
+  std::ostringstream out;
+  const char* sep = "";
+#define LDL_SERVICE_STAT_FORMAT(name, description) \
+  out << sep << #name << "=" << stats.name;        \
+  sep = " ";
+  LDL_SERVICE_STATS_FIELDS(LDL_SERVICE_STAT_FORMAT)
+#undef LDL_SERVICE_STAT_FORMAT
+  return out.str();
+}
+
+StatusOr<QueryResult> ModelSnapshot::Query(const PreparedQuery& prepared,
+                                           const QueryOptions& options) const {
+  if (!prepared.valid()) {
+    return InvalidArgumentError("query was not prepared");
+  }
+  const LiteralIr& goal = prepared.goal();
+  // Dispatch on the has_rules view captured at publication, not the live
+  // catalog: a concurrent Load() must not flip this snapshot's strategy
+  // choice mid-flight.
+  const bool goal_has_rules =
+      goal.pred < has_rules_.size() && has_rules_[goal.pred] != 0;
+
+  // Scratch evaluations seed from the frozen database. FindRelation (not
+  // relation()) so predicates registered after publication never trigger
+  // growth of the frozen deque.
+  EdbSeeder seeder = [this](Database* scratch,
+                            const std::vector<PredId>& preds) {
+    for (PredId pred : preds) {
+      const Relation* relation = db_->FindRelation(pred);
+      if (relation == nullptr) continue;
+      relation->ForEachRow(0, relation->row_count(),
+                           [&](size_t, RowRef row) { scratch->AddFact(pred, row); });
+    }
+  };
+
+  if (options.strategy == QueryStrategy::kTopDown && goal_has_rules) {
+    return QueryViaTopDown(factory_, catalog_, analysis_->program,
+                           analysis_->stratification, analysis_->edb_preds,
+                           goal, options, seeder);
+  }
+  const bool magic_strategy =
+      options.strategy == QueryStrategy::kMagic ||
+      options.strategy == QueryStrategy::kMagicSupplementary;
+  if (magic_strategy && goal_has_rules) {
+    Engine engine(factory_, catalog_, plans_);
+    return QueryViaMagic(&engine, analysis_->program, goal, options, seeder,
+                         catalog_mu_);
+  }
+
+  // Model strategy (and trivially, goals without rules): match against the
+  // frozen materialized model.
+  QueryResult result;
+  const Relation* relation = db_->FindRelation(goal.pred);
+  if (relation != nullptr) {
+    LDL_ASSIGN_OR_RETURN(result.tuples, QueryRelation(factory_, goal, *relation));
+  }
+  result.stats = eval_stats_;
+  return result;
+}
+
+Service::Service(const EvalOptions& eval) : eval_options_(eval) {
+  // Publish version 1 (the empty model) so snapshot() is never null and
+  // queries before the first Load() answer from an empty database.
+  std::lock_guard<std::mutex> write_lock(write_mu_);
+  {
+    std::lock_guard<std::mutex> catalog_lock(catalog_mu_);
+    Status status = writer_.Evaluate(eval_options_);
+    (void)status;  // the empty program cannot fail to evaluate
+  }
+  PublishLocked();
+}
+
+template <typename Fn>
+Status Service::Apply(Fn&& mutate) {
+  std::lock_guard<std::mutex> write_lock(write_mu_);
+  {
+    // Analysis and incremental lowering mutate the catalog, which
+    // concurrent magic rewrites read and extend: serialize them. The
+    // model evaluation itself also runs under this lock -- it keeps
+    // Apply simple and only stalls magic *rewrites* (not magic
+    // evaluations, nor model/top-down reads) while a write is in flight.
+    std::lock_guard<std::mutex> catalog_lock(catalog_mu_);
+    LDL_RETURN_IF_ERROR(mutate(&writer_));
+    LDL_RETURN_IF_ERROR(writer_.Evaluate(eval_options_));
+  }
+  PublishLocked();
+  writes_applied_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status Service::Load(std::string_view source) {
+  return Apply([source](Session* session) { return session->Load(source); });
+}
+
+Status Service::AddFacts(std::string_view source) {
+  return Apply(
+      [source](Session* session) { return session->AddFacts(source); });
+}
+
+Status Service::RemoveFacts(std::string_view source) {
+  return Apply(
+      [source](Session* session) { return session->RemoveFacts(source); });
+}
+
+void Service::PublishLocked() {
+  std::shared_ptr<ModelSnapshot> snapshot(new ModelSnapshot());
+  snapshot->factory_ = &writer_.factory();
+  snapshot->catalog_ = &writer_.catalog();
+  snapshot->plans_ = &plans_;
+  snapshot->catalog_mu_ = &catalog_mu_;
+
+  // Share the previous snapshot's analyzed program when the rule set is
+  // unchanged (the common case for EDB-only deltas); copy it fresh
+  // otherwise.
+  std::shared_ptr<const ModelSnapshot> previous = slot_.Acquire();
+  if (previous != nullptr && previous->analysis_ != nullptr &&
+      previous->analysis_->epoch == writer_.analysis_epoch()) {
+    snapshot->analysis_ = previous->analysis_;
+    analyses_shared_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    auto analysis = std::make_shared<ModelSnapshot::Analysis>();
+    analysis->program = writer_.program();
+    analysis->stratification = writer_.stratification();
+    analysis->edb_preds = writer_.edb_preds();
+    analysis->epoch = writer_.analysis_epoch();
+    snapshot->analysis_ = std::move(analysis);
+  }
+
+  // Freeze the model: deep-copy every live fact and pre-grow the relation
+  // deque to the full current catalog so no read can ever mutate it.
+  const size_t pred_count = writer_.catalog().size();
+  auto db = std::make_unique<Database>(&writer_.catalog());
+  db->Grow();
+  std::vector<PredId> all_preds(pred_count);
+  for (PredId p = 0; p < pred_count; ++p) all_preds[p] = p;
+  db->CopyFrom(writer_.database(), all_preds);
+  snapshot->db_ = std::move(db);
+
+  snapshot->has_rules_.resize(pred_count);
+  for (PredId p = 0; p < pred_count; ++p) {
+    snapshot->has_rules_[p] = writer_.catalog().info(p).has_rules ? 1 : 0;
+  }
+  snapshot->eval_stats_ = writer_.last_eval_stats();
+  snapshot->version_ = slot_.version() + 1;  // write_mu_ held: no racing Publish
+  slot_.Publish(std::move(snapshot));
+}
+
+StatusOr<PreparedQuery> Service::Prepare(std::string_view goal_text) {
+  // Interner, term factory and catalog are internally synchronized, so
+  // preparation runs concurrently with queries and writes.
+  LDL_ASSIGN_OR_RETURN(LiteralAst goal_ast,
+                       ParseLiteralText(goal_text, &writer_.interner()));
+  if (goal_ast.negated || goal_ast.builtin != BuiltinKind::kNone) {
+    return InvalidArgumentError("queries must be positive relational literals");
+  }
+  LDL_ASSIGN_OR_RETURN(
+      LiteralIr goal,
+      LowerLiteral(writer_.factory(), writer_.catalog(), goal_ast));
+  prepares_.fetch_add(1, std::memory_order_relaxed);
+  return PreparedQuery(goal_text, std::move(goal));
+}
+
+StatusOr<QueryResult> Service::Query(const PreparedQuery& prepared,
+                                     const QueryOptions& options) const {
+  std::shared_ptr<const ModelSnapshot> snapshot = slot_.Acquire();
+  StatusOr<QueryResult> result = snapshot->Query(prepared, options);
+  if (result.ok()) queries_served_.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+StatusOr<QueryResult> Service::Query(std::string_view goal_text,
+                                     const QueryOptions& options) {
+  LDL_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(goal_text));
+  return Query(prepared, options);
+}
+
+ServiceStats Service::stats() const {
+  ServiceStats out;
+  out.queries_served = queries_served_.load(std::memory_order_relaxed);
+  out.prepares = prepares_.load(std::memory_order_relaxed);
+  out.writes_applied = writes_applied_.load(std::memory_order_relaxed);
+  out.snapshots_published = slot_.version();
+  out.analyses_shared = analyses_shared_.load(std::memory_order_relaxed);
+  out.snapshot_refs = static_cast<uint64_t>(slot_.snapshot_refs());
+  return out;
+}
+
+}  // namespace ldl

@@ -1,21 +1,45 @@
 #include "program/catalog.h"
 
+#include <cassert>
+#include <mutex>
+
 #include "base/str_util.h"
 
 namespace ldl {
 
+Catalog::~Catalog() {
+  for (auto& chunk : chunks_) {
+    delete[] chunk.load(std::memory_order_relaxed);
+  }
+}
+
 PredId Catalog::GetOrCreate(Symbol name, uint32_t arity) {
   uint64_t key = Key(name, arity);
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) return it->second;
-  PredId id = static_cast<PredId>(infos_.size());
-  index_.emplace(key, id);
-  PredicateInfo info;
+  size_t id = count_.load(std::memory_order_relaxed);
+  size_t chunk_index = id >> kChunkBits;
+  assert(chunk_index < kMaxChunks && "catalog predicate limit exceeded");
+  PredicateInfo* chunk = chunks_[chunk_index].load(std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    chunk = new PredicateInfo[kChunkSize];
+    chunks_[chunk_index].store(chunk, std::memory_order_release);
+  }
+  PredicateInfo& info = chunk[id & (kChunkSize - 1)];
   info.name = name;
   info.arity = arity;
   info.grouped_args.assign(arity, false);
-  infos_.push_back(std::move(info));
-  return id;
+  index_.emplace(key, static_cast<PredId>(id));
+  // Publish after the entry is fully initialized so lock-free info() readers
+  // that learn the id through size() never see a half-built slot.
+  count_.store(id + 1, std::memory_order_release);
+  return static_cast<PredId>(id);
 }
 
 PredId Catalog::GetOrCreate(std::string_view name, uint32_t arity) {
@@ -23,6 +47,7 @@ PredId Catalog::GetOrCreate(std::string_view name, uint32_t arity) {
 }
 
 PredId Catalog::Find(Symbol name, uint32_t arity) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = index_.find(Key(name, arity));
   return it == index_.end() ? kInvalidPred : it->second;
 }
@@ -34,7 +59,7 @@ PredId Catalog::Find(std::string_view name, uint32_t arity) const {
 }
 
 std::string Catalog::DebugName(PredId id) const {
-  const PredicateInfo& info = infos_[id];
+  const PredicateInfo& info = this->info(id);
   return StrCat(interner_->Lookup(info.name), "/", info.arity);
 }
 

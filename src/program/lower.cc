@@ -66,7 +66,10 @@ StatusOr<RuleIr> LowerRule(TermFactory& factory, Catalog& catalog,
   ir.source_index = source_index;
   ir.head_pred = catalog.GetOrCreate(rule.head.predicate,
                                      static_cast<uint32_t>(rule.head.args.size()));
-  catalog.mutable_info(ir.head_pred).has_rules = true;
+  // Only proper rules claim the flag: ground facts lowered through here
+  // (Session::AddFacts, EDB clauses) must not flip it even transiently --
+  // concurrent snapshot readers consult it lock-free.
+  if (!rule.body.empty()) catalog.mutable_info(ir.head_pred).has_rules = true;
 
   for (size_t i = 0; i < rule.head.args.size(); ++i) {
     const TermExpr& arg = rule.head.args[i];

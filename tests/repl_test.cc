@@ -89,6 +89,34 @@ TEST(Repl, MagicModeAndStats) {
   EXPECT_NE(out.find("firings="), std::string::npos) << out;
 }
 
+TEST(Repl, StrategyListsValidNames) {
+  std::string out = RunRepl(
+      ":strategy\n"
+      ":strategy warp\n"
+      ":quit\n");
+  EXPECT_NE(out.find("strategy: model (valid: model, magic, magic-sup, topdown)"),
+            std::string::npos)
+      << out;
+  // Unknown names report the same list.
+  EXPECT_NE(out.find("expected one of: model, magic, magic-sup, topdown"),
+            std::string::npos)
+      << out;
+}
+
+TEST(Repl, ServeAnswersConcurrently) {
+  std::string out = RunRepl(
+      "e(1,2). e(2,3). e(3,4).\n"
+      "t(X,Y) :- e(X,Y).\n"
+      "t(X,Y) :- e(X,Z), t(Z,Y).\n"
+      ":serve 2 t(1, X)\n"
+      ":quit\n");
+  EXPECT_NE(out.find("served 51 queries over 2 thread(s), 3 answer(s) each"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("queries_served=51"), std::string::npos) << out;
+  EXPECT_NE(out.find("snapshots_published=2"), std::string::npos) << out;
+}
+
 TEST(Repl, WhyProvenance) {
   std::string out = RunRepl(
       "parent(a,b).\n"

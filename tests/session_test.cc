@@ -156,25 +156,69 @@ TEST(Session, ConstIntrospectionAccessors) {
   EXPECT_EQ(view.engine().catalog(), &view.catalog());
 }
 
-TEST(Session, DeprecatedQueryOptionSettersMapOntoStrategy) {
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  QueryOptions options;
-  EXPECT_EQ(options.strategy, QueryStrategy::kModel);
-  // Supplementary before magic must still land on kMagicSupplementary.
-  options.set_use_supplementary(true);
-  options.set_use_magic(true);
-  EXPECT_EQ(options.strategy, QueryStrategy::kMagicSupplementary);
-  options.set_use_supplementary(false);
-  EXPECT_EQ(options.strategy, QueryStrategy::kMagic);
-  // Historical precedence: top-down wins over magic while set.
-  options.set_use_topdown(true);
-  EXPECT_EQ(options.strategy, QueryStrategy::kTopDown);
-  options.set_use_topdown(false);
-  EXPECT_EQ(options.strategy, QueryStrategy::kMagic);
-  options.set_use_magic(false);
-  EXPECT_EQ(options.strategy, QueryStrategy::kModel);
-#pragma GCC diagnostic pop
+TEST(Session, QueryStrategyToStringParseRoundTrip) {
+  for (QueryStrategy strategy :
+       {QueryStrategy::kModel, QueryStrategy::kMagic,
+        QueryStrategy::kMagicSupplementary, QueryStrategy::kTopDown}) {
+    auto parsed = ParseQueryStrategy(ToString(strategy));
+    ASSERT_TRUE(parsed.ok()) << ToString(strategy);
+    EXPECT_EQ(*parsed, strategy);
+  }
+  // Aliases accepted by Parse but never printed by ToString.
+  EXPECT_EQ(*ParseQueryStrategy("magic-supplementary"),
+            QueryStrategy::kMagicSupplementary);
+  EXPECT_EQ(*ParseQueryStrategy("sup"), QueryStrategy::kMagicSupplementary);
+  EXPECT_EQ(*ParseQueryStrategy("top-down"), QueryStrategy::kTopDown);
+  // Unknown names fail with a message enumerating the canonical names.
+  auto bad = ParseQueryStrategy("bottom-up");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find(QueryStrategyNames()),
+            std::string::npos);
+}
+
+TEST(Session, PreparedQueryReuseAcrossStrategies) {
+  Session session;
+  ASSERT_TRUE(session.Load(R"(
+    edge(1, 2). edge(2, 3). edge(3, 4).
+    path(X, Y) :- edge(X, Y).
+    path(X, Y) :- edge(X, Z), path(Z, Y).
+  )").ok());
+  auto prepared = session.Prepare("path(1, X)");
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_TRUE(prepared->valid());
+  EXPECT_EQ(prepared->text(), "path(1, X)");
+  for (QueryStrategy strategy :
+       {QueryStrategy::kModel, QueryStrategy::kMagic,
+        QueryStrategy::kMagicSupplementary, QueryStrategy::kTopDown}) {
+    QueryOptions options;
+    options.strategy = strategy;
+    auto result = session.Query(*prepared, options);
+    ASSERT_TRUE(result.ok()) << ToString(strategy);
+    EXPECT_EQ(result->tuples.size(), 3u) << ToString(strategy);
+  }
+}
+
+TEST(Session, PreparedQuerySurvivesAddFacts) {
+  Session session;
+  ASSERT_TRUE(session.Load("edge(1, 2). path(X, Y) :- edge(X, Y).").ok());
+  auto prepared = session.Prepare("path(X, Y)");
+  ASSERT_TRUE(prepared.ok());
+  auto before = session.Query(*prepared);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->tuples.size(), 1u);
+  // Answers reflect the model at query time, not preparation time.
+  ASSERT_TRUE(session.AddFacts("edge(2, 3).").ok());
+  auto after = session.Query(*prepared);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->tuples.size(), 2u);
+}
+
+TEST(Session, DefaultPreparedQueryRejected) {
+  Session session;
+  ASSERT_TRUE(session.Load("p(a).").ok());
+  PreparedQuery unprepared;
+  EXPECT_FALSE(unprepared.valid());
+  EXPECT_FALSE(session.Query(unprepared).ok());
 }
 
 TEST(Session, LastEvalStatsPopulated) {

@@ -17,6 +17,7 @@
 //   :naive on|off        switch the fixpoint engine (default: semi-naive)
 //   :threads N           worker threads for bottom-up evaluation
 //   :stats               stats of the last evaluation
+//   :serve [N] goal      answer goal from N concurrent ldl::Service readers
 //   :profile [on|off]    collect per-rule/per-stratum profiles on queries
 //   :profile dump [file] last collected profile as JSON (stdout or file)
 //
@@ -25,15 +26,19 @@
 // exit status.
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "base/str_util.h"
 #include "ldl/ldl.h"
+#include "ldl/service.h"
 
 namespace {
 
@@ -45,6 +50,13 @@ struct ReplState {
   bool profile = false;
   // Profile of the most recent profiled query (what :profile dump shows).
   ldl::EvalProfile last_profile;
+  // The goal most recently prepared, reused while consecutive queries
+  // repeat the same text (skips the per-call reparse).
+  std::string last_goal_text;
+  ldl::PreparedQuery last_prepared;
+  // Everything fed to the session as program text, replayed by :serve to
+  // stand up an ldl::Service over the same program.
+  std::string program_text;
   bool any_failed = false;
 };
 
@@ -63,9 +75,10 @@ void PrintHelp() {
       "    anc(X, Y) :- parent(X, Z), anc(Z, Y).\n"
       "    ? anc(a, X).\n"
       "meta: :help :quit :strata :preds :facts p/2 :program :warnings :why f(a)\n"
-      "      :strategy model|magic|magic-sup|topdown  :magic on|off|sup\n"
-      "      :naive on|off  :threads N  :stats\n"
-      "      :profile [on|off]  :profile dump [file]\n");
+      "      :strategy [%s]  :magic on|off|sup\n"
+      "      :naive on|off  :threads N  :stats  :serve [N] goal\n"
+      "      :profile [on|off]  :profile dump [file]\n",
+      ldl::QueryStrategyNames());
 }
 
 void RunQuery(ReplState& state, const std::string& goal) {
@@ -75,7 +88,18 @@ void RunQuery(ReplState& state, const std::string& goal) {
                                   : ldl::EvalOptions::Mode::kSemiNaive;
   options.eval.num_threads = state.threads;
   options.eval.profile = state.profile;
-  auto result = state.session.Query(goal, options);
+  // Repeated queries of the same text reuse the prepared goal instead of
+  // reparsing it.
+  if (goal != state.last_goal_text || !state.last_prepared.valid()) {
+    auto prepared = state.session.Prepare(goal);
+    if (!prepared.ok()) {
+      Fail(state, prepared.status().ToString());
+      return;
+    }
+    state.last_prepared = *std::move(prepared);
+    state.last_goal_text = goal;
+  }
+  auto result = state.session.Query(state.last_prepared, options);
   if (!result.ok()) {
     Fail(state, result.status().ToString());
     return;
@@ -177,6 +201,52 @@ void ShowProgram(ReplState& state) {
   std::printf("%s", printer.ToString(state.session.expanded_ast()).c_str());
 }
 
+// :serve [N] goal -- stands up an ldl::Service over the program entered so
+// far and answers `goal` from N concurrent reader threads, then prints the
+// service's serving counters. A smoke-scale demo of the concurrent serving
+// facade (bench/bench_service.cc measures it properly).
+void RunServe(ReplState& state, int threads, const std::string& goal) {
+  ldl::Service service;
+  ldl::Status status = service.Load(state.program_text);
+  if (!status.ok()) {
+    Fail(state, status.ToString());
+    return;
+  }
+  auto prepared = service.Prepare(goal);
+  if (!prepared.ok()) {
+    Fail(state, prepared.status().ToString());
+    return;
+  }
+  auto sample = service.Query(*prepared);
+  if (!sample.ok()) {
+    Fail(state, sample.status().ToString());
+    return;
+  }
+  constexpr int kQueriesPerThread = 25;
+  std::atomic<size_t> failures{0};
+  std::vector<std::thread> readers;
+  readers.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    readers.emplace_back([&] {
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        auto result = service.Query(*prepared);
+        if (!result.ok() || result->tuples.size() != sample->tuples.size()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& reader : readers) reader.join();
+  if (failures.load() != 0) {
+    Fail(state, ldl::StrCat(failures.load(), " of the concurrent queries "
+                                             "failed or disagreed"));
+    return;
+  }
+  std::printf("served %d queries over %d thread(s), %zu answer(s) each\n",
+              threads * kQueriesPerThread + 1, threads, sample->tuples.size());
+  std::printf("  %s\n", ldl::FormatServiceStats(service.stats()).c_str());
+}
+
 void ShowStats(ReplState& state) {
   // Generated from the EvalStats X-macro: every counter prints, including
   // ones added later.
@@ -250,7 +320,8 @@ bool HandleLine(ReplState& state, const std::string& raw) {
       }
     } else if (command == "strategy") {
       if (argument.empty()) {
-        std::printf("strategy: %s\n", ldl::ToString(state.strategy));
+        std::printf("strategy: %s (valid: %s)\n", ldl::ToString(state.strategy),
+                    ldl::QueryStrategyNames());
       } else {
         auto strategy = ldl::ParseQueryStrategy(argument);
         if (!strategy.ok()) {
@@ -259,6 +330,25 @@ bool HandleLine(ReplState& state, const std::string& raw) {
           state.strategy = *strategy;
           std::printf("strategy: %s\n", ldl::ToString(state.strategy));
         }
+      }
+    } else if (command == "serve") {
+      // :serve [N] goal -- the thread count is optional.
+      int threads = 2;
+      std::string goal = argument;
+      if (!goal.empty() && goal.find_first_not_of("0123456789") ==
+                               std::string::npos) {
+        threads = atoi(goal.c_str());
+        goal.clear();
+      }
+      std::string rest;
+      std::getline(in, rest);
+      goal += rest;
+      goal = std::string(ldl::StripWhitespace(goal));
+      if (!goal.empty() && goal.back() == '.') goal.pop_back();
+      if (goal.empty() || threads < 1) {
+        Fail(state, "usage: :serve [N] goal");
+      } else {
+        RunServe(state, threads, goal);
       }
     } else if (command == "magic") {
       // Back-compat shorthand for :strategy.
@@ -300,7 +390,12 @@ bool HandleLine(ReplState& state, const std::string& raw) {
   // facts (the next query maintains it incrementally); anything else falls
   // back to Load() semantics inside.
   ldl::Status status = state.session.AddFacts(line);
-  if (!status.ok()) Fail(state, status.ToString());
+  if (!status.ok()) {
+    Fail(state, status.ToString());
+  } else {
+    state.program_text += line;
+    state.program_text += '\n';
+  }
   return true;
 }
 
@@ -321,6 +416,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%s: %s\n", argv[i], status.ToString().c_str());
       return 1;
     }
+    state.program_text += buffer.str();
+    state.program_text += '\n';
     std::printf("loaded %s\n", argv[i]);
   }
 
