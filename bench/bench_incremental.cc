@@ -1,5 +1,6 @@
-// B9: incremental model maintenance (Session::AddFacts +
-// Engine::EvaluateIncremental) vs full re-materialization on EDB inserts.
+// B9: incremental model maintenance (Session::AddFacts/RemoveFacts +
+// Engine::EvaluateIncremental{,Delete}) vs full re-materialization on EDB
+// inserts and deletes.
 // Each iteration inserts one fresh fact into an already-materialized model
 // and re-evaluates, then answers a query against the maintained model. The
 // incremental arm resumes the affected strata from the delta; the full arm
@@ -126,6 +127,92 @@ void BM_GroupingInsertFull(benchmark::State& state) {
                  "GroupingInsertFull");
 }
 
+// One delete -> re-evaluate -> query round per iteration. The deleted fact
+// is a disconnected component inserted (and settled) outside the timed
+// region, so each round measures exactly one single-fact deletion against
+// an already-materialized model. The incremental arm runs DRed (recursive
+// strata, strata_overdeleted) or counter decrements (non-recursive strata,
+// count_decrements); the baseline invalidates the model so the same
+// deletion pays a from-scratch evaluation.
+void RunDeleteQuery(benchmark::State& state, const Workload& workload,
+                    bool incremental, const char* name) {
+  auto session = ldl_bench::MakeSession(state, workload.facts, workload.rules);
+  if (session == nullptr) return;
+  ldl::EvalOptions options;
+  options.profile = ldl_bench::ProfileRequested();
+  ldl::Status status = session->Evaluate(options);
+  if (!status.ok()) {
+    state.SkipWithError(status.ToString().c_str());
+    return;
+  }
+  ldl::QueryOptions query_options;
+  query_options.eval = options;
+  size_t i = 0;
+  size_t answers = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::string fact = workload.insert(i++);
+    status = session->AddFacts(fact);
+    if (status.ok()) status = session->Evaluate(options);
+    state.ResumeTiming();
+    if (status.ok()) status = session->RemoveFacts(fact);
+    if (status.ok() && !incremental) {
+      session->InvalidateModel();
+    }
+    if (status.ok()) status = session->Evaluate(options);
+    if (!status.ok()) {
+      state.SkipWithError(status.ToString().c_str());
+      return;
+    }
+    auto result = session->Query(workload.query, query_options);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    answers = result->tuples.size();
+  }
+  benchmark::DoNotOptimize(answers);
+  ldl_bench::RecordStats(state, session->last_eval_stats());
+  state.counters["incremental_evals"] =
+      static_cast<double>(session->incremental_evals());
+  state.counters["full_evals"] = static_cast<double>(session->full_evals());
+  ldl_bench::MaybeDumpProfile(
+      name + ("/" + std::to_string(state.range(0))),
+      session->last_eval_profile());
+}
+
+// Non-recursive projection over the same random graph: deletions here are
+// pure derivation-counter decrements, no DRed over-delete pass.
+Workload MakeProjection(size_t edb) {
+  return {ldl::RandomGraph(/*nodes=*/edb / 4, /*edges=*/edb, /*seed=*/11, "e"),
+          "r(X) :- e(X, Y).\n", TcInsert, "r(zza0)"};
+}
+
+void BM_TcDeleteIncremental(benchmark::State& state) {
+  RunDeleteQuery(state, MakeTc(state.range(0)), /*incremental=*/true,
+                 "TcDeleteIncremental");
+}
+void BM_TcDeleteFull(benchmark::State& state) {
+  RunDeleteQuery(state, MakeTc(state.range(0)), /*incremental=*/false,
+                 "TcDeleteFull");
+}
+void BM_AncestorDeleteIncremental(benchmark::State& state) {
+  RunDeleteQuery(state, MakeAncestor(state.range(0)), /*incremental=*/true,
+                 "AncestorDeleteIncremental");
+}
+void BM_AncestorDeleteFull(benchmark::State& state) {
+  RunDeleteQuery(state, MakeAncestor(state.range(0)), /*incremental=*/false,
+                 "AncestorDeleteFull");
+}
+void BM_ProjectionDeleteIncremental(benchmark::State& state) {
+  RunDeleteQuery(state, MakeProjection(state.range(0)), /*incremental=*/true,
+                 "ProjectionDeleteIncremental");
+}
+void BM_ProjectionDeleteFull(benchmark::State& state) {
+  RunDeleteQuery(state, MakeProjection(state.range(0)), /*incremental=*/false,
+                 "ProjectionDeleteFull");
+}
+
 // Evaluate() with a current model and no pending delta: the cache-hit
 // floor every maintained round sits on top of.
 void BM_NoopEvaluateCacheHit(benchmark::State& state) {
@@ -158,6 +245,16 @@ BENCHMARK(BM_GroupingInsertIncremental)->Arg(1024)->Arg(4096)
     ->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_GroupingInsertFull)->Arg(1024)->Arg(4096)
     ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_TcDeleteIncremental)->Arg(1024)->Arg(4096)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_TcDeleteFull)->Arg(1024)->Arg(4096)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_AncestorDeleteIncremental)->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_AncestorDeleteFull)->Arg(1024)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ProjectionDeleteIncremental)->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ProjectionDeleteFull)->Arg(1024)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_NoopEvaluateCacheHit)->Arg(1024)->Unit(benchmark::kMicrosecond);
 
 BENCHMARK_MAIN();

@@ -65,6 +65,13 @@ inline void RecordStats(benchmark::State& state, const ldl::EvalStats& stats) {
   state.counters["strata_recomputed"] =
       static_cast<double>(stats.strata_recomputed);
   state.counters["strata_regrown"] = static_cast<double>(stats.strata_regrown);
+  // Incremental-deletion counters (DESIGN.md §10).
+  state.counters["strata_overdeleted"] =
+      static_cast<double>(stats.strata_overdeleted);
+  state.counters["rederive_rounds"] =
+      static_cast<double>(stats.rederive_rounds);
+  state.counters["count_decrements"] =
+      static_cast<double>(stats.count_decrements);
   // Set-term / grouping fast-path counters (DESIGN.md §8).
   state.counters["groups_built"] = static_cast<double>(stats.groups_built);
   state.counters["groups_reused"] = static_cast<double>(stats.groups_reused);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "base/str_util.h"
@@ -455,6 +456,20 @@ Status Engine::Fixpoint(const ProgramIr& program, const std::vector<int>& rule_i
             size_t shard_to = std::min(to, shard_from + chunk);
             if (shard_from >= shard_to) break;
             std::vector<LiteralWindow> windows(c.rule->body.size());
+            // Exact decomposition, mirroring the serial path: carrier
+            // positions after the pinned occurrence see only pre-round rows
+            // so each multi-delta solution is enumerated by exactly one
+            // variant. Other positions keep the default full window -- the
+            // round reads an immutable snapshot, so "full" is the
+            // round-start state.
+            for (size_t i = occurrence + 1; i < c.rule->body.size(); ++i) {
+              const LiteralIr& literal = c.rule->body[i];
+              if (!literal.is_builtin() && !literal.negated &&
+                  literal.pred < delta_preds.size() &&
+                  delta_preds[literal.pred]) {
+                windows[i] = {0, low[literal.pred]};
+              }
+            }
             windows[occurrence] = {shard_from, shard_to};
             // Only the variant's first shard counts as a firing; delta_rows
             // is per shard and sums to the variant's window, so both stay
@@ -471,6 +486,14 @@ Status Engine::Fixpoint(const ProgramIr& program, const std::vector<int>& rule_i
       // path reads an immutable pre-round database, so the serial windows
       // pin every positive literal to [0, row_count-at-round-start) (the
       // delta occurrence to its [low, high) slice) to match.
+      //
+      // Exact decomposition across delta carriers: when several body
+      // positions carry deltas, the variant pinning occurrence i gives
+      // carrier positions *before* i the full round-start window (NEW) and
+      // carrier positions *after* i only the pre-round rows (OLD,
+      // [0, low)). Every solution touching >= 1 delta row is then found by
+      // exactly one variant -- the one pinning its *first* delta position --
+      // so derivation counts stay exact under multi-delta joins.
       std::vector<size_t> snap(catalog_->size());
       for (PredId p = 0; p < catalog_->size(); ++p) {
         snap[p] = db->relation(p).row_count();
@@ -483,7 +506,11 @@ Status Engine::Fixpoint(const ProgramIr& program, const std::vector<int>& rule_i
           for (size_t i = 0; i < c.rule->body.size(); ++i) {
             const LiteralIr& literal = c.rule->body[i];
             if (!literal.is_builtin() && !literal.negated) {
-              windows[i] = {0, snap[literal.pred]};
+              const bool carrier = literal.pred < delta_preds.size() &&
+                                   delta_preds[literal.pred];
+              windows[i] = carrier && static_cast<int>(i) > occurrence
+                               ? LiteralWindow{0, low[literal.pred]}
+                               : LiteralWindow{0, snap[literal.pred]};
             }
           }
           windows[occurrence] = {low[delta_pred], high[delta_pred]};
@@ -926,6 +953,568 @@ Status Engine::EvaluateStratumGroupRegrow(
   return Status::OK();
 }
 
+Status Engine::EvaluateStratumShrink(
+    const ProgramIr& program, const std::vector<int>& rules, int stratum_index,
+    Database* db, const FixpointSeed& seed,
+    std::vector<std::vector<size_t>>* removed_rows, const EvalOptions& options,
+    EvalStats* stats, EvalProfile* profile) {
+  uint64_t stratum_wall = 0;
+  ScopedWallTimer stratum_timer(profile != nullptr ? &stratum_wall : nullptr);
+  const uint64_t rounds_before = stats->iterations;
+  const uint64_t facts_before = stats->facts_derived;
+  const uint64_t tasks_before = stats->parallel_tasks;
+
+  // Drop ledger entries whose rows came back: a lower stratum's rederive or
+  // insert resume can revive a row an earlier phase deleted, and a revived
+  // row is no longer a deletion. (The row_count guard covers relations a
+  // recomputed stratum cleared, which invalidates old row ids.)
+  for (PredId p = 0; p < removed_rows->size(); ++p) {
+    std::vector<size_t>& rows = (*removed_rows)[p];
+    if (rows.empty()) continue;
+    const Relation& rel = db->relation(p);
+    rows.erase(std::remove_if(rows.begin(), rows.end(),
+                              [&](size_t row) {
+                                return row >= rel.row_count() || rel.IsLive(row);
+                              }),
+               rows.end());
+  }
+
+  // Facts never lose support, and grouping rules only appear here with
+  // untouched inputs (a shrunk grouping input escalates the stratum to
+  // kRecompute), so like the delta path only the normal rules participate
+  // in deletion; fact rules still guarantee their tuples survive.
+  std::vector<int> normal_rules;
+  std::vector<int> fact_rules;
+  std::vector<bool> is_head(catalog_->size(), false);
+  for (int r : rules) {
+    const RuleIr& rule = program.rules[r];
+    if (rule.is_fact()) {
+      fact_rules.push_back(r);
+    } else if (!rule.is_grouping()) {
+      normal_rules.push_back(r);
+      is_head[rule.head_pred] = true;
+    }
+  }
+
+  auto has_deletions = [&](PredId p) {
+    return p < removed_rows->size() && !(*removed_rows)[p].empty();
+  };
+  // The pre-update ("old") extent of a body predicate: rows below the
+  // previous evaluation's watermark. Rows past it are this batch's
+  // insertions (or their consequences), which the old model never saw.
+  auto watermark_of = [&](PredId p) {
+    size_t mark = p < seed.watermarks->size() ? (*seed.watermarks)[p] : 0;
+    return std::min(mark, db->relation(p).row_count());
+  };
+
+  // Rules that can lose solutions: at least one positive occurrence of a
+  // predicate with settled deletions below.
+  std::vector<int> affected_rules;
+  bool recursive = false;
+  for (int r : normal_rules) {
+    const RuleIr& rule = program.rules[r];
+    bool affected = false;
+    for (const LiteralIr& literal : rule.body) {
+      if (literal.is_builtin() || literal.negated) continue;
+      if (has_deletions(literal.pred)) affected = true;
+      if (literal.pred < is_head.size() && is_head[literal.pred]) {
+        recursive = true;
+      }
+    }
+    if (affected) affected_rules.push_back(r);
+  }
+
+  // Counting fast path eligibility: every affected head carries exact
+  // derivation counts, the stratum is non-recursive (a recursive fixpoint's
+  // counts were never enabled anyway, but the check keeps the reasoning
+  // local), and no affected rule mentions a deleted predicate in more than
+  // one positive position -- the deletion decomposition below pins one
+  // occurrence per variant and relies on the same predicate not appearing
+  // elsewhere in the body with a different liveness requirement.
+  bool counting = !affected_rules.empty() && !recursive;
+  for (int r : affected_rules) {
+    if (!counting) break;
+    const RuleIr& rule = program.rules[r];
+    if (!db->relation(rule.head_pred).counted()) counting = false;
+    for (size_t i = 0; i < rule.body.size() && counting; ++i) {
+      const LiteralIr& a = rule.body[i];
+      if (a.is_builtin() || a.negated || !has_deletions(a.pred)) continue;
+      for (size_t j = i + 1; j < rule.body.size(); ++j) {
+        const LiteralIr& b = rule.body[j];
+        if (!b.is_builtin() && !b.negated && b.pred == a.pred) {
+          counting = false;
+          break;
+        }
+      }
+    }
+  }
+
+  if (counting) {
+    // ---- Counting fast path: each solution of the old model that involved
+    // a deleted row decrements its head fact's derivation count; a fact
+    // whose count reaches zero is deleted in turn. The decomposition
+    // mirrors the insert-side one: the variant pinning deleted-carrier
+    // occurrence i sees the deleted rows of carrier positions *before* i
+    // (transiently revived) and not those *after* i, so each lost solution
+    // is decremented exactly once. The watermark cap excludes this batch's
+    // insertions everywhere: solutions involving them were never counted
+    // (the insert resume below adds them against the post-deletion state).
+    for (int r : affected_rules) {
+      const RuleIr& rule = program.rules[r];
+      RuleProfileEntry* entry = ProfileEntry(profile, rule, r, stratum_index);
+      Relation& head_rel = db->relation(rule.head_pred);
+      for (size_t occurrence = 0; occurrence < rule.body.size(); ++occurrence) {
+        const LiteralIr& occ_literal = rule.body[occurrence];
+        if (occ_literal.is_builtin() || occ_literal.negated ||
+            !has_deletions(occ_literal.pred)) {
+          continue;
+        }
+        // Fronting the pinned occurrence is only a join-order optimization;
+        // fall back to the default order when no forced order is evaluable.
+        std::vector<int> order;
+        StatusOr<std::vector<int>> forced =
+            OrderBodyLiterals(*catalog_, rule, static_cast<int>(occurrence));
+        if (forced.ok()) {
+          order = std::move(forced).value();
+        } else {
+          LDL_ASSIGN_OR_RETURN(order, OrderBodyLiterals(*catalog_, rule));
+        }
+        std::shared_ptr<const JoinPlan> plan;
+        if (options.use_compiled_plans) {
+          plan = plans_->Get(rule, order, &stats->plan_cache_hits);
+        }
+        RuleEvaluator evaluator(factory_, &rule, std::move(order),
+                                options.builtin_limits, std::move(plan),
+                                options.use_compiled_plans);
+
+        std::vector<std::pair<Relation*, size_t>> revived;
+        for (size_t j = 0; j < occurrence; ++j) {
+          const LiteralIr& literal = rule.body[j];
+          if (literal.is_builtin() || literal.negated ||
+              !has_deletions(literal.pred)) {
+            continue;
+          }
+          Relation& rel = db->relation(literal.pred);
+          for (size_t row : (*removed_rows)[literal.pred]) {
+            rel.SetLive(row, true);
+            revived.emplace_back(&rel, row);
+          }
+        }
+        std::vector<LiteralWindow> windows(rule.body.size());
+        for (size_t j = 0; j < rule.body.size(); ++j) {
+          const LiteralIr& literal = rule.body[j];
+          if (!literal.is_builtin() && !literal.negated) {
+            windows[j] = {0, watermark_of(literal.pred)};
+          }
+        }
+        ++stats->rule_firings;
+        if (entry != nullptr) {
+          ++entry->counters.firings;
+          entry->counters.delta_rows +=
+              (*removed_rows)[occ_literal.pred].size();
+        }
+        Relation& occ_rel = db->relation(occ_literal.pred);
+        Status inner;
+        Status status;
+        for (size_t rid : (*removed_rows)[occ_literal.pred]) {
+          occ_rel.SetLive(rid, true);
+          windows[occurrence] = {rid, rid + 1};
+          status = evaluator.ForEachSolution(
+              *db, windows,
+              [&](const SolutionView& view) {
+                InstantiationResult inst = evaluator.InstantiateHead(view);
+                if (inst.unbound) {
+                  inner = InternalError(
+                      "head variable unbound in a body solution");
+                  return false;
+                }
+                if (inst.outside_universe) return true;
+                size_t head_row = head_rel.Find(inst.tuple);
+                if (head_row == Relation::npos || !head_rel.IsLive(head_row)) {
+                  return true;
+                }
+                ++stats->count_decrements;
+                if (head_rel.DecrementDerivation(head_row)) {
+                  (*removed_rows)[rule.head_pred].push_back(head_row);
+                }
+                return true;
+              },
+              stats);
+          occ_rel.SetLive(rid, false);
+          if (!status.ok() || !inner.ok()) break;
+        }
+        for (auto& [rel, row] : revived) rel->SetLive(row, false);
+        LDL_RETURN_IF_ERROR(status);
+        LDL_RETURN_IF_ERROR(inner);
+      }
+    }
+    ++stats->strata_delta;
+  } else if (!affected_rules.empty()) {
+    // ---- DRed phase 1: over-delete to a fixpoint against the pre-deletion
+    // state. Every settled deletion below is transiently revived and every
+    // body window capped at the previous watermark, so joins see exactly
+    // the old model. Consequences of each worklist row are *marked* but
+    // kept live -- later worklist items still join against the complete old
+    // state, which is what makes this an over-approximation -- and fed back
+    // through the worklist for the recursive case.
+    ++stats->strata_overdeleted;
+
+    struct ShrinkVariant {
+      const RuleIr* rule;
+      size_t occurrence;
+      std::vector<int> order;
+      std::shared_ptr<const JoinPlan> plan;
+      RuleProfileEntry* entry;
+    };
+    std::unordered_map<PredId, std::vector<ShrinkVariant>> variants_by_pred;
+    for (int r : normal_rules) {
+      const RuleIr& rule = program.rules[r];
+      RuleProfileEntry* entry = ProfileEntry(profile, rule, r, stratum_index);
+      for (size_t i = 0; i < rule.body.size(); ++i) {
+        const LiteralIr& literal = rule.body[i];
+        if (literal.is_builtin() || literal.negated) continue;
+        // Only predicates that can appear on the worklist: deleted body
+        // preds and the stratum's own heads.
+        if (!has_deletions(literal.pred) &&
+            !(literal.pred < is_head.size() && is_head[literal.pred])) {
+          continue;
+        }
+        ShrinkVariant v{&rule, i, {}, nullptr, entry};
+        StatusOr<std::vector<int>> forced =
+            OrderBodyLiterals(*catalog_, rule, static_cast<int>(i));
+        if (forced.ok()) {
+          v.order = std::move(forced).value();
+        } else {
+          LDL_ASSIGN_OR_RETURN(v.order, OrderBodyLiterals(*catalog_, rule));
+        }
+        if (options.use_compiled_plans) {
+          v.plan = plans_->Get(rule, v.order, &stats->plan_cache_hits);
+        }
+        variants_by_pred[literal.pred].push_back(std::move(v));
+      }
+    }
+
+    // Revive the settled deletions of every deleted body predicate for the
+    // duration of phase 1.
+    std::vector<std::pair<Relation*, size_t>> revived;
+    std::vector<bool> revived_pred(catalog_->size(), false);
+    std::vector<std::pair<PredId, size_t>> worklist;
+    for (int r : normal_rules) {
+      for (const LiteralIr& literal : program.rules[r].body) {
+        if (literal.is_builtin() || literal.negated) continue;
+        PredId p = literal.pred;
+        if (p >= revived_pred.size() || revived_pred[p] || !has_deletions(p)) {
+          continue;
+        }
+        revived_pred[p] = true;
+        Relation& rel = db->relation(p);
+        for (size_t row : (*removed_rows)[p]) {
+          rel.SetLive(row, true);
+          revived.emplace_back(&rel, row);
+          worklist.emplace_back(p, row);
+        }
+      }
+    }
+
+    // Over-deleted head rows (marked, still live until phase 1 ends).
+    std::vector<std::unordered_set<size_t>> marked(catalog_->size());
+    Status phase1;
+    for (size_t idx = 0; idx < worklist.size() && phase1.ok(); ++idx) {
+      const auto [q, rid] = worklist[idx];
+      auto it = variants_by_pred.find(q);
+      if (it == variants_by_pred.end()) continue;
+      for (ShrinkVariant& v : it->second) {
+        if (v.rule->body[v.occurrence].pred != q) continue;
+        RuleEvaluator evaluator(factory_, v.rule, v.order,
+                                options.builtin_limits, v.plan,
+                                options.use_compiled_plans);
+        std::vector<LiteralWindow> windows(v.rule->body.size());
+        for (size_t j = 0; j < v.rule->body.size(); ++j) {
+          const LiteralIr& literal = v.rule->body[j];
+          if (!literal.is_builtin() && !literal.negated) {
+            windows[j] = {0, watermark_of(literal.pred)};
+          }
+        }
+        windows[v.occurrence] = {rid, rid + 1};
+        ++stats->rule_firings;
+        if (v.entry != nullptr) {
+          ++v.entry->counters.firings;
+          ++v.entry->counters.delta_rows;
+        }
+        Relation& head_rel = db->relation(v.rule->head_pred);
+        Status inner;
+        Status status = evaluator.ForEachSolution(
+            *db, windows,
+            [&](const SolutionView& view) {
+              InstantiationResult inst = evaluator.InstantiateHead(view);
+              if (inst.unbound) {
+                inner = InternalError(
+                    "head variable unbound in a body solution");
+                return false;
+              }
+              if (inst.outside_universe) return true;
+              size_t head_row = head_rel.Find(inst.tuple);
+              if (head_row == Relation::npos || !head_rel.IsLive(head_row)) {
+                return true;
+              }
+              if (marked[v.rule->head_pred].insert(head_row).second) {
+                worklist.emplace_back(v.rule->head_pred, head_row);
+              }
+              return true;
+            },
+            stats);
+        phase1 = status.ok() ? inner : status;
+        if (!phase1.ok()) break;
+      }
+    }
+    // Deleted rows go back to being tombstones whether or not phase 1
+    // succeeded; a clean database state outlives the error.
+    for (auto& [rel, row] : revived) rel->SetLive(row, false);
+    LDL_RETURN_IF_ERROR(phase1);
+
+    // Tombstone the over-deleted rows (sorted for deterministic order), and
+    // abandon any derivation counts DRed bypassed on the affected heads.
+    std::vector<std::pair<PredId, size_t>> overdeleted;
+    for (PredId h = 0; h < marked.size(); ++h) {
+      if (marked[h].empty()) continue;
+      std::vector<size_t> rows(marked[h].begin(), marked[h].end());
+      std::sort(rows.begin(), rows.end());
+      Relation& rel = db->relation(h);
+      for (size_t row : rows) {
+        rel.SetLive(row, false);
+        overdeleted.emplace_back(h, row);
+      }
+      rel.DisableCounts();
+    }
+
+    // ---- DRed phase 2: rederive over-deleted facts that still have a
+    // derivation from the surviving state. The head tuple seeds the body
+    // evaluation (MatchArgs binds the head variables; the legacy
+    // interpreter honors seeded substitutions), so each candidate costs one
+    // targeted existence check instead of re-running the stratum. Rederived
+    // rows revive in place -- keeping their ids, so downstream deltas are
+    // unaffected -- and can support other candidates, hence the fixpoint
+    // rounds. Fact-rule tuples survive unconditionally.
+    for (int r : fact_rules) {
+      const RuleIr& rule = program.rules[r];
+      InstantiationResult inst =
+          InstantiateArgs(*factory_, rule.head_args, Subst());
+      if (inst.unbound || inst.outside_universe) continue;
+      Relation& rel = db->relation(rule.head_pred);
+      size_t row = rel.Find(inst.tuple);
+      if (row != Relation::npos && !rel.IsLive(row)) rel.SetLive(row, true);
+    }
+    std::unordered_map<PredId, std::vector<RuleEvaluator>> rederivers;
+    for (int r : normal_rules) {
+      const RuleIr& rule = program.rules[r];
+      std::vector<Symbol> head_vars;
+      for (const Term* arg : rule.head_args) CollectVars(arg, &head_vars);
+      std::vector<int> order;
+      StatusOr<std::vector<int>> bound =
+          OrderBodyLiterals(*catalog_, rule, -1, &head_vars);
+      if (bound.ok()) {
+        order = std::move(bound).value();
+      } else {
+        LDL_ASSIGN_OR_RETURN(order, OrderBodyLiterals(*catalog_, rule));
+      }
+      rederivers[rule.head_pred].emplace_back(factory_, &rule, std::move(order),
+                                              options.builtin_limits, nullptr,
+                                              /*use_plan=*/false);
+    }
+    const std::vector<LiteralWindow> no_windows;
+    std::vector<std::pair<PredId, size_t>> dead;
+    for (const auto& [h, row] : overdeleted) {
+      if (!db->relation(h).IsLive(row)) dead.emplace_back(h, row);
+    }
+    while (!dead.empty()) {
+      ++stats->rederive_rounds;
+      bool revived_any = false;
+      std::vector<std::pair<PredId, size_t>> still_dead;
+      for (const auto& [h, row] : dead) {
+        Relation& rel = db->relation(h);
+        RowRef tuple = rel.row(row);
+        bool found = false;
+        auto it = rederivers.find(h);
+        if (it != rederivers.end()) {
+          for (RuleEvaluator& evaluator : it->second) {
+            Subst subst;
+            Status inner;
+            MatchArgs(*factory_, evaluator.rule().head_args, tuple, &subst,
+                      [&]() {
+                        Status status = evaluator.ForEachSolutionSeeded(
+                            *db, no_windows, &subst,
+                            [&](const SolutionView&) {
+                              found = true;
+                              return false;
+                            },
+                            stats);
+                        if (!status.ok()) {
+                          inner = status;
+                          return false;
+                        }
+                        return !found;
+                      });
+            LDL_RETURN_IF_ERROR(inner);
+            if (found) break;
+          }
+        }
+        if (found) {
+          rel.SetLive(row, true);
+          revived_any = true;
+        } else {
+          still_dead.emplace_back(h, row);
+        }
+      }
+      dead.swap(still_dead);
+      if (!revived_any) break;
+    }
+    // What stayed dead is deleted for good; strata above see it through the
+    // ledger. (The insert resume below can still revive a row -- the next
+    // stratum's ledger pruning handles that.)
+    for (const auto& [h, row] : dead) (*removed_rows)[h].push_back(row);
+  } else {
+    // No settled deletion reaches this stratum (everything below was
+    // rederived or decremented back to life); only insert deltas remain.
+    ++stats->strata_delta;
+  }
+
+  // ---- Phase 3: resume the seeded semi-naive insert fixpoint, so a mixed
+  // insert+delete batch finishes in one pass. With no insert deltas this
+  // finds empty windows and exits immediately.
+  bool derived = false;
+  if (!normal_rules.empty()) {
+    LDL_RETURN_IF_ERROR(Fixpoint(program, normal_rules, stratum_index, db,
+                                 options, stats, &derived, profile, &seed));
+  }
+
+  if (profile != nullptr) {
+    stratum_timer.Stop();
+    StratumProfile rollup;
+    rollup.stratum = stratum_index;
+    rollup.mode = StratumMode::kShrink;
+    rollup.wall_ns = stratum_wall;
+    rollup.rounds = stats->iterations - rounds_before;
+    rollup.facts_derived = stats->facts_derived - facts_before;
+    rollup.parallel_tasks = stats->parallel_tasks - tasks_before;
+    profile->strata().push_back(rollup);
+  }
+  return Status::OK();
+}
+
+Status Engine::EvaluateIncrementalDelete(
+    const ProgramIr& program, const Stratification& stratification,
+    Database* db, const std::vector<size_t>& watermarks,
+    const std::vector<bool>& changed,
+    const std::vector<std::pair<PredId, Tuple>>& removed,
+    const EvalOptions& options, EvalStats* stats, EvalProfile* profile) {
+  EvalStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  if (!options.profile) profile = nullptr;
+  if (profile != nullptr) profile->ReserveRules(program.rules.size());
+  ScopedSetInternCounter set_interns(factory_, stats);
+  uint64_t total_wall = 0;
+  ScopedWallTimer total_timer(profile != nullptr ? &total_wall : nullptr);
+
+  // Settle the EDB deletions up front: tombstone each removed fact's row
+  // and record it in the per-predicate ledger. Absent facts are no-ops. A
+  // fact inserted and deleted in the same batch sits past its watermark;
+  // tombstoning it here is exactly the required cancellation (delta windows
+  // skip tombstoned rows).
+  std::vector<bool> shrunk(catalog_->size(), false);
+  std::vector<std::vector<size_t>> removed_rows(catalog_->size());
+  for (const auto& [pred, tuple] : removed) {
+    if (pred >= catalog_->size()) continue;
+    Relation& rel = db->relation(pred);
+    size_t row = rel.Find(tuple);
+    if (row == Relation::npos || !rel.IsLive(row)) continue;
+    rel.SetLive(row, false);
+    removed_rows[pred].push_back(row);
+    shrunk[pred] = true;
+  }
+
+  std::vector<PredImpact> impact =
+      ComputeImpact(*catalog_, program, changed, &shrunk);
+
+  // Delta carriers: as in EvaluateIncremental, plus the shrink-maintained
+  // predicates -- on a mixed batch they carry insert deltas too, and their
+  // rederived rows keep old ids, so the watermark logic is unchanged.
+  std::vector<bool> delta_preds(catalog_->size(), false);
+  for (PredId p = 0; p < catalog_->size(); ++p) {
+    if ((p < changed.size() && changed[p]) || impact[p] == PredImpact::kDelta ||
+        impact[p] == PredImpact::kShrink) {
+      delta_preds[p] = true;
+    }
+  }
+  FixpointSeed seed{&watermarks, &delta_preds};
+
+  for (size_t s = 0; s < stratification.strata.size(); ++s) {
+    const std::vector<int>& rules = stratification.strata[s];
+    PredImpact mode = PredImpact::kClean;
+    for (int r : rules) {
+      mode = std::max(mode, impact[program.rules[r].head_pred]);
+    }
+    if (mode == PredImpact::kClean) {
+      ++stats->strata_skipped;
+      if (profile != nullptr) {
+        StratumProfile rollup;
+        rollup.stratum = static_cast<int>(s);
+        rollup.mode = StratumMode::kSkipped;
+        profile->strata().push_back(rollup);
+      }
+      continue;
+    }
+    if (mode == PredImpact::kRecompute) {
+      // Same as the insert path, except the clear threshold drops to
+      // kShrink: a shrink-classified head sharing a recompute stratum never
+      // went through DRed, so its kept rows could include facts whose
+      // support was deleted -- clearing re-derives it from the maintained
+      // inputs. Cleared relations restart their ledgers and counts.
+      std::vector<bool> cleared(catalog_->size(), false);
+      for (int r : rules) {
+        PredId head = program.rules[r].head_pred;
+        if (impact[head] >= PredImpact::kShrink && !cleared[head]) {
+          cleared[head] = true;
+          db->relation(head).Clear();
+          removed_rows[head].clear();
+        }
+      }
+      for (int r : rules) {
+        PredId head = program.rules[r].head_pred;
+        if (!cleared[head]) db->relation(head).DisableCounts();
+      }
+      ++stats->strata_recomputed;
+      LDL_RETURN_IF_ERROR(EvaluateStratum(program, rules, static_cast<int>(s),
+                                          db, options, stats, profile));
+      if (profile != nullptr) {
+        profile->strata().back().mode = StratumMode::kRecomputed;
+      }
+      continue;
+    }
+    if (mode == PredImpact::kGroupRegrow) {
+      ++stats->strata_regrown;
+      LDL_RETURN_IF_ERROR(EvaluateStratumGroupRegrow(
+          program, rules, static_cast<int>(s), db, seed, impact, options,
+          stats, profile));
+      continue;
+    }
+    if (mode == PredImpact::kShrink) {
+      LDL_RETURN_IF_ERROR(EvaluateStratumShrink(
+          program, rules, static_cast<int>(s), db, seed, &removed_rows,
+          options, stats, profile));
+      continue;
+    }
+    ++stats->strata_delta;
+    LDL_RETURN_IF_ERROR(EvaluateStratumDelta(program, rules,
+                                             static_cast<int>(s), db, seed,
+                                             options, stats, profile));
+  }
+  if (profile != nullptr) {
+    total_timer.Stop();
+    profile->add_total_wall_ns(total_wall);
+  }
+  return Status::OK();
+}
+
 Status Engine::EvaluateIncremental(const ProgramIr& program,
                                    const Stratification& stratification,
                                    Database* db,
@@ -988,6 +1577,15 @@ Status Engine::EvaluateIncremental(const ProgramIr& program,
           db->relation(head).Clear();
         }
       }
+      // Kept heads (kDelta/kClean in this stratum) get their rules re-fired
+      // with dedup against the existing rows, so their derivation counts
+      // would inflate; abandon them (deletions there fall back to DRed).
+      // Cleared heads re-count from scratch: Clear() empties the counts but
+      // keeps counting enabled.
+      for (int r : rules) {
+        PredId head = program.rules[r].head_pred;
+        if (!cleared[head]) db->relation(head).DisableCounts();
+      }
       ++stats->strata_recomputed;
       LDL_RETURN_IF_ERROR(EvaluateStratum(program, rules, static_cast<int>(s),
                                           db, options, stats, profile));
@@ -1015,6 +1613,48 @@ Status Engine::EvaluateIncremental(const ProgramIr& program,
   return Status::OK();
 }
 
+namespace {
+
+// Turns on derivation counting for the head relations of every
+// non-recursive, grouping-free stratum before a from-scratch semi-naive
+// evaluation. Counts are only exact when each body solution is enumerated
+// once, which holds for the single full-application round a non-recursive
+// stratum runs (and for the exactly-decomposed delta resumes later); a
+// recursive fixpoint revisits solutions across rounds, and grouping
+// reconciliation erases/reinserts head facts, so those strata stay
+// uncounted and deletions there go through DRed. EnableCounts is a no-op on
+// non-empty relations, so a db that somehow already holds IDB rows simply
+// stays uncounted (conservative).
+void EnableDerivationCounts(const ProgramIr& program,
+                            const Stratification& stratification, Database* db) {
+  for (const std::vector<int>& rules : stratification.strata) {
+    std::vector<PredId> heads;
+    bool eligible = true;
+    for (int r : rules) {
+      if (program.rules[r].is_grouping()) {
+        eligible = false;
+        break;
+      }
+      heads.push_back(program.rules[r].head_pred);
+    }
+    if (!eligible) continue;
+    for (int r : rules) {
+      for (const LiteralIr& literal : program.rules[r].body) {
+        if (literal.is_builtin() || literal.negated) continue;
+        if (std::find(heads.begin(), heads.end(), literal.pred) != heads.end()) {
+          eligible = false;  // recursive stratum
+          break;
+        }
+      }
+      if (!eligible) break;
+    }
+    if (!eligible) continue;
+    for (PredId head : heads) db->relation(head).EnableCounts();
+  }
+}
+
+}  // namespace
+
 Status Engine::EvaluateProgram(const ProgramIr& program,
                                const Stratification& stratification, Database* db,
                                const EvalOptions& options, EvalStats* stats,
@@ -1026,6 +1666,9 @@ Status Engine::EvaluateProgram(const ProgramIr& program,
   ScopedSetInternCounter set_interns(factory_, stats);
   uint64_t total_wall = 0;
   ScopedWallTimer total_timer(profile != nullptr ? &total_wall : nullptr);
+  if (options.mode == EvalOptions::Mode::kSemiNaive) {
+    EnableDerivationCounts(program, stratification, db);
+  }
   for (size_t s = 0; s < stratification.strata.size(); ++s) {
     LDL_RETURN_IF_ERROR(EvaluateStratum(program, stratification.strata[s],
                                         static_cast<int>(s), db, options, stats,

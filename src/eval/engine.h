@@ -30,6 +30,7 @@
 #define LDL1_EVAL_ENGINE_H_
 
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "base/status.h"
@@ -107,8 +108,9 @@ class Engine {
   // and re-derive from the maintained inputs (stats->strata_skipped /
   // strata_delta / strata_regrown / strata_recomputed count the four
   // outcomes). The result is the same model EvaluateProgram computes
-  // from scratch over the updated EDB. Only insertions are supported;
-  // deletions and rule changes need a full re-evaluation.
+  // from scratch over the updated EDB. Only insertions are supported here;
+  // batches containing deletions go through EvaluateIncrementalDelete
+  // below, and rule changes still need a full re-evaluation.
   Status EvaluateIncremental(const ProgramIr& program,
                              const Stratification& stratification, Database* db,
                              const std::vector<size_t>& watermarks,
@@ -116,6 +118,35 @@ class Engine {
                              const EvalOptions& options = {},
                              EvalStats* stats = nullptr,
                              EvalProfile* profile = nullptr);
+
+  // Incremental maintenance after a mixed batch of EDB insertions and
+  // deletions (delete-and-rederive, DRed). Inputs are as for
+  // EvaluateIncremental -- `db` holds the pre-update model with inserted
+  // facts appended past `watermarks` and `changed` marking the inserted-into
+  // predicates -- plus `removed`, the EDB facts to delete (absent facts are
+  // ignored). Removed rows are tombstoned up front; then per stratum:
+  //   * kShrink strata with exact derivation counts (non-recursive,
+  //     grouping-free, counted heads, at most one deleted-carrier occurrence
+  //     per rule) decrement the counts of the head facts each deleted row
+  //     derived and tombstone rows reaching zero (stats->count_decrements);
+  //   * other kShrink strata run the two DRed phases -- over-delete to
+  //     fixpoint against the pre-deletion state (deleted rows transiently
+  //     revived), then rederive over-deleted facts that survive from the
+  //     remaining facts (stats->strata_overdeleted / rederive_rounds);
+  //   * both then resume the seeded semi-naive insert fixpoint, so mixed
+  //     batches finish in the same pass;
+  //   * strata reached through grouping or negation fall back to
+  //     clear-and-recompute exactly as in EvaluateIncremental, and kDelta /
+  //     kGroupRegrow / untouched strata are handled as there.
+  // The result is the model EvaluateProgram computes from scratch over the
+  // updated EDB.
+  Status EvaluateIncrementalDelete(
+      const ProgramIr& program, const Stratification& stratification,
+      Database* db, const std::vector<size_t>& watermarks,
+      const std::vector<bool>& changed,
+      const std::vector<std::pair<PredId, Tuple>>& removed,
+      const EvalOptions& options = {}, EvalStats* stats = nullptr,
+      EvalProfile* profile = nullptr);
 
   // Saturation evaluation for magic-rewritten (non-layered) programs (§6).
   // Profiled rules carry stratum -1 (the evaluation is unlayered).
@@ -189,6 +220,19 @@ class Engine {
                                     const std::vector<PredImpact>& impact,
                                     const EvalOptions& options,
                                     EvalStats* stats, EvalProfile* profile);
+
+  // Handles one kShrink stratum of EvaluateIncrementalDelete: the counting
+  // fast path when eligible, the DRed over-delete + rederive phases
+  // otherwise, then the seeded insert resume. `removed_rows[p]` holds the
+  // tombstoned row ids of each predicate's settled deletions; the handler
+  // consumes the entries of the strata below and appends the stratum's own
+  // head deletions for the strata above.
+  Status EvaluateStratumShrink(const ProgramIr& program,
+                               const std::vector<int>& rules, int stratum_index,
+                               Database* db, const FixpointSeed& seed,
+                               std::vector<std::vector<size_t>>* removed_rows,
+                               const EvalOptions& options, EvalStats* stats,
+                               EvalProfile* profile);
 
   // In-place incremental maintenance of one eligible grouping rule (sole
   // rule for its head, negation-free, kDelta body inputs; see

@@ -21,6 +21,8 @@ const char* ToString(StratumMode mode) {
       return "recomputed";
     case StratumMode::kGroupRegrow:
       return "group-regrow";
+    case StratumMode::kShrink:
+      return "shrink";
   }
   return "?";
 }

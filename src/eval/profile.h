@@ -100,9 +100,10 @@ enum class StratumMode : uint8_t {
   kDelta = 2,       // incremental: semi-naive resumed from deltas
   kRecomputed = 3,  // incremental: cleared and re-derived
   kGroupRegrow = 4, // incremental: grouped partitions regrown in place
+  kShrink = 5,      // incremental: deletions applied via counts or DRed
 };
 
-// "full", "skipped", "delta", "recomputed", "group-regrow".
+// "full", "skipped", "delta", "recomputed", "group-regrow", "shrink".
 const char* ToString(StratumMode mode);
 
 // Per-stratum rollup. `rounds` counts fixpoint iterations inside the

@@ -41,13 +41,25 @@ bool Relation::Insert(RowRef tuple) {
     uint32_t row = table_[idx];
     if (row_hash_[row] == hash &&
         std::equal(tuple.begin(), tuple.end(), data_.begin() + row * arity_)) {
-      if (live_[row]) return false;
+      if (live_[row]) {
+        if (counted_) {
+          // A pinned (saturated) count can never reach zero again, so the
+          // counts as a whole stop being trustworthy for deletion.
+          if (counts_[row] == UINT32_MAX) {
+            DisableCounts();
+          } else {
+            ++counts_[row];
+          }
+        }
+        return false;
+      }
       // Re-insert of a tombstoned fact: revive in place. The row keeps its
       // old id, so delta windows opened after the deletion will not see it;
       // the magic scheduler re-runs affected rules anyway. Index entries for
       // the row were never removed, so no index repair is needed either.
       live_[row] = true;
       ++live_count_;
+      if (counted_) counts_[row] = 1;
       return true;
     }
     idx = (idx + 1) & mask;
@@ -58,6 +70,7 @@ bool Relation::Insert(RowRef tuple) {
   row_hash_.push_back(hash);
   live_.push_back(true);
   ++live_count_;
+  if (counted_) counts_.push_back(1);
   // Maintain built indexes. Insert only runs in single-writer phases (the
   // merge barrier or serial evaluation), so mutating the maps is safe.
   for (CompositeIndex* index = index_head_.load(std::memory_order_acquire);
@@ -73,6 +86,12 @@ bool Relation::Contains(RowRef tuple) const {
   if (table_.empty()) return false;
   size_t row = FindRow(tuple, HashRow(tuple));
   return row != kNoRow && live_[row];
+}
+
+size_t Relation::Find(RowRef tuple) const {
+  if (table_.empty()) return npos;
+  size_t row = FindRow(tuple, HashRow(tuple));
+  return row == kNoRow ? npos : row;
 }
 
 bool Relation::Erase(RowRef tuple) {
@@ -159,6 +178,7 @@ void Relation::Clear() {
   live_.clear();
   live_count_ = 0;
   table_.clear();
+  counts_.clear();  // counted_ survives: re-derivation recounts from scratch
   // Keep the index nodes linked (holders of the relation may still walk
   // them); just drop their contents. Insert repopulates the maps, so a
   // retained index stays consistent with the emptied row store.

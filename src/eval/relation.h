@@ -52,11 +52,67 @@ class Relation {
   uint32_t arity() const { return arity_; }
   void set_arity(uint32_t arity) { arity_ = arity; }
 
-  // Inserts a fact; returns false if it was already present.
+  // Inserts a fact; returns false if it was already present. On a counted
+  // relation a duplicate insert increments the row's derivation count (each
+  // Insert call is one derivation) and a fresh or revived row starts at 1.
   bool Insert(RowRef tuple);
   bool Contains(RowRef tuple) const;
   // Removes a fact (tombstones the row). Returns false if absent.
   bool Erase(RowRef tuple);
+
+  // Sentinel for "no such row".
+  static constexpr size_t npos = static_cast<size_t>(-1);
+
+  // Row id of `tuple` regardless of liveness (tombstoned rows stay in the
+  // dedup table), or npos. Callers check IsLive() as needed.
+  size_t Find(RowRef tuple) const;
+
+  // Toggles a row's tombstone directly by id. Incremental deletion (DRed)
+  // uses this to erase removed rows up front and transiently revive them
+  // while enumerating joins against the pre-deletion state. No index repair
+  // is needed either way: tombstoned rows keep their index entries.
+  void SetLive(size_t row, bool live) {
+    if (live_[row] == live) return;
+    live_[row] = live;
+    live ? ++live_count_ : --live_count_;
+  }
+
+  // --- Derivation counting (incremental deletion fast path) ---------------
+  //
+  // A counted relation tracks, per row, how many distinct rule-body
+  // solutions derived it. Counts are maintained by Insert (see above) and
+  // are exact only while every evaluation path that derives into the
+  // relation enumerates each solution exactly once; paths that cannot
+  // guarantee that (stratum recompute over kept rows, DRed rederivation)
+  // call DisableCounts() and deletion falls back to delete-and-rederive.
+
+  // Starts counting. No-op unless the relation is empty: counts for
+  // pre-existing rows would be guesses, and a wrong count deletes facts
+  // that still have support.
+  void EnableCounts() {
+    if (row_count_ != 0) return;
+    counted_ = true;
+    counts_.clear();
+  }
+  // Abandons the counts (they can no longer be trusted).
+  void DisableCounts() {
+    counted_ = false;
+    counts_.clear();
+  }
+  bool counted() const { return counted_; }
+  uint32_t derivation_count(size_t row) const { return counts_[row]; }
+
+  // Removes one derivation of a live row on a counted relation; tombstones
+  // the row when its count reaches zero and returns true iff it did.
+  bool DecrementDerivation(size_t row) {
+    if (counts_[row] > 1) {
+      --counts_[row];
+      return false;
+    }
+    counts_[row] = 0;
+    SetLive(row, false);
+    return true;
+  }
 
   // Number of live facts.
   size_t size() const { return live_count_; }
@@ -176,6 +232,11 @@ class Relation {
   std::vector<uint64_t> row_hash_;  // per-row tuple hash (for table probes)
   std::vector<bool> live_;
   size_t live_count_ = 0;
+  // Per-row derivation counts (parallel to live_) when counted_; see the
+  // derivation-counting section above. Counts saturate at UINT32_MAX, which
+  // Insert treats as "counts no longer trustworthy" and disables them.
+  std::vector<uint32_t> counts_;
+  bool counted_ = false;
   // Dedup table: power-of-two sized, linear probing, entries are row ids.
   // Tombstoned rows stay in the table so re-insertion revives in place.
   std::vector<uint32_t> table_;

@@ -227,6 +227,13 @@ Status RuleEvaluator::ForEachSolution(const Database& db,
   return EvalFrom(db, windows, 0, &subst, yield, stats, &keep_going);
 }
 
+Status RuleEvaluator::ForEachSolutionSeeded(
+    const Database& db, const std::vector<LiteralWindow>& windows, Subst* subst,
+    const SolutionFn& yield, EvalStats* stats) {
+  bool keep_going = true;
+  return EvalFrom(db, windows, 0, subst, yield, stats, &keep_going);
+}
+
 InstantiationResult RuleEvaluator::InstantiateHead(const SolutionView& view) const {
   if (view.plan() != nullptr && view.plan()->head_simple()) {
     // Simple head: every argument reads a slot or is a ground scons-free

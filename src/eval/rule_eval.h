@@ -58,7 +58,10 @@ struct LiteralWindow {
   X(groups_built)    /* grouping partitions canonicalized + interned */ \
   X(groups_reused)   /* grouping partitions reused from the group cache */ \
   X(group_regrows)   /* partitions regrown in place by kGroupRegrow */  \
-  X(set_interns)     /* distinct set terms interned by this evaluation */
+  X(set_interns)     /* distinct set terms interned by this evaluation */ \
+  X(strata_overdeleted) /* incremental: strata taken through DRed over-delete */ \
+  X(rederive_rounds) /* DRed: rederivation fixpoint rounds */           \
+  X(count_decrements) /* deletion fast path: derivation-count decrements */
 
 struct EvalStats {
 #define LDL_EVAL_STATS_DECLARE(name) size_t name = 0;
@@ -109,6 +112,15 @@ class RuleEvaluator {
   // every literal.
   Status ForEachSolution(const Database& db, const std::vector<LiteralWindow>& windows,
                          const SolutionFn& yield, EvalStats* stats);
+
+  // Like ForEachSolution, but starts from a pre-seeded substitution (e.g.
+  // head variables bound from a tuple being rederived) and always runs the
+  // legacy interpreter, whose generic unification honors the seed bindings.
+  // `subst` is mutated during the enumeration; callers own its rollback.
+  Status ForEachSolutionSeeded(const Database& db,
+                               const std::vector<LiteralWindow>& windows,
+                               Subst* subst, const SolutionFn& yield,
+                               EvalStats* stats);
 
   // Builds the head fact for one solution. Uses the plan's precompiled slot
   // reads when the head is simple; otherwise instantiates the head patterns

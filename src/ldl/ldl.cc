@@ -152,9 +152,30 @@ Status Session::AddFacts(std::string_view source) {
       edb_preds_.push_back(fact.pred);
     }
     if (fact.outside_universe) continue;
-    edb_facts_.emplace_back(fact.pred, fact.tuple);
-    if (evaluated_ && db_->AddFact(fact.pred, fact.tuple)) {
-      MarkChanged(fact.pred);
+    AppendEdbFact(fact.pred, fact.tuple);
+    if (evaluated_) {
+      Relation& rel = db_->relation(fact.pred);
+      const size_t rows_before = rel.row_count();
+      if (db_->AddFact(fact.pred, fact.tuple)) {
+        if (rel.row_count() == rows_before) {
+          // The insert revived a tombstoned row: an earlier incremental
+          // deletion already retracted its consequences, and the insert
+          // delta machinery cannot window a revived row sitting below the
+          // watermark. Conservative fallback: drop the model and let the
+          // next Evaluate() rebuild from scratch.
+          InvalidateModel();
+        } else {
+          MarkChanged(fact.pred);
+        }
+      } else if (!pending_removed_.empty()) {
+        // The fact is already a live model row: if its deletion is still
+        // pending from an earlier RemoveFacts, re-adding it cancels the
+        // deletion.
+        std::pair<PredId, Tuple> key{fact.pred, fact.tuple};
+        auto it =
+            std::find(pending_removed_.begin(), pending_removed_.end(), key);
+        if (it != pending_removed_.end()) pending_removed_.erase(it);
+      }
     }
   }
   return Status::OK();
@@ -175,7 +196,12 @@ Status Session::RemoveFacts(std::string_view source) {
   fact_ast.rules = std::move(parsed.rules);
   LDL_ASSIGN_OR_RETURN(ProgramAst expanded,
                        ExpandLdl15(fact_ast, &interner_, ldl15_options_));
-  bool any_removed = false;
+  // Pass 1: validate and lower the whole batch before touching any session
+  // state, so an error anywhere in the batch (derived predicate,
+  // non-ground fact, non-fact clause) leaves the session observably
+  // unchanged -- RemoveFacts is all-or-nothing.
+  std::vector<std::pair<PredId, Tuple>> batch;
+  batch.reserve(expanded.rules.size());
   for (const RuleAst& rule : expanded.rules) {
     if (!rule.is_fact()) {
       return InvalidArgumentError("RemoveFacts accepts only facts");
@@ -194,19 +220,20 @@ Status Session::RemoveFacts(std::string_view source) {
       return InvalidArgumentError("RemoveFacts needs ground facts");
     }
     if (inst.outside_universe) continue;
-    std::pair<PredId, Tuple> fact{ir.head_pred, std::move(inst.tuple)};
-    auto it = std::find(edb_facts_.begin(), edb_facts_.end(), fact);
-    if (it == edb_facts_.end()) continue;  // absent: no-op
-    edb_facts_.erase(it);
+    batch.emplace_back(ir.head_pred, std::move(inst.tuple));
+  }
+  // Pass 2: apply. Each removal cancels one EDB occurrence; the fact only
+  // becomes a pending deletion for the live model when its *last*
+  // occurrence goes (multiset semantics).
+  for (std::pair<PredId, Tuple>& fact : batch) {
+    if (!EraseEdbFact(fact)) continue;  // absent: no-op
     // Remember the cancellation: Analyze() rebuilds edb_facts_ from the
     // AST, which still carries the removed fact's clause.
-    removed_edb_facts_.push_back(std::move(fact));
-    any_removed = true;
-  }
-  if (any_removed) {
-    // Deletions conservatively fall back to full re-evaluation (DRed-style
-    // incremental deletion is future work).
-    InvalidateModel();
+    ++removed_edb_counts_[fact];
+    if (evaluated_ && edb_index_.find(fact) == edb_index_.end()) {
+      pending_removed_.push_back(std::move(fact));
+      pending_delta_ = true;
+    }
   }
   return Status::OK();
 }
@@ -270,9 +297,10 @@ Status Session::Analyze() {
   // Apply accumulated RemoveFacts() cancellations: the AST still carries
   // the removed facts' clauses, so each recorded removal cancels one
   // occurrence of the rebuilt fact.
-  for (const auto& removed : removed_edb_facts_) {
-    auto it = std::find(edb_facts_.begin(), edb_facts_.end(), removed);
-    if (it != edb_facts_.end()) edb_facts_.erase(it);
+  RebuildEdbIndex();
+  for (const auto& [removed, count] : removed_edb_counts_) {
+    for (size_t i = 0; i < count && EraseEdbFact(removed); ++i) {
+    }
   }
 
   LDL_ASSIGN_OR_RETURN(stratification_, Stratify(catalog_, program_));
@@ -317,7 +345,38 @@ void Session::MarkChanged(PredId pred) {
 
 void Session::ClearPendingDelta() {
   pending_changed_.assign(pending_changed_.size(), false);
+  pending_removed_.clear();
   pending_delta_ = false;
+}
+
+void Session::AppendEdbFact(PredId pred, const Tuple& tuple) {
+  edb_index_[{pred, tuple}].push_back(edb_facts_.size());
+  edb_facts_.emplace_back(pred, tuple);
+}
+
+bool Session::EraseEdbFact(const std::pair<PredId, Tuple>& fact) {
+  auto it = edb_index_.find(fact);
+  if (it == edb_index_.end()) return false;
+  size_t pos = it->second.back();
+  it->second.pop_back();
+  if (it->second.empty()) edb_index_.erase(it);
+  size_t last = edb_facts_.size() - 1;
+  if (pos != last) {
+    // Swap-and-pop: the final fact moves into the vacated slot; retarget
+    // its index entry from `last` to `pos`.
+    edb_facts_[pos] = std::move(edb_facts_[last]);
+    std::vector<size_t>& positions = edb_index_[edb_facts_[pos]];
+    *std::find(positions.begin(), positions.end(), last) = pos;
+  }
+  edb_facts_.pop_back();
+  return true;
+}
+
+void Session::RebuildEdbIndex() {
+  edb_index_.clear();
+  for (size_t i = 0; i < edb_facts_.size(); ++i) {
+    edb_index_[edb_facts_[i]].push_back(i);
+  }
 }
 
 Status Session::Evaluate(const EvalOptions& options) {
@@ -331,7 +390,10 @@ Status Session::Evaluate(const EvalOptions& options) {
       return Status::OK();
     }
   }
-  if (evaluated_ && pending_delta_) return EvaluateIncremental(options);
+  if (evaluated_ && pending_delta_) {
+    return pending_removed_.empty() ? EvaluateIncremental(options)
+                                    : EvaluateIncrementalDelete(options);
+  }
 
   db_ = std::make_unique<Database>(&catalog_);
   for (const auto& [pred, tuple] : edb_facts_) db_->AddFact(pred, tuple);
@@ -356,6 +418,27 @@ Status Session::EvaluateIncremental(const EvalOptions& options) {
       program_, stratification_, db_.get(), eval_watermarks_, pending_changed_,
       options, &last_eval_stats_,
       options.profile ? &last_eval_profile_ : nullptr));
+  evaluated_with_profile_ = options.profile;
+  last_eval_options_ = options;
+  ++incremental_evals_;
+  RecordWatermarks();
+  ClearPendingDelta();
+  return Status::OK();
+}
+
+Status Session::EvaluateIncrementalDelete(const EvalOptions& options) {
+  last_eval_stats_ = EvalStats();
+  last_eval_profile_.Clear();
+  Status status = engine_.EvaluateIncrementalDelete(
+      program_, stratification_, db_.get(), eval_watermarks_, pending_changed_,
+      pending_removed_, options, &last_eval_stats_,
+      options.profile ? &last_eval_profile_ : nullptr);
+  if (!status.ok()) {
+    // A failure mid-maintenance can leave the database half-updated; drop
+    // the model so the next evaluation rebuilds from scratch.
+    InvalidateModel();
+    return status;
+  }
   evaluated_with_profile_ = options.profile;
   last_eval_options_ = options;
   ++incremental_evals_;

@@ -25,6 +25,8 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "ast/ast.h"
@@ -140,6 +142,15 @@ StatusOr<QueryResult> QueryViaTopDown(TermFactory* factory, Catalog* catalog,
                                       const QueryOptions& options,
                                       const EdbSeeder& seed_edb);
 
+// Hash for (pred, tuple) EDB fact keys. Tuples hold interned terms, so
+// pair equality is element-wise pointer equality and the hash mixes the
+// terms' interned hashes.
+struct EdbFactHash {
+  size_t operator()(const std::pair<PredId, Tuple>& key) const {
+    return static_cast<size_t>(HashCombine(TupleHash()(key.second), key.first));
+  }
+};
+
 class Session {
  public:
   // With a non-null `shared_plans` the session's engine probes the caller's
@@ -171,9 +182,15 @@ class Session {
 
   // Removes previously loaded ground EDB facts (each removal cancels one
   // occurrence; absent facts are ignored). `source` must contain only
-  // facts. Deletions conservatively drop the materialized model -- the
-  // next Evaluate() runs from scratch (DRed-style incremental deletion is
-  // future work).
+  // facts. The batch is atomic: it is validated in full before any state
+  // changes, so an error (stored query, proper rule, derived predicate,
+  // non-ground fact) leaves the session observably unchanged. A live
+  // materialized model survives deletions -- the facts whose last
+  // occurrence was removed become a pending deletion delta and the next
+  // Evaluate()/Query() maintains the model incrementally via
+  // Engine::EvaluateIncrementalDelete (derivation-count decrements or
+  // DRed over-delete/rederive; strata reached through grouping or
+  // negation still recompute conservatively).
   Status RemoveFacts(std::string_view source);
 
   // Drops the materialized model (analysis stays valid); the next
@@ -278,6 +295,16 @@ class Session {
   StatusOr<LiteralIr> ParseGoal(std::string_view goal_text);
   // Delta-maintains the live model from the pending changed predicates.
   Status EvaluateIncremental(const EvalOptions& options);
+  // Delta-maintains the live model from a batch with pending deletions
+  // (and possibly insertions too). On engine failure the model is dropped
+  // so a half-applied maintenance pass can never be observed.
+  Status EvaluateIncrementalDelete(const EvalOptions& options);
+  // edb_facts_ mutation helpers that keep edb_index_ consistent.
+  void AppendEdbFact(PredId pred, const Tuple& tuple);
+  // Erases one occurrence (swap-and-pop; edb_facts_ order is not stable).
+  // False when the fact has no occurrence.
+  bool EraseEdbFact(const std::pair<PredId, Tuple>& fact);
+  void RebuildEdbIndex();
   // Snapshots per-predicate row counts after a successful evaluation (the
   // deltas of the next incremental round start past these).
   void RecordWatermarks();
@@ -318,10 +345,20 @@ class Session {
   std::vector<size_t> eval_watermarks_;
   std::vector<bool> pending_changed_;
   bool pending_delta_ = false;
-  // RemoveFacts() tombstones: applied after Analyze() rebuilds edb_facts_
-  // from the AST (which still holds the removed facts' clauses). Each
-  // entry cancels one occurrence.
-  std::vector<std::pair<PredId, Tuple>> removed_edb_facts_;
+  // Occurrence positions of each distinct fact in edb_facts_ (duplicates
+  // share one key). Keeps RemoveFacts and the Analyze() cancellation
+  // replay O(1) per fact instead of a list scan.
+  std::unordered_map<std::pair<PredId, Tuple>, std::vector<size_t>, EdbFactHash>
+      edb_index_;
+  // RemoveFacts() cancellations, multiset-correct: how many occurrences of
+  // each fact to drop after Analyze() rebuilds edb_facts_ from the AST
+  // (which still holds the removed facts' clauses).
+  std::unordered_map<std::pair<PredId, Tuple>, size_t, EdbFactHash>
+      removed_edb_counts_;
+  // Facts whose *last* EDB occurrence was removed while a model was live:
+  // the deletion half of the pending delta, consumed by the next
+  // EvaluateIncrementalDelete().
+  std::vector<std::pair<PredId, Tuple>> pending_removed_;
   // Options of the evaluation that produced the current model (cache key).
   EvalOptions last_eval_options_;
   size_t eval_cache_hits_ = 0;

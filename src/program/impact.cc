@@ -10,6 +10,8 @@ const char* ToString(PredImpact impact) {
       return "clean";
     case PredImpact::kDelta:
       return "delta";
+    case PredImpact::kShrink:
+      return "shrink";
     case PredImpact::kGroupRegrow:
       return "group-regrow";
     case PredImpact::kRecompute:
@@ -20,10 +22,19 @@ const char* ToString(PredImpact impact) {
 
 std::vector<PredImpact> ComputeImpact(const Catalog& catalog,
                                       const ProgramIr& program,
-                                      const std::vector<bool>& changed) {
+                                      const std::vector<bool>& changed,
+                                      const std::vector<bool>* shrunk) {
   std::vector<PredImpact> impact(catalog.size(), PredImpact::kClean);
   for (PredId p = 0; p < impact.size() && p < changed.size(); ++p) {
     if (changed[p]) impact[p] = PredImpact::kDelta;
+  }
+  // Deletions dominate insertions: a predicate both inserted into and
+  // deleted from is kShrink, and the shrink path also resumes the seeded
+  // insert deltas after rederivation.
+  if (shrunk != nullptr) {
+    for (PredId p = 0; p < impact.size() && p < shrunk->size(); ++p) {
+      if ((*shrunk)[p]) impact[p] = PredImpact::kShrink;
+    }
   }
 
   // A grouping head is eligible for in-place regrowth only when the
@@ -38,14 +49,16 @@ std::vector<PredImpact> ComputeImpact(const Catalog& catalog,
   // Propagate to fixpoint. Strict edges (negated body literals, the `>` of
   // §3.1) escalate any non-clean input to kRecompute. A grouping rule over
   // kDelta inputs regrows its partitions in place (kGroupRegrow) when it is
-  // negation-free and the sole rule for its head, else it too recomputes.
-  // Positive non-grouping edges carry the input's own classification --
-  // except that consuming a kGroupRegrow predicate forces kRecompute: the
-  // regrow retracts and reinserts facts, which the monotone delta machinery
-  // cannot track. Recursion makes a single pass insufficient, and head
-  // updates can feed earlier rules, so iterate until stable; each pass only
-  // raises classifications, so the loop terminates within 3 * |rules|
-  // passes.
+  // negation-free and the sole rule for its head, else it too recomputes --
+  // in particular a grouping rule over a kShrink input recomputes, since
+  // the regrow path only handles member sets *growing*. Positive
+  // non-grouping edges carry the input's own classification (kDelta stays
+  // kDelta, kShrink stays kShrink) -- except that consuming a kGroupRegrow
+  // predicate forces kRecompute: the regrow retracts and reinserts facts,
+  // which neither the monotone delta machinery nor DRed tracks. Recursion
+  // makes a single pass insufficient, and head updates can feed earlier
+  // rules, so iterate until stable; each pass only raises classifications,
+  // so the loop terminates within 4 * |rules| passes.
   bool dirty = true;
   while (dirty) {
     dirty = false;

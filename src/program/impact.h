@@ -7,6 +7,11 @@
 //     non-grouping body literals (the `>=` edges of §3.1) can only *gain*
 //     facts -- its relation grows monotonically, so semi-naive evaluation
 //     can resume from the inserted deltas against the existing model.
+//   * Dually, a predicate reachable from a *shrunk* (deleted-from) EDB
+//     predicate through the same positive non-grouping edges can only
+//     *lose* facts (kShrink). The engine handles those strata with
+//     delete-and-rederive (DRed) -- or a plain derivation-count decrement
+//     for non-recursive counted strata -- instead of a full recompute.
 //   * A predicate reached through at least one grouping or negation edge
 //     (the strict `>` edges) may *lose* facts: an insertion below can grow
 //     a grouped set (replacing the old group fact) or satisfy a negated
@@ -36,23 +41,29 @@
 
 namespace ldl {
 
-// How an EDB insertion can affect a predicate's materialized relation.
-// Ordered by severity so propagation can take the max.
+// How an EDB update can affect a predicate's materialized relation.
+// Ordered by severity so propagation can take the max. kShrink sits between
+// kDelta and kGroupRegrow: through a positive edge it stays kShrink (losses
+// propagate as losses, possibly mixed with gains), while a grouping or
+// negation edge over it escalates to kRecompute just like the regrow case.
 enum class PredImpact : uint8_t {
   kClean = 0,        // unreachable from any changed predicate: skip
   kDelta = 1,        // grows monotonically: resume semi-naive from deltas
-  kGroupRegrow = 2,  // sole-rule grouping head: regrow affected partitions
-  kRecompute = 3,    // may shrink or change: clear and recompute
+  kShrink = 2,       // may lose facts (and gain, on mixed batches): DRed
+  kGroupRegrow = 3,  // sole-rule grouping head: regrow affected partitions
+  kRecompute = 4,    // may shrink or change arbitrarily: clear and recompute
 };
 
 const char* ToString(PredImpact impact);
 
 // Classifies every predicate given the set of changed (inserted-into) EDB
-// predicates. `changed` is indexed by PredId; ids at or past its end are
-// treated as unchanged. The result has one entry per catalog predicate.
+// predicates and, optionally, the set of shrunk (deleted-from) ones. Both
+// are indexed by PredId; ids at or past their end are treated as unchanged.
+// The result has one entry per catalog predicate.
 std::vector<PredImpact> ComputeImpact(const Catalog& catalog,
                                       const ProgramIr& program,
-                                      const std::vector<bool>& changed);
+                                      const std::vector<bool>& changed,
+                                      const std::vector<bool>* shrunk = nullptr);
 
 }  // namespace ldl
 

@@ -1,6 +1,8 @@
-// Incremental model maintenance (Engine::EvaluateIncremental via
-// Session::AddFacts): after EDB insertions the maintained model must be
-// bit-identical to a from-scratch evaluation -- across the corpus programs
+// Incremental model maintenance (Engine::EvaluateIncremental /
+// Engine::EvaluateIncrementalDelete via Session::AddFacts and
+// Session::RemoveFacts): after EDB insertions and deletions the maintained
+// model must be bit-identical to a from-scratch evaluation -- across the
+// corpus programs
 // (positive recursion, stratified negation, grouping, magic-rewritten
 // stored queries), every QueryStrategy, and 1- and 4-thread evaluation --
 // while strata are skipped / delta-resumed / recomputed exactly as the
@@ -117,6 +119,39 @@ std::vector<std::string> GenerateFacts(Session& session, size_t count,
     facts.push_back(std::move(text));
   }
   return facts;
+}
+
+// `count` random removal lines sampled from the session's live EDB rows
+// (Snapshot() returns live rows only, so every line names a present fact).
+std::vector<std::string> GenerateRemovals(Session& session, size_t count,
+                                          uint64_t seed) {
+  Rng rng(seed);
+  struct PredFacts {
+    std::string name;
+    std::vector<Tuple> tuples;
+  };
+  std::vector<PredFacts> preds;
+  for (PredId pred : session.edb_preds()) {
+    if (session.catalog().info(pred).arity == 0) continue;
+    std::vector<Tuple> tuples = session.database().relation(pred).Snapshot();
+    if (tuples.empty()) continue;
+    std::string name = session.catalog().DebugName(pred);
+    preds.push_back({name.substr(0, name.rfind('/')), std::move(tuples)});
+  }
+  std::vector<std::string> removals;
+  if (preds.empty()) return removals;
+  for (size_t i = 0; i < count; ++i) {
+    const PredFacts& p = preds[rng.Below(preds.size())];
+    const Tuple& victim = p.tuples[rng.Below(p.tuples.size())];
+    std::string text = p.name + "(";
+    for (size_t col = 0; col < victim.size(); ++col) {
+      if (col > 0) text += ", ";
+      text += session.factory().ToString(victim[col]);
+    }
+    text += ").";
+    removals.push_back(std::move(text));
+  }
+  return removals;
 }
 
 constexpr QueryStrategy kStrategies[] = {
@@ -376,10 +411,11 @@ TEST(Incremental, GroupRegrowMatchesScratchRandomized) {
   }
 }
 
-// Deletions widen past the regrow fast path: a grouped set can shrink, so
-// the materialized model is dropped and the next Evaluate() runs from
-// scratch (stats show no regrown strata), producing the shrunken group.
-TEST(Incremental, GroupDeletionWidensToFullReevaluation) {
+// Deletions reaching a grouping stratum widen past both the regrow fast
+// path and DRed (a grouped set can shrink, which neither expresses): the
+// stratum is cleared and recomputed -- but inside one incremental
+// maintenance pass, with the model staying alive throughout.
+TEST(Incremental, GroupDeletionRecomputesStratumIncrementally) {
   Session session;
   ASSERT_TRUE(session
                   .Load("supplies(s1, p1).\n"
@@ -389,8 +425,12 @@ TEST(Incremental, GroupDeletionWidensToFullReevaluation) {
   ASSERT_TRUE(session.Evaluate().ok());
   EXPECT_EQ(session.full_evals(), 1u);
   ASSERT_TRUE(session.RemoveFacts("supplies(s1, p2).").ok());
+  EXPECT_TRUE(session.evaluated());
   ASSERT_TRUE(session.Evaluate().ok());
-  EXPECT_EQ(session.full_evals(), 2u);
+  EXPECT_EQ(session.full_evals(), 1u);
+  EXPECT_EQ(session.incremental_evals(), 1u);
+  EXPECT_GE(session.last_eval_stats().strata_recomputed, 1u);
+  EXPECT_EQ(session.last_eval_stats().strata_overdeleted, 0u);
   EXPECT_EQ(session.last_eval_stats().strata_regrown, 0u);
   EXPECT_EQ(session.last_eval_stats().group_regrows, 0u);
   PredId by = session.catalog().Find("by_supplier", 2);
@@ -505,7 +545,7 @@ TEST(Incremental, RuleTextFallsBackToLoad) {
   EXPECT_EQ(result->tuples.size(), 1u);
 }
 
-TEST(Incremental, RemoveFactsFallsBackToFullReevaluation) {
+TEST(Incremental, RemoveFactsMaintainsModelViaDRed) {
   Session session;
   ASSERT_TRUE(session
                   .Load("e(n0, n1). e(n1, n2).\n"
@@ -514,9 +554,13 @@ TEST(Incremental, RemoveFactsFallsBackToFullReevaluation) {
                   .ok());
   ASSERT_TRUE(session.Evaluate().ok());
   ASSERT_TRUE(session.RemoveFacts("e(n1, n2).").ok());
-  EXPECT_FALSE(session.evaluated());
+  // The model survives the deletion: the next Evaluate() runs DRed
+  // maintenance instead of dropping the fixpoint.
+  EXPECT_TRUE(session.evaluated());
   ASSERT_TRUE(session.Evaluate().ok());
-  EXPECT_EQ(session.full_evals(), 2u);
+  EXPECT_EQ(session.full_evals(), 1u);
+  EXPECT_EQ(session.incremental_evals(), 1u);
+  EXPECT_GE(session.last_eval_stats().strata_overdeleted, 1u);
   auto result = session.Query("tc(n0, X)");
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->tuples.size(), 1u);  // only n1 remains reachable
@@ -547,6 +591,266 @@ TEST(Incremental, RemoveAbsentFactIsNoOp) {
   EXPECT_EQ(session.eval_cache_hits(), 1u);
   EXPECT_FALSE(session.RemoveFacts("tc(n0, n1).").ok());  // derived pred
   EXPECT_FALSE(session.RemoveFacts("bad(X) :- e(X, Y).").ok());  // not a fact
+}
+
+// Satellite bugfix: a batch that fails validation partway through must not
+// have removed its earlier (valid) facts -- RemoveFacts is all-or-nothing.
+TEST(Incremental, RemoveFactsBatchIsAtomicOnError) {
+  Session session;
+  ASSERT_TRUE(session
+                  .Load("e(n0, n1). e(n1, n2).\n"
+                        "tc(X, Y) :- e(X, Y).\n"
+                        "tc(X, Y) :- tc(X, Z), e(Z, Y).")
+                  .ok());
+  ASSERT_TRUE(session.Evaluate().ok());
+
+  // Valid fact first, derived-predicate error second.
+  EXPECT_FALSE(session.RemoveFacts("e(n0, n1). tc(n0, n1).").ok());
+  EXPECT_TRUE(session.evaluated());
+  ASSERT_TRUE(session.Evaluate().ok());
+  EXPECT_EQ(session.eval_cache_hits(), 1u);  // nothing pending: cache hit
+
+  // Valid fact first, non-ground error second.
+  EXPECT_FALSE(session.RemoveFacts("e(n0, n1). e(X, n2).").ok());
+  ASSERT_TRUE(session.Evaluate().ok());
+  EXPECT_EQ(session.eval_cache_hits(), 2u);
+
+  auto result = session.Query("tc(n0, X)");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->tuples.size(), 2u);  // e(n0, n1) was never removed
+  QueryOptions magic;
+  magic.strategy = QueryStrategy::kMagic;
+  result = session.Query("tc(n0, X)", magic);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->tuples.size(), 2u);
+}
+
+// Satellite bugfix: the EDB is a multiset. Each RemoveFacts line cancels
+// exactly one occurrence; the model only loses the fact when the last
+// occurrence goes, and the cancellation count survives re-analysis.
+TEST(Incremental, DuplicateOccurrencesCancelOneAtATime) {
+  Session session;
+  ASSERT_TRUE(
+      session.Load("e(n0, n1). e(n0, n1).\ntc(X, Y) :- e(X, Y).").ok());
+  ASSERT_TRUE(session.Evaluate().ok());
+
+  // First removal cancels one of two occurrences: the model is unchanged.
+  ASSERT_TRUE(session.RemoveFacts("e(n0, n1).").ok());
+  ASSERT_TRUE(session.Evaluate().ok());
+  EXPECT_EQ(session.eval_cache_hits(), 1u);
+  auto result = session.Query("tc(n0, X)");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->tuples.size(), 1u);
+
+  // Second removal cancels the last occurrence: incremental deletion.
+  ASSERT_TRUE(session.RemoveFacts("e(n0, n1).").ok());
+  ASSERT_TRUE(session.Evaluate().ok());
+  EXPECT_EQ(session.incremental_evals(), 1u);
+  result = session.Query("tc(n0, X)");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->tuples.empty());
+
+  // Re-analysis replays both cancellations against the AST's two clauses.
+  ASSERT_TRUE(session.Load("f(q).").ok());
+  ASSERT_TRUE(session.Evaluate().ok());
+  result = session.Query("tc(n0, X)");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->tuples.empty());
+}
+
+// Non-recursive strata keep per-row derivation counts: deleting one
+// supporting fact is a counter decrement, and a row with an alternative
+// derivation survives without any rederivation pass.
+TEST(Incremental, CountingDecrementHandlesAlternativeDerivations) {
+  Session session;
+  ASSERT_TRUE(session
+                  .Load("a(p). a(q). b(p).\n"
+                        "r(X) :- a(X).\n"
+                        "r(X) :- b(X).")
+                  .ok());
+  ASSERT_TRUE(session.Evaluate().ok());
+
+  // r(p) is derived twice (via a and via b): removing a(p) decrements its
+  // count to one and the row stays live.
+  ASSERT_TRUE(session.RemoveFacts("a(p).").ok());
+  ASSERT_TRUE(session.Evaluate().ok());
+  EXPECT_EQ(session.incremental_evals(), 1u);
+  EXPECT_GE(session.last_eval_stats().count_decrements, 1u);
+  EXPECT_EQ(session.last_eval_stats().strata_overdeleted, 0u);
+  auto result = session.Query("r(X)");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->tuples.size(), 2u);  // r(p), r(q)
+
+  // Removing b(p) drops the last derivation: r(p) goes.
+  ASSERT_TRUE(session.RemoveFacts("b(p).").ok());
+  ASSERT_TRUE(session.Evaluate().ok());
+  EXPECT_GE(session.last_eval_stats().count_decrements, 1u);
+  result = session.Query("r(X)");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->tuples.size(), 1u);  // r(q)
+}
+
+// Recursive strata run full DRed: the over-delete phase marks everything
+// transitively supported by the removed fact, and the rederive phase
+// restores the rows that have an alternative proof from surviving facts.
+TEST(Incremental, DRedRederivesAlternativePaths) {
+  const std::string rules =
+      "tc(X, Y) :- e(X, Y).\n"
+      "tc(X, Y) :- tc(X, Z), e(Z, Y).\n";
+  Session session;
+  ASSERT_TRUE(
+      session.Load("e(a, b). e(b, c). e(a, c). e(c, d).\n" + rules).ok());
+  ASSERT_TRUE(session.Evaluate().ok());
+
+  // Removing e(b, c) over-deletes tc(a, c) and tc(a, d) too (they were
+  // derived through b), but both rederive via the surviving e(a, c).
+  ASSERT_TRUE(session.RemoveFacts("e(b, c).").ok());
+  ASSERT_TRUE(session.Evaluate().ok());
+  EXPECT_EQ(session.incremental_evals(), 1u);
+  EXPECT_GE(session.last_eval_stats().strata_overdeleted, 1u);
+  EXPECT_GE(session.last_eval_stats().rederive_rounds, 1u);
+
+  auto result = session.Query("tc(b, X)");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->tuples.empty());
+  result = session.Query("tc(a, X)");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->tuples.size(), 3u);  // b, c, d all still reachable
+
+  Session scratch;
+  ASSERT_TRUE(scratch.Load("e(a, b). e(a, c). e(c, d).\n" + rules).ok());
+  ASSERT_TRUE(scratch.Evaluate().ok());
+  EXPECT_EQ(Materialize(session), Materialize(scratch));
+}
+
+// A batch mixing insertions and deletions resolves in one incremental
+// round: deletions settle first (DRed), then the insert delta resumes.
+TEST(Incremental, MixedInsertDeleteBatchMatchesScratch) {
+  const std::string rules =
+      "tc(X, Y) :- e(X, Y).\n"
+      "tc(X, Y) :- tc(X, Z), e(Z, Y).\n";
+  for (int threads : {1, 4}) {
+    EvalOptions options;
+    options.num_threads = threads;
+    Session session;
+    ASSERT_TRUE(
+        session.Load("e(a, b). e(b, c). e(c, d).\n" + rules).ok());
+    ASSERT_TRUE(session.Evaluate(options).ok());
+    ASSERT_TRUE(session.AddFacts("e(d, f). e(b, g).").ok());
+    ASSERT_TRUE(session.RemoveFacts("e(a, b).").ok());
+    ASSERT_TRUE(session.Evaluate(options).ok());
+    EXPECT_EQ(session.full_evals(), 1u) << "threads=" << threads;
+    EXPECT_EQ(session.incremental_evals(), 1u) << "threads=" << threads;
+
+    Session scratch;
+    ASSERT_TRUE(
+        scratch.Load("e(b, c). e(c, d). e(d, f). e(b, g).\n" + rules).ok());
+    ASSERT_TRUE(scratch.Evaluate(options).ok());
+    EXPECT_EQ(Materialize(session), Materialize(scratch))
+        << "threads=" << threads;
+  }
+}
+
+// Removing a fact and re-adding it before the next Evaluate() cancels the
+// pending deletion: the model is unchanged and never re-materialized.
+TEST(Incremental, RemoveThenReaddBeforeEvaluateCancelsOut) {
+  Session session;
+  ASSERT_TRUE(session
+                  .Load("e(n0, n1). e(n1, n2).\n"
+                        "tc(X, Y) :- e(X, Y).\n"
+                        "tc(X, Y) :- tc(X, Z), e(Z, Y).")
+                  .ok());
+  ASSERT_TRUE(session.Evaluate().ok());
+  ASSERT_TRUE(session.RemoveFacts("e(n1, n2).").ok());
+  ASSERT_TRUE(session.AddFacts("e(n1, n2).").ok());
+  ASSERT_TRUE(session.Evaluate().ok());
+  EXPECT_TRUE(session.evaluated());
+  EXPECT_EQ(session.full_evals(), 1u);
+  auto result = session.Query("tc(n0, X)");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->tuples.size(), 2u);
+}
+
+// Removing a fact, evaluating, and re-adding the same fact must restore
+// the original model (the engine falls back to a full pass if the re-add
+// revives a tombstoned row below the delta watermark).
+TEST(Incremental, RemoveThenReaddAfterEvaluateStaysConsistent) {
+  Session session;
+  ASSERT_TRUE(session
+                  .Load("e(n0, n1). e(n1, n2).\n"
+                        "tc(X, Y) :- e(X, Y).\n"
+                        "tc(X, Y) :- tc(X, Z), e(Z, Y).")
+                  .ok());
+  ASSERT_TRUE(session.Evaluate().ok());
+  ASSERT_TRUE(session.RemoveFacts("e(n1, n2).").ok());
+  ASSERT_TRUE(session.Evaluate().ok());
+  ASSERT_TRUE(session.AddFacts("e(n1, n2).").ok());
+  ASSERT_TRUE(session.Evaluate().ok());
+  auto result = session.Query("tc(n0, X)");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->tuples.size(), 2u);  // n1 and n2 both reachable again
+}
+
+// The deletion-side tentpole equivalence: alternating randomized insert
+// and removal batches over every corpus program; the DRed-maintained
+// session must match a scratch session that replays the same script,
+// on the full model and on stored-query answers under every strategy.
+TEST(Incremental, RandomizedInsertDeleteMatchesScratchAcrossCorpus) {
+  std::vector<std::string> programs = CorpusPrograms();
+  ASSERT_FALSE(programs.empty());
+  uint64_t seed = 400;
+  for (const std::string& path : programs) {
+    for (int threads : {1, 4}) {
+      EvalOptions options;
+      options.num_threads = threads;
+
+      Session incremental;
+      ASSERT_TRUE(incremental.LoadFile(path).ok()) << path;
+      ASSERT_TRUE(incremental.Evaluate(options).ok()) << path;
+
+      // Alternate insert and removal batches, re-evaluating after each;
+      // record the script so a scratch session can replay it verbatim.
+      std::vector<std::pair<bool, std::string>> script;  // {is_removal, text}
+      for (int round = 0; round < 6; ++round) {
+        const bool removing = (round % 2) == 1;
+        std::vector<std::string> lines =
+            removing ? GenerateRemovals(incremental, 3, ++seed)
+                     : GenerateFacts(incremental, 3, ++seed);
+        if (lines.empty()) continue;  // no non-nullary EDB rows to touch
+        std::string text;
+        for (const std::string& line : lines) text += line + "\n";
+        if (removing) {
+          ASSERT_TRUE(incremental.RemoveFacts(text).ok())
+              << path << "\n" << text;
+        } else {
+          ASSERT_TRUE(incremental.AddFacts(text).ok()) << path << "\n" << text;
+        }
+        ASSERT_TRUE(incremental.Evaluate(options).ok()) << path;
+        script.emplace_back(removing, std::move(text));
+      }
+      if (script.empty()) continue;
+
+      Session scratch;
+      ASSERT_TRUE(scratch.LoadFile(path).ok()) << path;
+      for (const auto& [removing, text] : script) {
+        if (removing) {
+          ASSERT_TRUE(scratch.RemoveFacts(text).ok()) << path << "\n" << text;
+        } else {
+          ASSERT_TRUE(scratch.AddFacts(text).ok()) << path << "\n" << text;
+        }
+      }
+      ASSERT_TRUE(scratch.Evaluate(options).ok()) << path;
+
+      EXPECT_EQ(Materialize(incremental), Materialize(scratch))
+          << path << " threads=" << threads;
+      for (QueryStrategy strategy : kStrategies) {
+        EXPECT_EQ(StoredQueryAnswers(incremental, strategy, options),
+                  StoredQueryAnswers(scratch, strategy, options))
+            << path << " threads=" << threads << " strategy="
+            << ToString(strategy);
+      }
+    }
+  }
 }
 
 // Satellite regression: a Relation reference (with a built index) held
@@ -629,6 +933,26 @@ TEST(Incremental, ImpactClassification) {
   // keyed replacement unsound.
   EXPECT_EQ(impact[catalog.Find("dual", 2)], PredImpact::kRecompute);
   EXPECT_EQ(impact[catalog.Find("other", 1)], PredImpact::kClean);
+
+  // Deletion seeding: a shrunk EDB classifies downstream positive
+  // consumers as kShrink (DRed-maintainable); grouping and negation over
+  // a shrinking body still escalate to recompute.
+  std::vector<bool> none(catalog.size(), false);
+  std::vector<bool> shrunk(catalog.size(), false);
+  shrunk[catalog.Find("e", 2)] = true;
+  impact = ComputeImpact(catalog, session.program(), none, &shrunk);
+  EXPECT_EQ(impact[catalog.Find("e", 2)], PredImpact::kShrink);
+  EXPECT_EQ(impact[catalog.Find("tc", 2)], PredImpact::kShrink);
+  EXPECT_EQ(impact[catalog.Find("lonely", 1)], PredImpact::kRecompute);
+  EXPECT_EQ(impact[catalog.Find("members", 2)], PredImpact::kRecompute);
+  EXPECT_EQ(impact[catalog.Find("viewm", 2)], PredImpact::kRecompute);
+  EXPECT_EQ(impact[catalog.Find("other", 1)], PredImpact::kClean);
+
+  // Deletions dominate insertions: a predicate both changed and shrunk is
+  // classified kShrink, not kDelta.
+  impact = ComputeImpact(catalog, session.program(), changed, &shrunk);
+  EXPECT_EQ(impact[catalog.Find("e", 2)], PredImpact::kShrink);
+  EXPECT_EQ(impact[catalog.Find("tc", 2)], PredImpact::kShrink);
 }
 
 }  // namespace

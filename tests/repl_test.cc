@@ -117,6 +117,23 @@ TEST(Repl, ServeAnswersConcurrently) {
   EXPECT_NE(out.find("snapshots_published=2"), std::string::npos) << out;
 }
 
+TEST(Repl, RetractRemovesFacts) {
+  std::string out = RunRepl(
+      "e(1,2). e(2,3).\n"
+      "t(X,Y) :- e(X,Y).\n"
+      "t(X,Y) :- e(X,Z), t(Z,Y).\n"
+      "? t(1,X).\n"
+      ":retract e(2,3).\n"
+      "? t(1,X).\n"
+      ":retract t(1,2).\n"
+      ":quit\n");
+  EXPECT_NE(out.find("2 answer(s)"), std::string::npos) << out;
+  EXPECT_NE(out.find("retracted"), std::string::npos) << out;
+  EXPECT_NE(out.find("1 answer(s)"), std::string::npos) << out;
+  // Derived predicates cannot be retracted; the error is reported inline.
+  EXPECT_NE(out.find("derived predicate"), std::string::npos) << out;
+}
+
 TEST(Repl, WhyProvenance) {
   std::string out = RunRepl(
       "parent(a,b).\n"

@@ -75,6 +75,7 @@ void PrintHelp() {
       "    anc(X, Y) :- parent(X, Z), anc(Z, Y).\n"
       "    ? anc(a, X).\n"
       "meta: :help :quit :strata :preds :facts p/2 :program :warnings :why f(a)\n"
+      "      :retract f(a).\n"
       "      :strategy [%s]  :magic on|off|sup\n"
       "      :naive on|off  :threads N  :stats  :serve [N] goal\n"
       "      :profile [on|off]  :profile dump [file]\n",
@@ -284,6 +285,20 @@ bool HandleLine(ReplState& state, const std::string& raw) {
       ShowProgram(state);
     } else if (command == "warnings") {
       ShowWarnings(state);
+    } else if (command == "retract") {
+      // :retract e(a, b). -- everything after the command is the fact
+      // batch; removal is all-or-nothing and maintained incrementally.
+      std::string rest(ldl::StripWhitespace(line.substr(1 + command.size())));
+      if (rest.empty()) {
+        Fail(state, "usage: :retract fact. [fact. ...]");
+      } else {
+        ldl::Status status = state.session.RemoveFacts(rest);
+        if (!status.ok()) {
+          Fail(state, status.ToString());
+        } else {
+          std::printf("retracted\n");
+        }
+      }
     } else if (command == "why") {
       // :why anc(a, c) -- everything after the command is the fact.
       std::string rest(ldl::StripWhitespace(line.substr(1 + command.size())));
