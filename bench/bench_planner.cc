@@ -1,0 +1,119 @@
+// B12: cost-based join ordering vs the syntactic most-bound-args heuristic
+// (DESIGN.md §11).
+//
+// SkewedJoin: a three-way join whose textual order explodes an intermediate
+// result. The syntactic orderer starts with `big` (textual tie at zero bound
+// arguments) and fans every row out through `fan` (fan-out F per key) before
+// `sel` filters, doing ~N*F index probes; the cost-based planner sees the
+// cardinalities, starts from the 4-row `sel`, and probes back through `fan`
+// and `big` in ~N operations. Both orders derive the same N-fact model, so
+// the gap is pure join-order work and grows with F.
+//
+// DeltaDrift: non-linear closure through a tiny mapping relation. The
+// entry-time orders are priced against an empty IDB; as the fixpoint grows
+// `t`, the cheap side of the delta variants flips and adaptive replanning
+// (EvalStats::replans) switches orders mid-run.
+#include <string>
+
+#include "base/str_util.h"
+#include "bench/bench_util.h"
+
+namespace {
+
+constexpr const char* kSkewedRules =
+    "join(X, Y) :- big(X, Z), fan(Z, W), sel(W, Y).\n";
+
+// `big` is skewed onto 4 join keys, each `fan`ning out to kFanOut distinct
+// values, of which `sel` keeps one per key.
+constexpr size_t kFanOut = 32;
+
+std::string SkewedFacts(size_t n) {
+  std::string facts;
+  facts.reserve(n * 24);
+  for (size_t i = 0; i < n; ++i) {
+    ldl::StrAppend(facts, "big(b", i, ", k", i % 4, ").\n");
+  }
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < kFanOut; ++j) {
+      ldl::StrAppend(facts, "fan(k", i, ", w", i, "_", j, ").\n");
+    }
+    ldl::StrAppend(facts, "sel(w", i, "_0, s", i, ").\n");
+  }
+  return facts;
+}
+
+// Chain closure whose recursive rule has three positive literals, so the
+// delta variant pinning the second occurrence has a real ordering choice
+// (probe the growing `t` vs the constant `f`) that flips as `t` grows.
+constexpr const char* kDriftRules =
+    "t(X, Y) :- e(X, Y).\n"
+    "t(X, W) :- t(X, Z), t(Z, Y), f(Y, W).\n";
+
+std::string DriftFacts(size_t n) {
+  std::string facts;
+  facts.reserve(n * 28);
+  for (size_t i = 0; i + 1 < n; ++i) {
+    ldl::StrAppend(facts, "e(c", i, ", c", i + 1, ").\n");
+  }
+  for (size_t i = 0; i < n; ++i) {
+    ldl::StrAppend(facts, "f(c", i, ", c", i, ").\n");
+  }
+  return facts;
+}
+
+void RunPlanner(benchmark::State& state, const std::string& facts,
+                const char* rules, bool cost_based, const char* name) {
+  ldl::EvalOptions options;
+  options.cost_based = cost_based;
+  options.profile = ldl_bench::ProfileRequested();
+  ldl::EvalStats last;
+  ldl::EvalProfile last_profile;
+  // Session (parsing, analysis) set up once; each iteration re-materializes
+  // the model so the timed region is the evaluation under the chosen
+  // planning mode.
+  auto session = ldl_bench::MakeSession(state, facts, rules);
+  if (session == nullptr) return;
+  for (auto _ : state) {
+    session->InvalidateModel();
+    ldl::Status status = session->Evaluate(options);
+    if (!status.ok()) {
+      state.SkipWithError(status.ToString().c_str());
+      return;
+    }
+    last = session->last_eval_stats();
+    if (options.profile) last_profile = session->last_eval_profile();
+  }
+  ldl_bench::RecordStats(state, last);
+  ldl_bench::MaybeDumpProfile(
+      name + ("/" + std::to_string(state.range(0))), last_profile);
+}
+
+void BM_SkewedJoinSyntactic(benchmark::State& state) {
+  RunPlanner(state, SkewedFacts(static_cast<size_t>(state.range(0))),
+             kSkewedRules, /*cost_based=*/false, "SkewedJoinSyntactic");
+}
+void BM_SkewedJoinCostBased(benchmark::State& state) {
+  RunPlanner(state, SkewedFacts(static_cast<size_t>(state.range(0))),
+             kSkewedRules, /*cost_based=*/true, "SkewedJoinCostBased");
+}
+void BM_DeltaDriftSyntactic(benchmark::State& state) {
+  RunPlanner(state, DriftFacts(static_cast<size_t>(state.range(0))),
+             kDriftRules, /*cost_based=*/false, "DeltaDriftSyntactic");
+}
+void BM_DeltaDriftCostBased(benchmark::State& state) {
+  RunPlanner(state, DriftFacts(static_cast<size_t>(state.range(0))),
+             kDriftRules, /*cost_based=*/true, "DeltaDriftCostBased");
+}
+
+}  // namespace
+
+BENCHMARK(BM_SkewedJoinSyntactic)->Arg(1 << 12)->Arg(1 << 14)->Arg(1 << 16)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SkewedJoinCostBased)->Arg(1 << 12)->Arg(1 << 14)->Arg(1 << 16)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DeltaDriftSyntactic)->Arg(48)->Arg(96)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DeltaDriftCostBased)->Arg(48)->Arg(96)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

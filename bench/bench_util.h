@@ -77,6 +77,10 @@ inline void RecordStats(benchmark::State& state, const ldl::EvalStats& stats) {
   state.counters["groups_reused"] = static_cast<double>(stats.groups_reused);
   state.counters["group_regrows"] = static_cast<double>(stats.group_regrows);
   state.counters["set_interns"] = static_cast<double>(stats.set_interns);
+  // Cost-based planner counters (DESIGN.md §11).
+  state.counters["plans_reordered"] =
+      static_cast<double>(stats.plans_reordered);
+  state.counters["replans"] = static_cast<double>(stats.replans);
 }
 
 }  // namespace ldl_bench

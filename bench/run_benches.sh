@@ -131,7 +131,10 @@ fi
 
 # Concatenate the per-binary reports into one JSON array, tagging each entry
 # with the binary it came from. In append mode, existing entries are kept and
-# the new reports are added after them.
+# the new reports are added after them. Before overwriting, each benchmark's
+# real_time is compared against the previously committed report so a run
+# prints a one-line delta per benchmark (regressions are visible without
+# diffing JSON by hand).
 APPEND="${append}" python3 - "${output}" "${runs[@]}" <<'PY'
 import json
 import os
@@ -139,9 +142,17 @@ import sys
 
 output, *paths = sys.argv[1:]
 merged = []
-if os.environ.get("APPEND") == "1" and os.path.exists(output):
+baseline = {}
+if os.path.exists(output):
     with open(output) as f:
-        merged = json.load(f)
+        previous = json.load(f)
+    if os.environ.get("APPEND") == "1":
+        merged = previous
+    for report in previous:
+        for bench in report.get("benchmarks", []):
+            if bench.get("run_type") == "aggregate":
+                continue
+            baseline.setdefault(bench["name"], bench.get("real_time"))
 for path in paths:
     with open(path) as f:
         report = json.load(f)
@@ -150,6 +161,17 @@ for path in paths:
     # benchmark library reports describes libbenchmark itself, not libldl1.
     report["engine_build_type"] = os.environ.get("ENGINE_BUILD_TYPE", "")
     merged.append(report)
+    for bench in report.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        name, new = bench["name"], bench.get("real_time")
+        unit = bench.get("time_unit", "ns")
+        old = baseline.get(name)
+        if old and new is not None:
+            pct = 100.0 * (new - old) / old
+            print(f"  {name}: {old:.3g} -> {new:.3g} {unit} ({pct:+.1f}%)")
+        elif new is not None:
+            print(f"  {name}: {new:.3g} {unit} (new)")
 with open(output, "w") as f:
     json.dump(merged, f, indent=2)
     f.write("\n")

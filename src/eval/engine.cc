@@ -1,12 +1,14 @@
 #include "eval/engine.h"
 
 #include <algorithm>
+#include <cmath>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
 #include "base/str_util.h"
 #include "eval/bindings.h"
+#include "eval/cost.h"
 #include "program/impact.h"
 #include "term/unify.h"
 
@@ -31,6 +33,12 @@ std::vector<int> RecursiveOccurrences(const RuleIr& rule,
     }
   }
   return result;
+}
+
+// Rounds a cardinality estimate into a profile counter (est_rows).
+uint64_t EstimateToCounter(double est) {
+  if (!(est > 0.0)) return 0;  // also filters NaN
+  return static_cast<uint64_t>(std::llround(std::min(est, 9e18)));
 }
 
 // Folds the counters a RuleEvaluator run collected into the rule's profile
@@ -144,7 +152,18 @@ Status Engine::ApplyGroupingRule(const RuleIr& rule, Database* db,
   EvalStats* s = entry != nullptr ? &local_stats : stats;
   ScopedWallTimer timer(entry != nullptr ? &entry->counters.wall_ns : nullptr);
 
-  LDL_ASSIGN_OR_RETURN(std::vector<int> order, OrderBodyLiterals(*catalog_, rule));
+  // A grouping rule's body reads only strictly lower layers, which no rule
+  // of this stratum mutates -- so the per-rule snapshot here prices the same
+  // relations as the pre-stratum snapshot the parallel grouping path takes,
+  // and both paths choose the same order.
+  std::vector<int> order;
+  if (options.cost_based) {
+    LDL_ASSIGN_OR_RETURN(
+        order, OrderBodyLiteralsCostBased(*catalog_, rule,
+                                          CostModel::Snapshot(*db, *catalog_)));
+  } else {
+    LDL_ASSIGN_OR_RETURN(order, OrderBodyLiterals(*catalog_, rule));
+  }
   std::shared_ptr<const JoinPlan> plan;
   if (options.use_compiled_plans) {
     plan = plans_->Get(rule, order, &s->plan_cache_hits);
@@ -288,10 +307,42 @@ Status Engine::Fixpoint(const ProgramIr& program, const std::vector<int>& rule_i
     // (occurrence, order) pairs for semi-naive delta variants.
     std::vector<std::pair<int, std::vector<int>>> delta_variants;
     std::vector<std::shared_ptr<const JoinPlan>> delta_plans;  // parallel only
+    // Whether each variant has an ordering choice at all: with fewer than
+    // two positive literals besides the pinned occurrence there is nothing
+    // to reorder, and the per-round replanning pass (snapshot + re-cost)
+    // skips the variant -- this keeps the planner's per-round overhead at
+    // zero for the common linear-recursion shape.
+    std::vector<bool> replannable;
     // Profile entry (null when profiling is off); cached across rounds, so
     // the profile's rule table must not reallocate (ReserveRules).
     RuleProfileEntry* entry = nullptr;
   };
+  // Entry-time cost model for the initial order choice. Taken before round
+  // 0 touches the database, on the scheduling thread, so serial and
+  // parallel evaluations plan from the same snapshot. Seeded resumes (the
+  // incremental insert/delete paths) always order syntactically: their
+  // windows are tiny, so per-call planning would dominate the
+  // microsecond-scale maintenance work it is meant to save.
+  const bool cost_based = options.cost_based && seed == nullptr;
+  CostModel entry_model;
+  if (cost_based) entry_model = CostModel::Snapshot(*db, *catalog_);
+  auto choose_order = [&](const RuleIr& rule,
+                          int forced) -> StatusOr<std::vector<int>> {
+    if (!cost_based) return OrderBodyLiterals(*catalog_, rule, forced);
+    StatusOr<std::vector<int>> order =
+        OrderBodyLiteralsCostBased(*catalog_, rule, entry_model, forced);
+    if (order.ok()) {
+      // Observability: count adopted cost-based orders that differ from
+      // what the syntactic heuristic would have picked.
+      StatusOr<std::vector<int>> syntactic =
+          OrderBodyLiterals(*catalog_, rule, forced);
+      if (syntactic.ok() && syntactic.value() != order.value()) {
+        ++stats->plans_reordered;
+      }
+    }
+    return order;
+  };
+
   std::vector<Compiled> compiled;
   compiled.reserve(rule_indices.size());
   for (int r : rule_indices) {
@@ -299,11 +350,21 @@ Status Engine::Fixpoint(const ProgramIr& program, const std::vector<int>& rule_i
     Compiled c;
     c.rule = &rule;
     c.entry = ProfileEntry(profile, rule, r, stratum_index);
-    LDL_ASSIGN_OR_RETURN(c.default_order, OrderBodyLiterals(*catalog_, rule));
+    LDL_ASSIGN_OR_RETURN(c.default_order, choose_order(rule, -1));
+    if (c.entry != nullptr && cost_based) {
+      // Round 0 applies the default order over the full database; log its
+      // estimate so mis-estimates show up next to `solutions`.
+      c.entry->counters.est_rows += EstimateToCounter(
+          EstimateOrderCost(rule, c.default_order, entry_model).out_rows);
+    }
     if (seminaive) {
+      int positives = 0;
+      for (const LiteralIr& literal : rule.body) {
+        if (!literal.is_builtin() && !literal.negated) ++positives;
+      }
       for (int occurrence : RecursiveOccurrences(rule, delta_preds)) {
-        StatusOr<std::vector<int>> order =
-            OrderBodyLiterals(*catalog_, rule, occurrence);
+        c.replannable.push_back(positives >= 3);
+        StatusOr<std::vector<int>> order = choose_order(rule, occurrence);
         if (!order.ok()) {
           // Windows bind to body positions, not evaluation slots, so the
           // default order stays correct for any delta occurrence; forcing
@@ -426,6 +487,75 @@ Status Engine::Fixpoint(const ProgramIr& program, const std::vector<int>& rule_i
       if (high[p] > low[p]) any_delta = true;
     }
     if (!any_delta) break;
+
+    // Adaptive replanning: delta windows have wildly different
+    // cardinalities than the full relations the entry-time orders were
+    // priced against, and the balance drifts as the fixpoint grows the IDB.
+    // Re-cost each live delta variant against this round's window sizes
+    // ([low, high) for the pinned occurrence, [0, low) for later carriers)
+    // and switch its order when the current one is estimated at more than
+    // replan_cost_ratio times the best. Every input is a round-start
+    // snapshot read on the scheduling thread, so serial and parallel runs
+    // replan identically and determinism is preserved.
+    // Variants with no ordering choice (fewer than two movable positives)
+    // are skipped wholesale; when none qualifies the snapshot is never
+    // taken, so linear recursion pays nothing per round.
+    bool any_replannable = false;
+    if (cost_based) {
+      for (const Compiled& c : compiled) {
+        for (size_t v = 0; v < c.delta_variants.size(); ++v) {
+          if (c.replannable[v]) any_replannable = true;
+        }
+      }
+    }
+    if (cost_based && any_replannable) {
+      CostModel round_model = CostModel::Snapshot(*db, *catalog_);
+      std::vector<double> literal_rows;  // per body position; < 0 = model
+      for (Compiled& c : compiled) {
+        for (size_t v = 0; v < c.delta_variants.size(); ++v) {
+          if (!c.replannable[v]) continue;
+          auto& [occurrence, order] = c.delta_variants[v];
+          PredId delta_pred = c.rule->body[occurrence].pred;
+          if (high[delta_pred] <= low[delta_pred]) continue;
+          literal_rows.assign(c.rule->body.size(), -1.0);
+          for (size_t i = 0; i < c.rule->body.size(); ++i) {
+            const LiteralIr& literal = c.rule->body[i];
+            if (literal.is_builtin() || literal.negated) continue;
+            if (static_cast<int>(i) > occurrence &&
+                literal.pred < delta_preds.size() &&
+                delta_preds[literal.pred]) {
+              literal_rows[i] = static_cast<double>(low[literal.pred]);
+            }
+          }
+          literal_rows[occurrence] =
+              static_cast<double>(high[delta_pred] - low[delta_pred]);
+          OrderCost current_cost =
+              EstimateOrderCost(*c.rule, order, round_model, &literal_rows);
+          StatusOr<std::vector<int>> best = OrderBodyLiteralsCostBased(
+              *catalog_, *c.rule, round_model, occurrence,
+              /*initially_bound=*/nullptr, &literal_rows);
+          // A failed forced order keeps the current (fallback) one.
+          if (best.ok() && best.value() != order) {
+            OrderCost best_cost = EstimateOrderCost(*c.rule, best.value(),
+                                                    round_model, &literal_rows);
+            if (current_cost.total_work >
+                options.replan_cost_ratio * best_cost.total_work) {
+              order = std::move(best).value();
+              current_cost = best_cost;
+              ++stats->replans;
+              if (parallel && options.use_compiled_plans) {
+                c.delta_plans[v] =
+                    plans_->Get(*c.rule, order, &stats->plan_cache_hits);
+              }
+            }
+          }
+          if (c.entry != nullptr) {
+            c.entry->counters.est_rows +=
+                EstimateToCounter(current_cost.out_rows);
+          }
+        }
+      }
+    }
 
     derived = false;
     if (parallel) {
@@ -586,11 +716,18 @@ Status Engine::EvaluateStratum(const ProgramIr& program, const std::vector<int>&
     };
     std::vector<GroupTask> tasks;
     tasks.reserve(grouping_rules.size());
+    CostModel group_model;
+    if (options.cost_based) group_model = CostModel::Snapshot(*db, *catalog_);
     for (int r : grouping_rules) {
       const RuleIr& rule = program.rules[r];
       GroupTask task{&rule, {}, nullptr,
                      ProfileEntry(profile, rule, r, stratum_index)};
-      LDL_ASSIGN_OR_RETURN(task.order, OrderBodyLiterals(*catalog_, rule));
+      if (options.cost_based) {
+        LDL_ASSIGN_OR_RETURN(
+            task.order, OrderBodyLiteralsCostBased(*catalog_, rule, group_model));
+      } else {
+        LDL_ASSIGN_OR_RETURN(task.order, OrderBodyLiterals(*catalog_, rule));
+      }
       if (options.use_compiled_plans) {
         task.plan = plans_->Get(rule, task.order, &stats->plan_cache_hits);
       }
@@ -1728,7 +1865,15 @@ Status Engine::EvaluateSaturating(const ProgramIr& program, Database* db,
   // re-sorting and re-interning (see GroupCacheEntry).
   std::vector<GroupCache> group_caches(grouping_rules.size());
 
-  // Orders for negation and grouping rules (computed once, not per round).
+  // The saturating evaluator always orders syntactically: it runs in a
+  // scratch database where every adorned predicate starts empty (entry
+  // statistics carry no signal about the sizes the fixpoint will reach),
+  // and it re-enters Fixpoint once per global round, so cost-based
+  // planning would be repaid on every round of every sub-millisecond
+  // bound query. `sat_options` turns the planner off for the inner
+  // fixpoints too.
+  EvalOptions sat_options = options;
+  sat_options.cost_based = false;
   std::vector<std::vector<int>> negation_orders;
   for (int r : negation_rules) {
     LDL_ASSIGN_OR_RETURN(std::vector<int> order,
@@ -1754,7 +1899,7 @@ Status Engine::EvaluateSaturating(const ProgramIr& program, Database* db,
     if (!positive_rules.empty()) {
       bool derived = false;
       LDL_RETURN_IF_ERROR(Fixpoint(program, positive_rules, /*stratum_index=*/-1,
-                                   db, options, stats, &derived, profile));
+                                   db, sat_options, stats, &derived, profile));
       changed = changed || derived;
     }
 

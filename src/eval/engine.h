@@ -59,6 +59,16 @@ struct EvalOptions {
   // Execute rule bodies through compiled join plans (eval/plan.h). Off runs
   // the legacy substitution interpreter; kept for equivalence testing.
   bool use_compiled_plans = true;
+  // Pick join orders with the statistics-driven cost model (eval/cost.h)
+  // instead of the syntactic most-bound-args heuristic, and re-cost the
+  // semi-naive delta variants each round against the delta-window sizes
+  // (adaptive replanning). Order choices read only round-start snapshots,
+  // so the serial==parallel determinism contract is unaffected.
+  bool cost_based = true;
+  // Replanning hysteresis: a delta variant switches to the newly costed
+  // order only when estimated_work(current) > ratio * estimated_work(best).
+  // Keeps plan churn (and plan-cache pressure) low when estimates wobble.
+  double replan_cost_ratio = 2.0;
   // Worker-pool width for intra-stratum parallel evaluation. 1 (the
   // default) is the serial path; > 1 evaluates each round's rule×window
   // variants concurrently with a deterministic merge barrier.

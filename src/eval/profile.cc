@@ -75,6 +75,13 @@ void AppendLiteral(const TermFactory& factory, const Catalog& catalog,
 
 }  // namespace
 
+std::string FormatLiteral(const TermFactory& factory, const Catalog& catalog,
+                          const LiteralIr& literal) {
+  std::string out;
+  AppendLiteral(factory, catalog, literal, &out);
+  return out;
+}
+
 std::string FormatRuleLabel(const TermFactory& factory, const Catalog& catalog,
                             const RuleIr& rule) {
   std::string out;

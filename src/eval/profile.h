@@ -31,6 +31,7 @@ namespace ldl {
 
 class Catalog;
 class TermFactory;
+struct LiteralIr;
 struct RuleIr;
 
 // Deterministic per-rule counters. Same X-macro discipline as
@@ -47,7 +48,8 @@ struct RuleIr;
   X(probe_hits)     /* rows returned by index lookups */                    \
   X(groups_built)   /* grouping partitions canonicalized + interned */      \
   X(groups_reused)  /* grouping partitions reused from the group cache */   \
-  X(group_regrows)  /* partitions regrown in place by kGroupRegrow */
+  X(group_regrows)  /* partitions regrown in place by kGroupRegrow */       \
+  X(est_rows)       /* cost model's estimated solutions (vs `solutions`) */
 
 // Scheduling- and clock-dependent per-rule fields: vary run-to-run and
 // across pool widths.
@@ -194,6 +196,11 @@ class ScopedWallTimer {
   uint64_t* sink_;
   std::chrono::steady_clock::time_point start_;
 };
+
+// Renders one body literal, e.g. "p(X, Z)" or "!q(X)" (negation as '!').
+// The REPL's :plan printer uses this for per-step lines.
+std::string FormatLiteral(const TermFactory& factory, const Catalog& catalog,
+                          const LiteralIr& literal);
 
 // Renders `rule` for RuleProfileEntry::label, e.g.
 // "a(X, Y) :- p(X, Z), a(Z, Y)" (grouped head arguments in <angle

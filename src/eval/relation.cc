@@ -1,7 +1,9 @@
 #include "eval/relation.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
+#include <cmath>
 
 namespace ldl {
 
@@ -71,6 +73,12 @@ bool Relation::Insert(RowRef tuple) {
   live_.push_back(true);
   ++live_count_;
   if (counted_) counts_.push_back(1);
+  // Fold the new row into the per-column distinct sketches (planner stats).
+  if (sketches_.size() < arity_) sketches_.resize(arity_, ColumnSketch{});
+  for (uint32_t col = 0; col < arity_; ++col) {
+    uint64_t pos = tuple[col]->hash() & (kSketchWords * 64 - 1);
+    sketches_[col][pos >> 6] |= uint64_t{1} << (pos & 63);
+  }
   // Maintain built indexes. Insert only runs in single-writer phases (the
   // merge barrier or serial evaluation), so mutating the maps is safe.
   for (CompositeIndex* index = index_head_.load(std::memory_order_acquire);
@@ -159,6 +167,33 @@ void Relation::Probe(uint32_t column, const Term* value, size_t from, size_t to,
   });
 }
 
+double Relation::DistinctEstimate(uint32_t column) const {
+  if (column >= sketches_.size() || live_count_ == 0) {
+    return static_cast<double>(live_count_);
+  }
+  constexpr double kBits = kSketchWords * 64;
+  size_t ones = 0;
+  for (uint64_t word : sketches_[column]) ones += std::popcount(word);
+  size_t zeros = kSketchWords * 64 - ones;
+  // Linear counting: E[distinct] = B * ln(B / zeros). A saturated sketch
+  // (zeros == 0) can't discriminate beyond ~B*ln(B); fall back to the row
+  // count, which is the true upper bound anyway.
+  double estimate = zeros == 0
+                        ? static_cast<double>(live_count_)
+                        : kBits * std::log(kBits / static_cast<double>(zeros));
+  return std::min(estimate, static_cast<double>(live_count_));
+}
+
+RelationStats Relation::Stats() const {
+  RelationStats stats;
+  stats.rows = live_count_;
+  stats.column_distinct.reserve(arity_);
+  for (uint32_t col = 0; col < arity_; ++col) {
+    stats.column_distinct.push_back(DistinctEstimate(col));
+  }
+  return stats;
+}
+
 std::vector<Tuple> Relation::Snapshot() const {
   std::vector<Tuple> result;
   result.reserve(live_count_);
@@ -179,6 +214,7 @@ void Relation::Clear() {
   live_count_ = 0;
   table_.clear();
   counts_.clear();  // counted_ survives: re-derivation recounts from scratch
+  sketches_.clear();
   // Keep the index nodes linked (holders of the relation may still walk
   // them); just drop their contents. Insert repopulates the maps, so a
   // retained index stays consistent with the emptied row store.

@@ -9,24 +9,22 @@
 
 namespace ldl {
 
-namespace {
+bool TermVarsBound(const Term* t, const std::vector<Symbol>& bound) {
+  std::vector<Symbol> vars;
+  CollectVars(t, &vars);
+  for (Symbol var : vars) {
+    if (std::find(bound.begin(), bound.end(), var) == bound.end()) return false;
+  }
+  return true;
+}
 
-// Static boundness propagation mirroring the runtime modes in builtins.cc
-// (see also wellformed.cc). `bound` is the set of bound variable symbols.
-bool StaticallyReady(const LiteralIr& literal, const std::vector<Symbol>& bound) {
-  auto term_bound = [&](const Term* t) {
-    std::vector<Symbol> vars;
-    CollectVars(t, &vars);
-    for (Symbol var : vars) {
-      if (std::find(bound.begin(), bound.end(), var) == bound.end()) return false;
-    }
-    return true;
-  };
-  auto arg_bound = [&](size_t i) { return term_bound(literal.args[i]); };
+bool LiteralStaticallyReady(const LiteralIr& literal,
+                            const std::vector<Symbol>& bound) {
+  auto arg_bound = [&](size_t i) { return TermVarsBound(literal.args[i], bound); };
 
   if (literal.negated && literal.is_builtin()) {
     for (const Term* arg : literal.args) {
-      if (!term_bound(arg)) return false;
+      if (!TermVarsBound(arg, bound)) return false;
     }
     return true;
   }
@@ -81,36 +79,14 @@ void BindLiteralVars(const LiteralIr& literal, std::vector<Symbol>* bound) {
 int BoundArgCount(const LiteralIr& literal, const std::vector<Symbol>& bound) {
   int count = 0;
   for (const Term* arg : literal.args) {
-    std::vector<Symbol> vars;
-    CollectVars(arg, &vars);
-    bool all = true;
-    for (Symbol var : vars) {
-      if (std::find(bound.begin(), bound.end(), var) == bound.end()) {
-        all = false;
-        break;
-      }
-    }
-    if (all) ++count;
+    if (TermVarsBound(arg, bound)) ++count;
   }
   return count;
 }
 
-}  // namespace
-
-StatusOr<std::vector<int>> OrderBodyLiterals(
-    const Catalog& catalog, const RuleIr& rule, int forced_first,
-    const std::vector<Symbol>* initially_bound) {
+std::vector<std::vector<Symbol>> NegationSharedVars(const RuleIr& rule) {
   size_t n = rule.body.size();
-  std::vector<int> order;
-  order.reserve(n);
-  std::vector<bool> scheduled(n, false);
-  std::vector<Symbol> bound;
-  if (initially_bound != nullptr) bound = *initially_bound;
-
-  // For a negated relational literal, readiness only requires the variables
-  // it shares with the head or other literals; variables local to the
-  // literal are existential under the negation (paper §6 rule 5).
-  std::vector<std::vector<Symbol>> negation_shared_vars(n);
+  std::vector<std::vector<Symbol>> shared(n);
   for (size_t i = 0; i < n; ++i) {
     const LiteralIr& literal = rule.body[i];
     if (!literal.negated || literal.is_builtin()) continue;
@@ -130,9 +106,23 @@ StatusOr<std::vector<int>> OrderBodyLiterals(
           }
         }
       }
-      if (elsewhere) negation_shared_vars[i].push_back(var);
+      if (elsewhere) shared[i].push_back(var);
     }
   }
+  return shared;
+}
+
+StatusOr<std::vector<int>> OrderBodyLiterals(
+    const Catalog& catalog, const RuleIr& rule, int forced_first,
+    const std::vector<Symbol>* initially_bound) {
+  size_t n = rule.body.size();
+  std::vector<int> order;
+  order.reserve(n);
+  std::vector<bool> scheduled(n, false);
+  std::vector<Symbol> bound;
+  if (initially_bound != nullptr) bound = *initially_bound;
+
+  std::vector<std::vector<Symbol>> negation_shared_vars = NegationSharedVars(rule);
   auto negation_ready = [&](size_t i) {
     for (Symbol var : negation_shared_vars[i]) {
       if (std::find(bound.begin(), bound.end(), var) == bound.end()) return false;
@@ -157,7 +147,7 @@ StatusOr<std::vector<int>> OrderBodyLiterals(
         if (scheduled[i] || (!literal.is_builtin() && !literal.negated)) continue;
         bool ready = literal.negated && !literal.is_builtin()
                          ? negation_ready(i)
-                         : StaticallyReady(literal, bound);
+                         : LiteralStaticallyReady(literal, bound);
         if (ready) {
           order.push_back(static_cast<int>(i));
           scheduled[i] = true;

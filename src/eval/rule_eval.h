@@ -61,7 +61,9 @@ struct LiteralWindow {
   X(set_interns)     /* distinct set terms interned by this evaluation */ \
   X(strata_overdeleted) /* incremental: strata taken through DRed over-delete */ \
   X(rederive_rounds) /* DRed: rederivation fixpoint rounds */           \
-  X(count_decrements) /* deletion fast path: derivation-count decrements */
+  X(count_decrements) /* deletion fast path: derivation-count decrements */ \
+  X(plans_reordered) /* cost-based orders adopted that differ from syntactic */ \
+  X(replans)         /* delta variants switched orders mid-fixpoint */
 
 struct EvalStats {
 #define LDL_EVAL_STATS_DECLARE(name) size_t name = 0;
@@ -82,6 +84,35 @@ struct EvalStats {
 #undef LDL_EVAL_STATS_VISIT
   }
 };
+
+// --- Static boundness analysis ------------------------------------------
+//
+// Shared between the syntactic orderer below and the cost-based planner
+// (eval/cost.h); both must agree on when a literal is evaluable so the two
+// modes reject exactly the same rules.
+
+// True when every variable of `t` appears in `bound`.
+bool TermVarsBound(const Term* t, const std::vector<Symbol>& bound);
+
+// Static boundness propagation mirroring the runtime modes in builtins.cc
+// (see also wellformed.cc): true when the built-in (or negated literal) has
+// enough bound arguments to run. Positive relational literals are always
+// ready.
+bool LiteralStaticallyReady(const LiteralIr& literal,
+                            const std::vector<Symbol>& bound);
+
+// Adds every variable occurring in `literal`'s arguments to `bound`.
+void BindLiteralVars(const LiteralIr& literal, std::vector<Symbol>* bound);
+
+// Number of argument positions whose variables are all in `bound` (join
+// selectivity heuristic).
+int BoundArgCount(const LiteralIr& literal, const std::vector<Symbol>& bound);
+
+// For each body literal of `rule`: if it is a negated relational literal,
+// the variables it shares with the head or another literal (readiness only
+// requires those; variables local to the literal are existential under the
+// negation, paper §6 rule 5). Empty for every other literal.
+std::vector<std::vector<Symbol>> NegationSharedVars(const RuleIr& rule);
 
 // Computes the evaluation order for `rule`'s body. If forced_first >= 0 that
 // literal occurrence is scheduled first (semi-naive delta variant).

@@ -321,6 +321,8 @@ bool Session::SameEvalConfig(const EvalOptions& options) const {
   return options.mode == last.mode && options.max_rounds == last.max_rounds &&
          options.max_facts == last.max_facts &&
          options.use_compiled_plans == last.use_compiled_plans &&
+         options.cost_based == last.cost_based &&
+         options.replan_cost_ratio == last.replan_cost_ratio &&
          options.num_threads == last.num_threads &&
          options.builtin_limits.max_union_enumeration ==
              last.builtin_limits.max_union_enumeration &&

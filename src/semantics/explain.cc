@@ -133,7 +133,7 @@ class Explainer {
                                      const Tuple& fact, size_t depth,
                                      Derivation* node) {
     LDL_ASSIGN_OR_RETURN(std::vector<int> order, OrderBodyLiterals(catalog_, rule));
-    RuleEvaluator evaluator(&factory_, &rule, std::move(order));
+    RuleEvaluator evaluator(&factory_, &rule, order);
     EvalStats stats;
     LDL_ASSIGN_OR_RETURN(std::vector<GroupResult> groups,
                          ComputeGroups(factory_, evaluator, model_, &stats));
@@ -145,10 +145,8 @@ class Explainer {
                                    " element(s) into ",
                                    factory_.ToString(grouped_set)));
       // Premises: the body solutions contributing to this partition,
-      // capped for readability.
-      LDL_ASSIGN_OR_RETURN(std::vector<int> order2,
-                           OrderBodyLiterals(catalog_, rule));
-      RuleEvaluator premise_evaluator(&factory_, &rule, std::move(order2));
+      // capped for readability. Reuses the order computed above.
+      RuleEvaluator premise_evaluator(&factory_, &rule, std::move(order));
       std::set<std::pair<PredId, Tuple>> seen;
       size_t skipped = 0;
       Status inner;

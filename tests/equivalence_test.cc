@@ -47,12 +47,13 @@ ModelText Materialize(Session& session) {
 
 // Answers stored queries through the magic-set rewriting, so the saturating
 // evaluator (grouping reconciliation and all) runs under `eval` too.
-std::vector<std::string> StoredQueryAnswers(Session& session,
-                                            const EvalOptions& eval) {
+std::vector<std::string> StoredQueryAnswers(
+    Session& session, const EvalOptions& eval,
+    QueryStrategy strategy = QueryStrategy::kMagic) {
   std::vector<std::string> all;
   AstPrinter printer(&session.interner());
   QueryOptions query_options;
-  query_options.strategy = QueryStrategy::kMagic;
+  query_options.strategy = strategy;
   query_options.eval = eval;
   for (const QueryAst& query : session.stored_queries()) {
     std::string goal = printer.ToString(query.goal);
@@ -115,6 +116,51 @@ TEST(Equivalence, CorpusModelsAgreeAcrossStrategies) {
                                   << "] diverges from " << kConfigs[0].name;
       EXPECT_EQ(answers, reference_answers)
           << path << " [" << config.name << "] query answers diverge";
+    }
+  }
+}
+
+// Cost-based join ordering must be invisible in the model: over the whole
+// corpus, the cost-based orderer produces the same models and stored-query
+// answers as the syntactic orderer, under every query strategy and at both
+// serial and parallel pool widths.
+TEST(Equivalence, CostBasedMatchesSyntacticAcrossStrategies) {
+  constexpr QueryStrategy kStrategies[] = {
+      QueryStrategy::kModel, QueryStrategy::kMagic,
+      QueryStrategy::kMagicSupplementary, QueryStrategy::kTopDown};
+  std::vector<std::string> programs = CorpusPrograms();
+  ASSERT_FALSE(programs.empty());
+  for (const std::string& path : programs) {
+    Session reference;
+    ASSERT_TRUE(reference.LoadFile(path).ok()) << path;
+    EvalOptions syntactic;
+    syntactic.cost_based = false;
+    Status status = reference.Evaluate(syntactic);
+    ASSERT_TRUE(status.ok()) << path << ": " << status;
+    ModelText reference_model = Materialize(reference);
+    std::map<QueryStrategy, std::vector<std::string>> reference_answers;
+    for (QueryStrategy strategy : kStrategies) {
+      reference_answers[strategy] =
+          StoredQueryAnswers(reference, syntactic, strategy);
+    }
+
+    for (int threads : {1, 4}) {
+      Session session;
+      ASSERT_TRUE(session.LoadFile(path).ok()) << path;
+      EvalOptions cost_based;
+      cost_based.cost_based = true;
+      cost_based.num_threads = threads;
+      status = session.Evaluate(cost_based);
+      ASSERT_TRUE(status.ok()) << path << " t" << threads << ": " << status;
+      EXPECT_EQ(Materialize(session), reference_model)
+          << path << " [cost-based t" << threads
+          << "] diverges from the syntactic order";
+      for (QueryStrategy strategy : kStrategies) {
+        EXPECT_EQ(StoredQueryAnswers(session, cost_based, strategy),
+                  reference_answers[strategy])
+            << path << " [cost-based t" << threads << " " << ToString(strategy)
+            << "] query answers diverge";
+      }
     }
   }
 }

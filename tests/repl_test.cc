@@ -89,6 +89,29 @@ TEST(Repl, MagicModeAndStats) {
   EXPECT_NE(out.find("firings="), std::string::npos) << out;
 }
 
+TEST(Repl, PlanDumpsJoinOrderWithEstimates) {
+  // sel has 2 rows against big's 6: the cost-based planner schedules it
+  // first and the step lines carry row counts and estimated output sizes.
+  std::string out = RunRepl(
+      "big(b1, k1). big(b2, k1). big(b3, k1).\n"
+      "big(b4, k2). big(b5, k2). big(b6, k2).\n"
+      "sel(k1, s1). sel(k9, s9).\n"
+      "join(X, Y) :- big(X, Z), sel(Z, Y).\n"
+      ":plan join/2\n"
+      ":stats\n"
+      ":quit\n");
+  EXPECT_NE(out.find("rule: join(X, Y) :- big(X, Z), sel(Z, Y)"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("1. sel(Z, Y)"), std::string::npos) << out;
+  EXPECT_NE(out.find("[2 rows]"), std::string::npos) << out;
+  EXPECT_NE(out.find("2. big(X, Z)"), std::string::npos) << out;
+  EXPECT_NE(out.find("est total work"), std::string::npos) << out;
+  // The planner counters surface in :stats alongside the engine counters.
+  EXPECT_NE(out.find("plans_reordered="), std::string::npos) << out;
+  EXPECT_NE(out.find("replans="), std::string::npos) << out;
+}
+
 TEST(Repl, StrategyListsValidNames) {
   std::string out = RunRepl(
       ":strategy\n"

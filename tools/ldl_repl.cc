@@ -10,6 +10,7 @@
 //   :strata              show the layering of the analyzed program
 //   :preds               list predicates with arities and fact counts
 //   :facts p/2           print the facts of a predicate
+//   :plan p/2            cost-based join orders for the predicate's rules
 //   :program             print the expanded (LDL1) program
 //   :warnings            §7 finiteness warnings
 //   :strategy [name]     query strategy: model, magic, magic-sup, topdown
@@ -37,6 +38,8 @@
 #include <vector>
 
 #include "base/str_util.h"
+#include "eval/cost.h"
+#include "eval/profile.h"
 #include "ldl/ldl.h"
 #include "ldl/service.h"
 
@@ -74,7 +77,8 @@ void PrintHelp() {
       "    anc(X, Y) :- parent(X, Y).\n"
       "    anc(X, Y) :- parent(X, Z), anc(Z, Y).\n"
       "    ? anc(a, X).\n"
-      "meta: :help :quit :strata :preds :facts p/2 :program :warnings :why f(a)\n"
+      "meta: :help :quit :strata :preds :facts p/2 :plan p/2 :program\n"
+      "      :warnings :why f(a)\n"
       "      :retract f(a).\n"
       "      :strategy [%s]  :magic on|off|sup\n"
       "      :naive on|off  :threads N  :stats  :serve [N] goal\n"
@@ -248,6 +252,62 @@ void RunServe(ReplState& state, int threads, const std::string& goal) {
   std::printf("  %s\n", ldl::FormatServiceStats(service.stats()).c_str());
 }
 
+// :plan p/2 -- for every rule whose head is the predicate, print the join
+// order the cost-based planner picks against the current database, one line
+// per evaluation step with the estimated intermediate cardinality after it.
+void ShowPlan(ReplState& state, const std::string& spec) {
+  auto slash = spec.rfind('/');
+  if (slash == std::string::npos) {
+    Fail(state, "usage: :plan name/arity");
+    return;
+  }
+  std::string name = spec.substr(0, slash);
+  uint32_t arity = static_cast<uint32_t>(atoi(spec.c_str() + slash + 1));
+  // Plan against the materialized model so IDB statistics are populated.
+  ldl::Status status = state.session.Evaluate();
+  if (!status.ok()) {
+    Fail(state, status.ToString());
+    return;
+  }
+  ldl::PredId pred = state.session.catalog().Find(name, arity);
+  if (pred == ldl::kInvalidPred) {
+    Fail(state, ldl::StrCat("unknown predicate ", spec));
+    return;
+  }
+  const ldl::Catalog& catalog = state.session.catalog();
+  const ldl::TermFactory& factory = state.session.factory();
+  ldl::CostModel model =
+      ldl::CostModel::Snapshot(state.session.database(), catalog);
+  size_t shown = 0;
+  for (const ldl::RuleIr& rule : state.session.program().rules) {
+    if (rule.head_pred != pred || rule.is_fact()) continue;
+    auto order = ldl::OrderBodyLiteralsCostBased(catalog, rule, model);
+    if (!order.ok()) {
+      Fail(state, order.status().ToString());
+      return;
+    }
+    ldl::OrderCost cost = ldl::EstimateOrderCost(rule, *order, model);
+    std::printf("rule: %s\n",
+                ldl::FormatRuleLabel(factory, catalog, rule).c_str());
+    for (size_t step = 0; step < order->size(); ++step) {
+      const ldl::LiteralIr& literal = rule.body[(*order)[step]];
+      std::string rendered = ldl::FormatLiteral(factory, catalog, literal);
+      std::string rows;
+      if (!literal.is_builtin() && !literal.negated) {
+        rows = ldl::StrCat("  [", static_cast<size_t>(
+                                      model.Card(literal.pred).rows),
+                           " rows]");
+      }
+      std::printf("  %zu. %-32s%s  ~%.1f out\n", step + 1, rendered.c_str(),
+                  rows.c_str(), cost.step_rows[step]);
+    }
+    std::printf("  est total work %.1f, est solutions %.1f\n", cost.total_work,
+                cost.out_rows);
+    ++shown;
+  }
+  if (shown == 0) std::printf("no rules for %s\n", spec.c_str());
+}
+
 void ShowStats(ReplState& state) {
   // Generated from the EvalStats X-macro: every counter prints, including
   // ones added later.
@@ -281,6 +341,8 @@ bool HandleLine(ReplState& state, const std::string& raw) {
       ShowPreds(state);
     } else if (command == "facts") {
       ShowFacts(state, argument);
+    } else if (command == "plan") {
+      ShowPlan(state, argument);
     } else if (command == "program") {
       ShowProgram(state);
     } else if (command == "warnings") {
