@@ -1,0 +1,129 @@
+// B13: block-at-a-time execution vs the tuple-at-a-time scalar executor
+// (DESIGN.md §12).
+//
+// Two join-heavy materializations where the scalar executor pays a deep
+// recursive call per binding and a hash-index touch per probe:
+//
+// TcDense: semi-naive transitive closure over a dense expander-ish digraph
+// (out-degree 3, tiny diameter). Deltas stay thousands of rows wide for the
+// few rounds the fixpoint needs, so per-round fixed costs vanish and the
+// timed region is the classic Datalog hot loop: probe the delta block
+// against e's hash index, once per (delta row x successor).
+//
+// ProjJoin: the skewed three-way join from B12 projected onto its 4-value
+// join key, under the (default) cost-based order. The body enumerates
+// n x fan-out solutions but the head dedupes them into 16 facts, so
+// insertion cost disappears and what remains is pure per-row executor
+// overhead -- exactly what blocks amortize.
+//
+// Both arms derive identical models, counters, and solution order
+// (tests/equivalence_test.cc); the gap is executor dispatch only. The batch
+// arms sweep EvalOptions::batch_block_rows over {64, 256, 1024} to place the
+// default (256).
+#include <string>
+
+#include "base/str_util.h"
+#include "bench/bench_util.h"
+
+namespace {
+
+constexpr const char* kTcRules =
+    "t(X, Y) :- e(X, Y).\n"
+    "t(X, Y) :- e(X, Z), t(Z, Y).\n";
+
+// n nodes, each with three deterministic out-edges: the successor ring plus
+// two multiplicative strides. The ring makes the graph strongly connected
+// (closure = n^2 facts); the strides shrink the diameter to a handful of
+// rounds, so deltas are n^2-scale wide.
+std::string TcFacts(size_t n) {
+  std::string facts;
+  facts.reserve(n * 50);
+  for (size_t i = 0; i < n; ++i) {
+    ldl::StrAppend(facts, "e(c", i, ", c", (i + 1) % n, ").\n");
+    ldl::StrAppend(facts, "e(c", i, ", c", (i * 7 + 3) % n, ").\n");
+    ldl::StrAppend(facts, "e(c", i, ", c", (i * 13 + 5) % n, ").\n");
+  }
+  return facts;
+}
+
+constexpr const char* kJoinRules =
+    "hub(Z, Y) :- big(X, Z), fan(Z, W), sel(W, Y).\n";
+
+constexpr size_t kFanOut = 32;
+
+std::string JoinFacts(size_t n) {
+  std::string facts;
+  facts.reserve(n * 24);
+  for (size_t i = 0; i < n; ++i) {
+    ldl::StrAppend(facts, "big(b", i, ", k", i % 4, ").\n");
+  }
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < kFanOut; ++j) {
+      ldl::StrAppend(facts, "fan(k", i, ", w", i, "_", j, ").\n");
+      ldl::StrAppend(facts, "sel(w", i, "_", j, ", s", i % 4, ").\n");
+    }
+  }
+  return facts;
+}
+
+// Scalar arm when block_rows == 0; batch arm with the given block size
+// otherwise. Everything else (cost-based planning, semi-naive mode) is the
+// default configuration, so the measured gap is executor dispatch only.
+void RunBatch(benchmark::State& state, const std::string& facts,
+              const char* rules, size_t block_rows, const char* name) {
+  ldl::EvalOptions options;
+  options.batch = block_rows > 0;
+  if (block_rows > 0) options.batch_block_rows = block_rows;
+  options.profile = ldl_bench::ProfileRequested();
+  ldl::EvalStats last;
+  ldl::EvalProfile last_profile;
+  auto session = ldl_bench::MakeSession(state, facts, rules);
+  if (session == nullptr) return;
+  for (auto _ : state) {
+    session->InvalidateModel();
+    ldl::Status status = session->Evaluate(options);
+    if (!status.ok()) {
+      state.SkipWithError(status.ToString().c_str());
+      return;
+    }
+    last = session->last_eval_stats();
+    if (options.profile) last_profile = session->last_eval_profile();
+  }
+  ldl_bench::RecordStats(state, last);
+  ldl_bench::MaybeDumpProfile(
+      name + ("/" + std::to_string(state.range(0))), last_profile);
+}
+
+void BM_TcDenseScalar(benchmark::State& state) {
+  RunBatch(state, TcFacts(static_cast<size_t>(state.range(0))), kTcRules,
+           /*block_rows=*/0, "TcDenseScalar");
+}
+void BM_TcDenseBatch(benchmark::State& state) {
+  RunBatch(state, TcFacts(static_cast<size_t>(state.range(0))), kTcRules,
+           static_cast<size_t>(state.range(1)), "TcDenseBatch");
+}
+void BM_ProjJoinScalar(benchmark::State& state) {
+  RunBatch(state, JoinFacts(static_cast<size_t>(state.range(0))), kJoinRules,
+           /*block_rows=*/0, "ProjJoinScalar");
+}
+void BM_ProjJoinBatch(benchmark::State& state) {
+  RunBatch(state, JoinFacts(static_cast<size_t>(state.range(0))), kJoinRules,
+           static_cast<size_t>(state.range(1)), "ProjJoinBatch");
+}
+
+}  // namespace
+
+BENCHMARK(BM_TcDenseScalar)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TcDenseBatch)
+    ->Args({128, 64})->Args({128, 256})->Args({128, 1024})
+    ->Args({256, 64})->Args({256, 256})->Args({256, 1024})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ProjJoinScalar)->Arg(1 << 14)->Arg(1 << 16)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ProjJoinBatch)
+    ->Args({1 << 14, 64})->Args({1 << 14, 256})->Args({1 << 14, 1024})
+    ->Args({1 << 16, 64})->Args({1 << 16, 256})->Args({1 << 16, 1024})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -2,7 +2,8 @@
 # Runs every Google-benchmark binary in the build tree and collects the
 # results into one JSON array at BENCH_engine.json (repo root by default).
 #
-# Usage: bench/run_benches.sh [--threads | --profile] [build_dir] [output_json]
+# Usage: bench/run_benches.sh [--threads | --profile | --filter <regex>] \
+#                              [build_dir] [output_json]
 #   --threads    run only the worker-pool sweep benchmarks (names matching
 #                'Threads') and APPEND their reports to the output JSON
 #                instead of rewriting it
@@ -11,22 +12,37 @@
 #                benchmark dumps into BENCH_profile.json, keyed by benchmark
 #                name; wall times in the profiles include the profiling
 #                overhead, so the timing series of record stays BENCH_engine.json
+#   --filter RE  run only the benchmarks whose names match RE and print their
+#                deltas against the committed baseline WITHOUT touching the
+#                output JSON -- a quick check of the benches a change targets
+#                that cannot invalidate the committed full-suite report
 #   build_dir    defaults to ./build
 #   output_json  defaults to <repo_root>/BENCH_engine.json
 #                (<repo_root>/BENCH_profile.json under --profile)
 #
 # Pass a benchmark filter through BENCH_FILTER, e.g.
 #   BENCH_FILTER='TcSemiNaive|AncestorMagic' bench/run_benches.sh
+# (unlike --filter, BENCH_FILTER alone still rewrites the output JSON).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 append=0
 profile=0
+no_write=0
 if [[ "${1:-}" == "--threads" ]]; then
   append=1
   shift
 elif [[ "${1:-}" == "--profile" ]]; then
   profile=1
+  shift
+elif [[ "${1:-}" == "--filter" ]]; then
+  no_write=1
+  shift
+  if [[ -z "${1:-}" ]]; then
+    echo "error: --filter needs a benchmark-name regex" >&2
+    exit 1
+  fi
+  BENCH_FILTER="$1"
   shift
 fi
 build_dir="${1:-${repo_root}/build}"
@@ -134,8 +150,10 @@ fi
 # the new reports are added after them. Before overwriting, each benchmark's
 # real_time is compared against the previously committed report so a run
 # prints a one-line delta per benchmark (regressions are visible without
-# diffing JSON by hand).
-APPEND="${append}" python3 - "${output}" "${runs[@]}" <<'PY'
+# diffing JSON by hand). Under --filter the deltas are the whole point: the
+# subset run prints them and leaves the committed report untouched.
+APPEND="${append}" NO_WRITE="${no_write}" \
+  python3 - "${output}" "${runs[@]}" <<'PY'
 import json
 import os
 import sys
@@ -172,8 +190,11 @@ for path in paths:
             print(f"  {name}: {old:.3g} -> {new:.3g} {unit} ({pct:+.1f}%)")
         elif new is not None:
             print(f"  {name}: {new:.3g} {unit} (new)")
-with open(output, "w") as f:
-    json.dump(merged, f, indent=2)
-    f.write("\n")
-print(f"wrote {output} ({len(merged)} benchmark binaries)")
+if os.environ.get("NO_WRITE") == "1":
+    print(f"left {output} untouched (--filter run)")
+else:
+    with open(output, "w") as f:
+        json.dump(merged, f, indent=2)
+        f.write("\n")
+    print(f"wrote {output} ({len(merged)} benchmark binaries)")
 PY

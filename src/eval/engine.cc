@@ -74,6 +74,62 @@ class ScopedSetInternCounter {
   size_t before_;
 };
 
+// Enumerates `evaluator`'s body solutions into `produced`, one head row per
+// solution, using the batch pipeline when `options.batch` is on and the
+// evaluator has a compiled plan, the scalar executor otherwise. Both paths
+// buffer productions -- inserting while enumerating would invalidate row
+// references for self-recursive rules -- and both skip outside-U heads.
+// Simple heads on the batch path are built straight from plan slots
+// (EmitHeadBlock); complex heads instantiate per row through a SolutionView
+// over the block row, exactly as the scalar path does.
+Status EnumerateIntoRows(RuleEvaluator& evaluator, const Database& db,
+                         const std::vector<LiteralWindow>& windows,
+                         const EvalOptions& options, RowBuffer* produced,
+                         EvalStats* stats) {
+  Status inner;
+  Status status;
+  if (options.batch && evaluator.has_plan()) {
+    const JoinPlan& plan = *evaluator.plan();
+    status = evaluator.ForEachBlock(
+        db, windows,
+        [&](const TupleBlock& block) {
+          if (plan.head_simple()) {
+            if (!EmitHeadBlock(plan, block, produced)) {
+              inner = InternalError("head variable unbound in a body solution");
+              return false;
+            }
+            return true;
+          }
+          for (uint32_t idx : block.sel()) {
+            SolutionView view(&plan, {block.row(idx), block.width()});
+            InstantiationResult inst = evaluator.InstantiateHead(view);
+            if (inst.unbound) {
+              inner = InternalError("head variable unbound in a body solution");
+              return false;
+            }
+            if (!inst.outside_universe) produced->AppendRow(inst.tuple.data());
+          }
+          return true;
+        },
+        stats, options.batch_block_rows);
+  } else {
+    status = evaluator.ForEachSolution(
+        db, windows,
+        [&](const SolutionView& view) {
+          InstantiationResult inst = evaluator.InstantiateHead(view);
+          if (inst.unbound) {
+            inner = InternalError("head variable unbound in a body solution");
+            return false;
+          }
+          if (!inst.outside_universe) produced->AppendRow(inst.tuple.data());
+          return true;
+        },
+        stats);
+  }
+  LDL_RETURN_IF_ERROR(status);
+  return inner;
+}
+
 }  // namespace
 
 RuleProfileEntry* Engine::ProfileEntry(EvalProfile* profile, const RuleIr& rule,
@@ -105,27 +161,12 @@ Status Engine::ApplyRule(const RuleIr& rule, const std::vector<int>& order,
                           std::move(plan), options.use_compiled_plans);
   ++s->rule_firings;
 
-  // Buffer productions: inserting while enumerating would invalidate row
-  // references for self-recursive rules.
-  std::vector<Tuple> produced;
-  Status inner;
-  Status status = evaluator.ForEachSolution(
-      *db, windows,
-      [&](const SolutionView& view) {
-        InstantiationResult inst = evaluator.InstantiateHead(view);
-        if (inst.unbound) {
-          inner = InternalError("head variable unbound in a body solution");
-          return false;
-        }
-        if (!inst.outside_universe) produced.push_back(std::move(inst.tuple));
-        return true;
-      },
-      s);
-  LDL_RETURN_IF_ERROR(status);
-  LDL_RETURN_IF_ERROR(inner);
+  RowBuffer produced(rule.head_args.size());
+  LDL_RETURN_IF_ERROR(
+      EnumerateIntoRows(evaluator, *db, windows, options, &produced, s));
 
-  for (Tuple& tuple : produced) {
-    if (db->AddFact(rule.head_pred, tuple)) {
+  for (size_t i = 0; i < produced.size(); ++i) {
+    if (db->AddFact(rule.head_pred, produced.row(i))) {
       *derived = true;
       ++s->facts_derived;
     }
@@ -172,7 +213,8 @@ Status Engine::ApplyGroupingRule(const RuleIr& rule, Database* db,
                           std::move(plan), options.use_compiled_plans);
   ++s->rule_firings;
   LDL_ASSIGN_OR_RETURN(std::vector<GroupResult> groups,
-                       ComputeGroups(*factory_, evaluator, *db, s));
+                       ComputeGroups(*factory_, evaluator, *db, s, nullptr,
+                                     options.batch, options.batch_block_rows));
   for (const GroupResult& group : groups) {
     if (db->AddFact(rule.head_pred, group.fact)) {
       *derived = true;
@@ -203,7 +245,13 @@ Status Engine::RunTasksParallel(const std::vector<RuleTask>& tasks, Database* db
   // never mutate it; the round itself only reads the database.
   db->Grow();
   const Database& snapshot = *db;
-  std::vector<std::vector<Tuple>> produced(tasks.size());
+  // Staged head rows per task: parallel delta shards are block streams into
+  // flat row buffers the merge barrier drains in task order.
+  std::vector<RowBuffer> produced;
+  produced.reserve(tasks.size());
+  for (const RuleTask& task : tasks) {
+    produced.emplace_back(task.rule->head_args.size());
+  }
   std::vector<EvalStats> task_stats(tasks.size());
   std::vector<Status> task_status(tasks.size(), Status::OK());
   // Per-task wall time, measured on the worker that ran the task (merged
@@ -221,22 +269,8 @@ Status Engine::RunTasksParallel(const std::vector<RuleTask>& tasks, Database* db
                             options.builtin_limits, task.plan,
                             options.use_compiled_plans);
     ++local.rule_firings;
-    Status inner;
-    Status status = evaluator.ForEachSolution(
-        snapshot, task.windows,
-        [&](const SolutionView& view) {
-          InstantiationResult inst = evaluator.InstantiateHead(view);
-          if (inst.unbound) {
-            inner = InternalError("head variable unbound in a body solution");
-            return false;
-          }
-          if (!inst.outside_universe) {
-            produced[i].push_back(std::move(inst.tuple));
-          }
-          return true;
-        },
-        &local);
-    task_status[i] = status.ok() ? inner : status;
+    task_status[i] = EnumerateIntoRows(evaluator, snapshot, task.windows,
+                                       options, &produced[i], &local);
   });
   // Merge barrier: single-threaded, in task order, so insertion order --
   // hence row ids, delta windows, and the final model -- is deterministic
@@ -247,8 +281,8 @@ Status Engine::RunTasksParallel(const std::vector<RuleTask>& tasks, Database* db
     LDL_RETURN_IF_ERROR(task_status[i]);
     stats->Add(task_stats[i]);
     size_t inserted = 0;
-    for (const Tuple& tuple : produced[i]) {
-      if (db->AddFact(tasks[i].rule->head_pred, tuple)) {
+    for (size_t r = 0; r < produced[i].size(); ++r) {
+      if (db->AddFact(tasks[i].rule->head_pred, produced[i].row(r))) {
         *derived = true;
         ++stats->facts_derived;
         ++inserted;
@@ -747,7 +781,8 @@ Status Engine::EvaluateStratum(const ProgramIr& program, const std::vector<int>&
                               options.use_compiled_plans);
       ++task_stats[i].rule_firings;
       StatusOr<std::vector<GroupResult>> result =
-          ComputeGroups(*factory_, evaluator, snapshot, &task_stats[i]);
+          ComputeGroups(*factory_, evaluator, snapshot, &task_stats[i], nullptr,
+                        options.batch, options.batch_block_rows);
       if (result.ok()) {
         groups[i] = std::move(result).value();
       } else {
@@ -1871,9 +1906,12 @@ Status Engine::EvaluateSaturating(const ProgramIr& program, Database* db,
   // and it re-enters Fixpoint once per global round, so cost-based
   // planning would be repaid on every round of every sub-millisecond
   // bound query. `sat_options` turns the planner off for the inner
-  // fixpoints too.
+  // fixpoints too. Block execution is off for the same reason: magic
+  // rounds push a handful of rows per rule invocation, so block setup
+  // costs more than the per-row dispatch it amortizes (DESIGN.md §12).
   EvalOptions sat_options = options;
   sat_options.cost_based = false;
+  sat_options.batch = false;
   std::vector<std::vector<int>> negation_orders;
   for (int r : negation_rules) {
     LDL_ASSIGN_OR_RETURN(std::vector<int> order,
@@ -1922,7 +1960,8 @@ Status Engine::EvaluateSaturating(const ProgramIr& program, Database* db,
       ++gs->rule_firings;
       LDL_ASSIGN_OR_RETURN(
           std::vector<GroupResult> groups,
-          ComputeGroups(*factory_, evaluator, *db, gs, &group_caches[g]));
+          ComputeGroups(*factory_, evaluator, *db, gs, &group_caches[g],
+                        sat_options.batch, sat_options.batch_block_rows));
       for (GroupResult& group : groups) {
         auto it = emitted[g].find(group.key);
         if (it == emitted[g].end()) {

@@ -7,11 +7,54 @@
 
 namespace ldl {
 
-StatusOr<std::vector<GroupResult>> ComputeGroups(TermFactory& factory,
-                                                 RuleEvaluator& evaluator,
-                                                 const Database& db,
-                                                 EvalStats* stats,
-                                                 GroupCache* cache) {
+namespace {
+
+struct Partition {
+  Tuple head_values;                // instantiated non-grouped head args
+  TermFactory::SetBuilder members;  // collected Y values (deduped at Build)
+};
+using PartitionMap = std::unordered_map<Tuple, Partition, TupleHash>;
+
+// Canonicalizes the accumulated partitions into GroupResults, consulting
+// the cross-round group cache (see GroupCacheEntry). Shared by the batch
+// and scalar enumerations in ComputeGroups, so the two paths cannot drift.
+std::vector<GroupResult> FinishGroups(const RuleIr& rule,
+                                      PartitionMap partitions, EvalStats* stats,
+                                      GroupCache* cache) {
+  std::vector<GroupResult> results;
+  results.reserve(partitions.size());
+  for (auto& [partition_key, partition] : partitions) {
+    GroupResult result;
+    result.key = partition_key;
+    const size_t member_count = partition.members.size();
+    if (cache != nullptr) {
+      auto it = cache->find(partition_key);
+      if (it != cache->end() && it->second.member_count == member_count) {
+        // Unchanged member multiset (see GroupCacheEntry): reuse the
+        // canonical fact without re-sorting or re-interning.
+        if (stats != nullptr) ++stats->groups_reused;
+        result.fact = it->second.fact;
+        results.push_back(std::move(result));
+        continue;
+      }
+    }
+    if (stats != nullptr) ++stats->groups_built;
+    result.fact = std::move(partition.head_values);
+    result.fact[rule.group_index] = partition.members.Build();
+    if (cache != nullptr) {
+      (*cache)[partition_key] = GroupCacheEntry{member_count, result.fact};
+    }
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+}  // namespace
+
+StatusOr<std::vector<GroupResult>> ComputeGroups(
+    TermFactory& factory, RuleEvaluator& evaluator, const Database& db,
+    EvalStats* stats, GroupCache* cache, bool batch,
+    size_t batch_block_rows) {
   const RuleIr& rule = evaluator.rule();
   if (!rule.is_grouping()) {
     return InternalError("ComputeGroups called on a non-grouping rule");
@@ -26,17 +69,72 @@ StatusOr<std::vector<GroupResult>> ComputeGroups(TermFactory& factory,
   }
   const Term* group_var_term = factory.MakeVar(rule.group_var);
 
-  struct Partition {
-    Tuple head_values;                 // instantiated non-grouped head args
-    TermFactory::SetBuilder members;   // collected Y values (deduped at Build)
-  };
-  std::unordered_map<Tuple, Partition, TupleHash> partitions;
+  PartitionMap partitions;
 
   // The key tuple is rebuilt per solution but the buffer is hoisted out of
   // the hot lambda; it only relocates into the map on a fresh partition.
   Tuple key;
   Status inner_status;
-  Status status = evaluator.ForEachSolution(
+  Status status;
+  if (batch && evaluator.has_plan()) {
+    // Block path: Z and Y values read straight from plan slots resolved
+    // once up front (the scalar path's per-solution Lookup binary-searches
+    // var_slots every time). Plan-executor slots hold evaluated ground
+    // terms, so the key/ground checks mirror the plan branch below exactly.
+    const JoinPlan* plan = evaluator.plan();
+    std::vector<int> z_slots;
+    z_slots.reserve(z_vars.size());
+    for (Symbol var : z_vars) z_slots.push_back(plan->SlotOf(var));
+    const int group_slot = plan->SlotOf(rule.group_var);
+    status = evaluator.ForEachBlock(
+        db, {},
+        [&](const TupleBlock& block) {
+          for (uint32_t idx : block.sel()) {
+            const Term* const* src = block.row(idx);
+            key.clear();
+            key.reserve(z_slots.size());
+            for (int slot : z_slots) {
+              const Term* value = slot >= 0 ? src[slot] : nullptr;
+              if (value == nullptr || !value->ground()) {
+                inner_status = InternalError(
+                    "grouping key variable unbound in a body solution");
+                return false;
+              }
+              key.push_back(value);
+            }
+            const Term* y = group_slot >= 0 ? src[group_slot] : nullptr;
+            if (y == nullptr) {
+              inner_status =
+                  InternalError("grouped variable unbound in a body solution");
+              return false;
+            }
+            auto it = partitions.find(key);
+            if (it == partitions.end()) {
+              SolutionView view(plan, {src, block.width()});
+              InstantiationResult head = evaluator.InstantiateHead(view);
+              if (head.unbound) {
+                inner_status =
+                    InternalError("head variable unbound under grouping");
+                return false;
+              }
+              if (head.outside_universe) continue;  // no U-fact for this key
+              Partition partition{std::move(head.tuple),
+                                  TermFactory::SetBuilder(&factory)};
+              partition.members.Add(y);
+              partitions.emplace(std::move(key), std::move(partition));
+              key = Tuple();
+            } else {
+              it->second.members.Add(y);
+            }
+          }
+          return true;
+        },
+        stats, batch_block_rows);
+    LDL_RETURN_IF_ERROR(status);
+    LDL_RETURN_IF_ERROR(inner_status);
+    return FinishGroups(rule, std::move(partitions), stats, cache);
+  }
+  status = evaluator.ForEachSolution(
       db, {},
       [&](const SolutionView& view) {
         // Key: the Z-variable values.
@@ -97,33 +195,7 @@ StatusOr<std::vector<GroupResult>> ComputeGroups(TermFactory& factory,
       stats);
   LDL_RETURN_IF_ERROR(status);
   LDL_RETURN_IF_ERROR(inner_status);
-
-  std::vector<GroupResult> results;
-  results.reserve(partitions.size());
-  for (auto& [partition_key, partition] : partitions) {
-    GroupResult result;
-    result.key = partition_key;
-    const size_t member_count = partition.members.size();
-    if (cache != nullptr) {
-      auto it = cache->find(partition_key);
-      if (it != cache->end() && it->second.member_count == member_count) {
-        // Unchanged member multiset (see GroupCacheEntry): reuse the
-        // canonical fact without re-sorting or re-interning.
-        if (stats != nullptr) ++stats->groups_reused;
-        result.fact = it->second.fact;
-        results.push_back(std::move(result));
-        continue;
-      }
-    }
-    if (stats != nullptr) ++stats->groups_built;
-    result.fact = std::move(partition.head_values);
-    result.fact[rule.group_index] = partition.members.Build();
-    if (cache != nullptr) {
-      (*cache)[partition_key] = GroupCacheEntry{member_count, result.fact};
-    }
-    results.push_back(std::move(result));
-  }
-  return results;
+  return FinishGroups(rule, std::move(partitions), stats, cache);
 }
 
 }  // namespace ldl

@@ -41,12 +41,15 @@ using GroupCache = std::unordered_map<Tuple, GroupCacheEntry, TupleHash>;
 // Evaluates `evaluator`'s rule (which must be a grouping rule) over `db` and
 // returns one GroupResult per non-empty partition. With a non-null `cache`,
 // partitions whose member count matches the cached entry reuse the cached
-// fact instead of re-canonicalizing (see GroupCacheEntry).
-StatusOr<std::vector<GroupResult>> ComputeGroups(TermFactory& factory,
-                                                 RuleEvaluator& evaluator,
-                                                 const Database& db,
-                                                 EvalStats* stats,
-                                                 GroupCache* cache = nullptr);
+// fact instead of re-canonicalizing (see GroupCacheEntry). With `batch` set
+// (and the evaluator holding a compiled plan) the body enumerates
+// block-at-a-time and partitioning reads Z/Y values straight from
+// precomputed plan slots; partitions, member multisets, and counters are
+// identical to the scalar enumeration.
+StatusOr<std::vector<GroupResult>> ComputeGroups(
+    TermFactory& factory, RuleEvaluator& evaluator, const Database& db,
+    EvalStats* stats, GroupCache* cache = nullptr, bool batch = false,
+    size_t batch_block_rows = kDefaultBlockRows);
 
 }  // namespace ldl
 

@@ -187,6 +187,7 @@ double Relation::DistinctEstimate(uint32_t column) const {
 RelationStats Relation::Stats() const {
   RelationStats stats;
   stats.rows = live_count_;
+  stats.raw_rows = row_count_;
   stats.column_distinct.reserve(arity_);
   for (uint32_t col = 0; col < arity_; ++col) {
     stats.column_distinct.push_back(DistinctEstimate(col));

@@ -44,9 +44,13 @@ struct TupleHash {
 
 // Planner-facing snapshot of a relation's statistics: live cardinality plus
 // a per-column distinct-value estimate (capped at `rows`). Cheap to take --
-// one popcount pass over the fixed-width sketches.
+// one popcount pass over the fixed-width sketches. `raw_rows` counts
+// tombstoned rows too, so raw_rows - rows is the dead-row bloat a scan still
+// pays for (`:stats` reports the ratio); the cost model prices with `rows`
+// only.
 struct RelationStats {
   size_t rows = 0;
+  size_t raw_rows = 0;
   std::vector<double> column_distinct;
 };
 
@@ -163,6 +167,47 @@ class Relation {
         }
       }
       if (match && !fn(row)) return;
+    }
+  }
+
+  // Combined hash of a probe key, for callers that batch key hashing over a
+  // block of bindings before probing (eval/batch.cc). Must be fed back into
+  // ProbeRowsHashed with the same `values`.
+  static uint64_t ProbeHash(std::span<const Term* const> values) {
+    return HashKey(values);
+  }
+
+  // ProbeRows with the key hash precomputed via ProbeHash. The batch probe
+  // kernel hashes a whole block's keys in one pass, then probes; semantics
+  // (verification, liveness, window, early stop) are identical to ProbeRows.
+  template <typename Fn>
+  void ProbeRowsHashed(std::span<const uint32_t> cols,
+                       std::span<const Term* const> values, uint64_t hash,
+                       size_t from, size_t to, Fn&& fn) const {
+    const CompositeIndex& index = EnsureIndex(cols);
+    auto it = index.map.find(hash);
+    if (it == index.map.end()) return;
+    for (uint32_t row : it->second) {
+      if (row < from || row >= to || !live_[row]) continue;
+      const Term* const* tuple = data_.data() + row * arity_;
+      bool match = true;
+      for (size_t i = 0; i < cols.size(); ++i) {
+        if (tuple[cols[i]] != values[i]) {
+          match = false;
+          break;
+        }
+      }
+      if (match && !fn(row)) return;
+    }
+  }
+
+  // Appends the ids of live rows in [from, to) to `out` in ascending order.
+  // The batch scan kernel gathers once per input block, amortizing the
+  // per-row tombstone branch across the block's candidates.
+  void CollectLiveRows(size_t from, size_t to, std::vector<uint32_t>* out) const {
+    if (to > row_count_) to = row_count_;
+    for (size_t i = from; i < to; ++i) {
+      if (live_[i]) out->push_back(static_cast<uint32_t>(i));
     }
   }
 

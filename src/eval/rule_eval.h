@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "base/status.h"
+#include "eval/batch.h"
 #include "eval/bindings.h"
 #include "eval/builtins.h"
 #include "eval/plan.h"
@@ -144,6 +145,16 @@ class RuleEvaluator {
   Status ForEachSolution(const Database& db, const std::vector<LiteralWindow>& windows,
                          const SolutionFn& yield, EvalStats* stats);
 
+  // Block-at-a-time enumeration through the batch kernels in eval/batch.h:
+  // completed solutions arrive in TupleBlocks instead of one SolutionView
+  // per callback. Requires a compiled plan (use_plan); solution order,
+  // derivation multiplicity, and every EvalStats counter match
+  // ForEachSolution exactly (DESIGN.md §12). The executor is built on first
+  // use and reused across calls.
+  Status ForEachBlock(const Database& db, const std::vector<LiteralWindow>& windows,
+                      const BlockFn& sink, EvalStats* stats,
+                      size_t block_rows = kDefaultBlockRows);
+
   // Like ForEachSolution, but starts from a pre-seeded substitution (e.g.
   // head variables bound from a tuple being rederived) and always runs the
   // legacy interpreter, whose generic unification honors the seed bindings.
@@ -161,6 +172,7 @@ class RuleEvaluator {
   const RuleIr& rule() const { return *rule_; }
   // Null on the legacy interpreter path.
   const JoinPlan* plan() const { return plan_.get(); }
+  bool has_plan() const { return plan_ != nullptr; }
 
  private:
   Status EvalFrom(const Database& db, const std::vector<LiteralWindow>& windows,
@@ -177,6 +189,7 @@ class RuleEvaluator {
   BuiltinLimits limits_;
   std::shared_ptr<const JoinPlan> plan_;  // null => legacy interpreter
   std::vector<const Term*> slots_;        // plan executor bindings
+  std::unique_ptr<BlockExecutor> batch_;  // built on first ForEachBlock
 };
 
 }  // namespace ldl

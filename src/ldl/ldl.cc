@@ -324,6 +324,8 @@ bool Session::SameEvalConfig(const EvalOptions& options) const {
          options.cost_based == last.cost_based &&
          options.replan_cost_ratio == last.replan_cost_ratio &&
          options.num_threads == last.num_threads &&
+         options.batch == last.batch &&
+         options.batch_block_rows == last.batch_block_rows &&
          options.builtin_limits.max_union_enumeration ==
              last.builtin_limits.max_union_enumeration &&
          options.builtin_limits.max_subset_enumeration ==

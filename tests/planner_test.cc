@@ -56,6 +56,20 @@ TEST_F(SketchTest, DistinctEstimateCappedByLiveRows) {
   EXPECT_EQ(r.DistinctEstimate(0), 0.0);
 }
 
+TEST_F(SketchTest, StatsSeparateLiveFromStoredRows) {
+  // Erase tombstones rows in place; `rows` must track the live count while
+  // `raw_rows` keeps the storage footprint, so consumers can tell a small
+  // relation from a bloated one.
+  Relation r(1);
+  for (int i = 0; i < 100; ++i) r.Insert(T({i}));
+  for (int i = 0; i < 90; ++i) r.Erase(T({i}));
+  RelationStats stats = r.Stats();
+  EXPECT_EQ(stats.rows, 10u);
+  EXPECT_EQ(stats.raw_rows, 100u);
+  // The distinct sketch never claims more values than live rows.
+  EXPECT_LE(stats.column_distinct[0], 10.0);
+}
+
 TEST_F(SketchTest, StatsSnapshotMatchesEstimates) {
   Relation r(2);
   for (int i = 0; i < 100; ++i) r.Insert(T({i, 0}));
@@ -218,6 +232,58 @@ TEST(Planner, DeterministicAcrossThreads) {
     EXPECT_EQ(stats.facts_derived, reference.facts_derived);
     EXPECT_EQ(Materialize(session), reference_model);
   }
+}
+
+TEST(Planner, MostlyDeletedRelationFlipsJoinOrder) {
+  // Tombstone-bloat regression: after retracting most of `shrunk`, its
+  // storage still holds every dead row, but the cost model must price it by
+  // live count. 400 stored / 4 live flips the scan leader from `keep` (40
+  // rows) to `shrunk`; a model built on raw counts would keep the old order.
+  std::string program = "join(X, Y) :- shrunk(X, Z), keep(Z, Y).\n";
+  for (size_t i = 0; i < 400; ++i) {
+    StrAppend(program, "shrunk(a", i, ", k", i % 4, ").\n");
+  }
+  for (size_t i = 0; i < 40; ++i) {
+    StrAppend(program, "keep(k", i % 4, ", v", i, ").\n");
+  }
+  Session session;
+  ASSERT_TRUE(session.Load(program).ok());
+  ASSERT_TRUE(session.Evaluate().ok());
+
+  const RuleIr* join_rule = nullptr;
+  for (const RuleIr& rule : session.program().rules) {
+    if (rule.body.size() == 2) join_rule = &rule;
+  }
+  ASSERT_NE(join_rule, nullptr);
+
+  CostModel before = CostModel::Snapshot(session.database(), session.catalog());
+  auto order_before =
+      OrderBodyLiteralsCostBased(session.catalog(), *join_rule, before);
+  ASSERT_TRUE(order_before.ok()) << order_before.status();
+  // 40-row keep leads while shrunk holds 400 live rows.
+  EXPECT_EQ((*order_before)[0], 1);
+
+  std::string removal;
+  for (size_t i = 4; i < 400; ++i) {
+    StrAppend(removal, "shrunk(a", i, ", k", i % 4, ").\n");
+  }
+  ASSERT_TRUE(session.RemoveFacts(removal).ok());
+  // The deletion delta is applied by the next evaluation (DRed).
+  ASSERT_TRUE(session.Evaluate().ok());
+
+  PredId shrunk = session.catalog().Find("shrunk", 2);
+  ASSERT_NE(shrunk, kInvalidPred);
+  RelationStats stats = session.database().relation(shrunk).Stats();
+  EXPECT_EQ(stats.rows, 4u);
+  EXPECT_EQ(stats.raw_rows, 400u);
+
+  CostModel after = CostModel::Snapshot(session.database(), session.catalog());
+  EXPECT_EQ(after.Card(shrunk).rows, 4.0);
+  auto order_after =
+      OrderBodyLiteralsCostBased(session.catalog(), *join_rule, after);
+  ASSERT_TRUE(order_after.ok()) << order_after.status();
+  // 4 live rows beat 40: the mostly-deleted relation now leads.
+  EXPECT_EQ((*order_after)[0], 0);
 }
 
 TEST(Planner, ProfileRecordsEstimatedRows) {

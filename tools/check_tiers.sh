@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Pre-PR gate: runs the tier-1 suite (configure + build + full ctest) and
+# then the bench-smoke tier (every benchmark binary for one timing batch,
+# catching crashes/asserts without recording timings).
+#
+# Usage: tools/check_tiers.sh [build_dir]
+#   build_dir  defaults to ./build; configured on demand.
+#
+# Exits nonzero on the first failing tier. Run this before every PR; it is
+# the same sequence CI would run (ROADMAP.md "Tier-1 verify").
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+
+echo "== tier 1: configure + build"
+cmake -B "${build_dir}" -S "${repo_root}"
+cmake --build "${build_dir}" -j
+
+echo "== tier 1: ctest (full suite)"
+ctest --test-dir "${build_dir}" --output-on-failure -j
+
+echo "== bench-smoke: one timing batch per benchmark binary"
+ctest --test-dir "${build_dir}" --output-on-failure -L bench-smoke
+
+echo "== all tiers green"

@@ -16,8 +16,10 @@
 //   :strategy [name]     query strategy: model, magic, magic-sup, topdown
 //   :magic on|off|sup    shorthand for :strategy magic / model / magic-sup
 //   :naive on|off        switch the fixpoint engine (default: semi-naive)
+//   :batch on|off        block-at-a-time execution (default: on)
 //   :threads N           worker threads for bottom-up evaluation
-//   :stats               stats of the last evaluation
+//   :stats               stats of the last evaluation + per-predicate
+//                        dead-row (tombstone) ratios
 //   :serve [N] goal      answer goal from N concurrent ldl::Service readers
 //   :profile [on|off]    collect per-rule/per-stratum profiles on queries
 //   :profile dump [file] last collected profile as JSON (stdout or file)
@@ -49,6 +51,7 @@ struct ReplState {
   ldl::Session session;
   ldl::QueryStrategy strategy = ldl::QueryStrategy::kModel;
   bool naive = false;
+  bool batch = true;
   int threads = 1;
   bool profile = false;
   // Profile of the most recent profiled query (what :profile dump shows).
@@ -81,7 +84,8 @@ void PrintHelp() {
       "      :warnings :why f(a)\n"
       "      :retract f(a).\n"
       "      :strategy [%s]  :magic on|off|sup\n"
-      "      :naive on|off  :threads N  :stats  :serve [N] goal\n"
+      "      :naive on|off  :batch on|off  :threads N  :stats\n"
+      "      :serve [N] goal\n"
       "      :profile [on|off]  :profile dump [file]\n",
       ldl::QueryStrategyNames());
 }
@@ -93,6 +97,7 @@ void RunQuery(ReplState& state, const std::string& goal) {
                                   : ldl::EvalOptions::Mode::kSemiNaive;
   options.eval.num_threads = state.threads;
   options.eval.profile = state.profile;
+  options.eval.batch = state.batch;
   // Repeated queries of the same text reuse the prepared goal instead of
   // reparsing it.
   if (goal != state.last_goal_text || !state.last_prepared.valid()) {
@@ -321,6 +326,24 @@ void ShowStats(ReplState& state) {
     }
   });
   if (on_line != 0) std::printf("\n");
+  // Tombstone bloat per predicate: retracted rows stay in storage as dead
+  // rows until the next rebuild, so scans pay for raw_rows while the cost
+  // model prices joins with the live count only.
+  ldl::Catalog& catalog = state.session.catalog();
+  bool header = false;
+  for (ldl::PredId p = 0; p < catalog.size(); ++p) {
+    ldl::RelationStats rel = state.session.database().relation(p).Stats();
+    if (rel.raw_rows == rel.rows) continue;
+    if (!header) {
+      std::printf("  dead rows (tombstones):\n");
+      header = true;
+    }
+    size_t dead = rel.raw_rows - rel.rows;
+    std::printf("    %-24s %zu live / %zu stored (%.0f%% dead)\n",
+                catalog.DebugName(p).c_str(), rel.rows, rel.raw_rows,
+                100.0 * static_cast<double>(dead) /
+                    static_cast<double>(rel.raw_rows));
+  }
 }
 
 // Returns false on :quit.
@@ -449,6 +472,10 @@ bool HandleLine(ReplState& state, const std::string& raw) {
     } else if (command == "naive") {
       state.naive = argument != "off";
       std::printf("engine: %s\n", state.naive ? "naive" : "semi-naive");
+    } else if (command == "batch") {
+      state.batch = argument != "off";
+      std::printf("execution: %s\n",
+                  state.batch ? "block-at-a-time" : "tuple-at-a-time");
     } else {
       Fail(state, ldl::StrCat("unknown command :", command, " (try :help)"));
     }
